@@ -1,0 +1,23 @@
+"""Benchmark-suite helpers: result capture into benchmarks/results/."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where each benchmark writes its paper-style table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,168 @@
+"""Ablation: who carries the double-spend-checking load?
+
+Section 1 argues an online trusted party "creates administrative and
+equipment expenses (especially during peak hours)"; the witness design
+spreads that load over the merchant network instead. Measured here:
+
+* **broker messages per payment** — 0 for the witness scheme (the broker
+  can be fully offline during payments) vs 1 synchronous clearing call
+  for the Chaum-style baseline;
+* **witness load distribution** — payments fan out across merchants in
+  proportion to their published witness ranges;
+* **horizontal scaling** — N concurrent payments on the simulator finish
+  in roughly the time of one (the witnesses work in parallel), instead of
+  serializing through a central clearinghouse.
+"""
+
+import random
+
+from repro.analysis.stats import Summary, mean
+from repro.analysis.tables import render_table
+from repro.core.system import EcashSystem
+from repro.net.node import metered
+from repro.net.services import BROKER_NODE, NetworkDeployment
+from repro.net.sim import Future
+
+from conftest import record
+
+MERCHANTS = tuple(f"shop-{i}" for i in range(8))
+
+
+def _gather(sim, futures):
+    """Run the event loop until every future resolves."""
+    done = Future()
+    remaining = len(futures)
+
+    def on_done(_):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.done:
+            done.set_result(None)
+
+    for future in futures:
+        future.add_callback(on_done)
+    sim.run_until(done)
+    return [future.result() for future in futures]
+
+
+def run_concurrent_payments(payment_count: int, seed: int = 21):
+    """N clients pay N different merchants simultaneously."""
+    system = EcashSystem(merchant_ids=MERCHANTS, seed=seed)
+    deployment = NetworkDeployment(system, seed=seed)
+    prepared = []
+    for index in range(payment_count):
+        client_name = f"client-{index}"
+        deployment.add_client(client_name)
+        stored = deployment.run(
+            deployment.withdrawal_process(
+                client_name, system.standard_info(25, now=deployment.now())
+            )
+        )
+        rng = random.Random(seed * 100 + index)
+        merchant_id = rng.choice(
+            [m for m in system.merchant_ids if m != stored.coin.witness_id]
+        )
+        prepared.append((client_name, stored, merchant_id))
+
+    broker_requests_before = sum(
+        1
+        for entry in deployment.network.trace.entries
+        if entry.destination == BROKER_NODE and entry.kind == "request"
+    )
+    start = deployment.sim.now
+    futures = [
+        deployment.sim.spawn(
+            metered(
+                deployment.payment_process(client_name, stored, merchant_id),
+                deployment.network.cost_model,
+                deployment.network.rng,
+            )
+        )
+        for client_name, stored, merchant_id in prepared
+    ]
+    receipts = _gather(deployment.sim, futures)
+    makespan = deployment.sim.now - start
+    broker_requests_during = (
+        sum(
+            1
+            for entry in deployment.network.trace.entries
+            if entry.destination == BROKER_NODE and entry.kind == "request"
+        )
+        - broker_requests_before
+    )
+    witness_loads = {
+        m: system.witness(m).signed_count for m in system.merchant_ids
+    }
+    return receipts, makespan, broker_requests_during, witness_loads
+
+
+def test_broker_offline_during_payments(benchmark, results_dir):
+    receipts, makespan, broker_requests, witness_loads = benchmark.pedantic(
+        run_concurrent_payments, kwargs={"payment_count": 8}, rounds=1, iterations=1
+    )
+    individual = Summary.of([r.elapsed for r in receipts])
+    record(
+        results_dir,
+        "ablation_broker_load",
+        render_table(
+            "Ablation: load placement during 8 concurrent payments",
+            ["Quantity", "Witness scheme", "Online-broker baseline"],
+            [
+                ["broker messages per payment", broker_requests / len(receipts), 1],
+                ["makespan (8 concurrent)", f"{makespan:.2f}s", "(serialized at broker)"],
+                ["mean single-payment latency", f"{individual.mean:.2f}s", "-"],
+                [
+                    "witnesses sharing the load",
+                    sum(1 for load in witness_loads.values() if load > 0),
+                    0,
+                ],
+            ],
+        ),
+    )
+    # The headline: the broker receives NOTHING during payments.
+    assert broker_requests == 0
+    # Horizontal scaling: 8 concurrent payments cost far less than 8 serial
+    # ones (they overlap on independent witnesses).
+    assert makespan < 0.6 * individual.mean * len(receipts)
+    # More than one witness carried the load.
+    assert sum(1 for load in witness_loads.values() if load > 0) >= 2
+
+
+def test_witness_load_follows_ranges(benchmark, results_dir):
+    """Section 4: bigger witness ranges => proportionally more coins."""
+
+    def measure():
+        weights = {"heavy": 6.0, "mid": 3.0, "light": 1.0}
+        system = EcashSystem(
+            merchant_ids=("heavy", "mid", "light"), weights=weights, seed=8
+        )
+        client = system.new_client()
+        from repro.core.protocols import run_withdrawal
+
+        counts = {m: 0 for m in weights}
+        total = 120
+        for _ in range(total):
+            stored = run_withdrawal(
+                client, system.broker, system.standard_info(1, now=0)
+            )
+            counts[stored.coin.witness_id] += 1
+        return weights, counts, total
+
+    weights, counts, total = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(
+        results_dir,
+        "ablation_witness_ranges",
+        render_table(
+            "Ablation: witness assignment follows published range weights (120 coins)",
+            ["Merchant", "Weight share", "Assigned share"],
+            [
+                [m, f"{weights[m]/sum(weights.values()):.2f}", f"{counts[m]/total:.2f}"]
+                for m in weights
+            ],
+        ),
+    )
+    shares = {m: counts[m] / total for m in weights}
+    # Direction and rough magnitude (binomial noise at n=120 is ~±0.09).
+    assert shares["heavy"] > shares["mid"] > shares["light"]
+    assert abs(shares["heavy"] - 0.6) < 0.15
+    assert abs(shares["light"] - 0.1) < 0.10

@@ -1,0 +1,78 @@
+"""Ablation: routing cost of the DHT alternative (Section 2).
+
+The WhoPay/Hoepman baseline queries a Chord overlay on *every payment* —
+"queried using a DHT routing layer such as Chord". Each query costs
+O(log N) overlay hops of WAN latency, where the witness scheme's check is
+a single direct round trip to a known witness. This benchmark measures
+Chord lookup hops across overlay sizes and converts them to the latency
+tax a DHT-based check would add per payment.
+"""
+
+import math
+import random
+
+from repro.analysis.stats import Summary
+from repro.analysis.tables import render_table
+from repro.net.chord import ChordRing
+
+from conftest import record
+
+SIZES = [16, 64, 256, 1024]
+LOOKUPS = 300
+ONE_WAY_MS = 35.0  # per overlay hop, the paper's WAN scale
+
+
+def measure_hops(size: int, seed: int = 50) -> Summary:
+    ring = ChordRing([f"peer-{i}" for i in range(size)], successor_list_size=3)
+    rng = random.Random(seed)
+    hops = [
+        float(ring.lookup(rng.getrandbits(64), start=rng.choice(ring.nodes)).hops)
+        for _ in range(LOOKUPS)
+    ]
+    return Summary.of(hops)
+
+
+def test_chord_lookup_scales_logarithmically(benchmark, results_dir):
+    summaries = benchmark.pedantic(
+        lambda: [measure_hops(size) for size in SIZES], rounds=1, iterations=1
+    )
+    rows = []
+    for size, summary in zip(SIZES, summaries):
+        dht_latency_ms = summary.mean * ONE_WAY_MS
+        rows.append(
+            [
+                size,
+                f"{summary.mean:.1f}",
+                f"{summary.maximum:.0f}",
+                f"{math.log2(size):.1f}",
+                f"{dht_latency_ms:.0f}ms",
+                f"{2 * ONE_WAY_MS:.0f}ms",
+            ]
+        )
+    record(
+        results_dir,
+        "ablation_chord_routing",
+        render_table(
+            f"Ablation: spent-coin check routing cost ({LOOKUPS} lookups per size, "
+            f"{ONE_WAY_MS:.0f}ms/hop)",
+            [
+                "overlay size",
+                "avg hops",
+                "max hops",
+                "log2(N)",
+                "DHT check latency",
+                "witness check (1 RTT)",
+            ],
+            rows,
+        ),
+    )
+    by_size = dict(zip(SIZES, summaries))
+    for size, summary in by_size.items():
+        # O(log N): average hops bounded by log2(N) + slack, never linear.
+        assert summary.mean <= math.log2(size) + 2
+        assert summary.maximum <= 3 * math.log2(size)
+    # The hop count grows with N while the witness check stays at one RTT:
+    # at 1024 peers the DHT check costs several witness-checks' worth.
+    assert by_size[1024].mean * ONE_WAY_MS > 2 * (2 * ONE_WAY_MS)
+    # Monotone-ish growth across the sweep.
+    assert by_size[1024].mean > by_size[16].mean

@@ -1,0 +1,78 @@
+"""Ablation: the paper's 2006 stack vs a production (OpenSSL-grade) stack.
+
+Section 7 attributes most of Table 2's 1.8 s to interpreted bignum crypto
+(footnote 7: 250 ms/signature native Python vs 4.8 ms OpenSSL) and argues
+the protocol itself is network-bound. This ablation re-runs the exact
+Table 2 experiment under the OpenSSL compute profile and shows the
+crossover: payment latency collapses to WAN scale, landing under the
+~0.9 s the paper measured for rendering an ad-supported page text-only —
+i.e. with production crypto, paying is faster than looking at the ads.
+"""
+
+from repro.analysis.payment_bench import PAPER_AD_RENDER_SECONDS, run_payment_trials
+from repro.analysis.tables import render_table
+from repro.core.params import default_params
+from repro.net.costmodel import openssl_profile, python2006_profile
+
+from conftest import record
+
+TRIALS = 40
+
+
+def run_both():
+    legacy = run_payment_trials(
+        trials=TRIALS,
+        params=default_params(),
+        cost_model=python2006_profile(),
+        seed=606,
+    )
+    modern = run_payment_trials(
+        trials=TRIALS,
+        params=default_params(),
+        cost_model=openssl_profile(),
+        seed=606,
+    )
+    return legacy, modern
+
+
+def test_modern_crypto_makes_payment_network_bound(benchmark, results_dir):
+    legacy, modern = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record(
+        results_dir,
+        "ablation_modern_deployment",
+        render_table(
+            f"Ablation: payment latency by crypto stack ({TRIALS} trials each)",
+            ["Stack", "avg", "st.dev", "min", "max"],
+            [
+                [
+                    "python-2006 (Table 2 setting)",
+                    f"{legacy.latency_ms.mean:.0f}ms",
+                    f"{legacy.latency_ms.stdev:.0f}ms",
+                    f"{legacy.latency_ms.minimum:.0f}ms",
+                    f"{legacy.latency_ms.maximum:.0f}ms",
+                ],
+                [
+                    "openssl profile (Section 7 projection)",
+                    f"{modern.latency_ms.mean:.0f}ms",
+                    f"{modern.latency_ms.stdev:.0f}ms",
+                    f"{modern.latency_ms.minimum:.0f}ms",
+                    f"{modern.latency_ms.maximum:.0f}ms",
+                ],
+                [
+                    "ad page text-only render (paper survey)",
+                    f"{PAPER_AD_RENDER_SECONDS*1000:.0f}ms",
+                    "-",
+                    "-",
+                    "-",
+                ],
+            ],
+        ),
+    )
+    # The paper's qualitative claims, quantified:
+    # 1. the 2006 number is crypto-bound (compute >> network)...
+    assert legacy.latency_ms.mean > 4 * modern.latency_ms.mean
+    # 2. ...and a production deployment beats the ad-render yardstick,
+    #    supporting "viable in real-world commercial environments".
+    assert modern.latency_ms.mean < PAPER_AD_RENDER_SECONDS * 1000
+    # 3. Bandwidth is unchanged by the crypto stack.
+    assert abs(modern.client_bytes.mean - legacy.client_bytes.mean) < 50

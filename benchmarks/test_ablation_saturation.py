@@ -1,0 +1,203 @@
+"""Ablation: server saturation under payment load.
+
+Section 1's complaint about online trusted parties: they create "equipment
+expenses (especially during peak hours)". This ablation gives every server
+a bounded handler pool and ramps up concurrent payments:
+
+* **online clearing** — every payment queues at the one broker; makespan
+  grows linearly once the broker saturates;
+* **witness scheme** — the same load fans out across the merchants'
+  witness services; makespan stays near-flat until the *per-witness*
+  load saturates, i.e. capacity scales with the merchant network.
+
+Both sides run identical crypto (the 2006 profile, whose heavyweight
+operations make server compute the bottleneck) on servers with the same
+per-node handler pool; handlers release their worker while awaiting
+nested RPCs (async-server semantics), so the difference measured is
+purely architectural.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.baselines.online_broker import OnlineBroker
+from repro.core.system import EcashSystem
+from repro.core.transcripts import PaymentTranscript
+from repro.crypto.representation import respond
+from repro.crypto.serialize import text_to_int
+from repro.net.costmodel import python2006_profile
+from repro.net.latency import Region, uniform_mesh
+from repro.net.node import Network, Node, metered
+from repro.net.services import NetworkDeployment
+from repro.net.sim import Future, Simulator
+
+from conftest import record
+
+MERCHANTS = tuple(f"shop-{i}" for i in range(16))
+LOADS = [4, 12, 24, 48]
+SERVER_CONCURRENCY = 2
+
+
+def _gather(sim, futures):
+    done = Future()
+    remaining = len(futures)
+
+    def on_done(_):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.done:
+            done.set_result(None)
+
+    for future in futures:
+        future.add_callback(on_done)
+    sim.run_until(done)
+    for future in futures:
+        future.result()  # surface failures
+
+
+def witness_makespan(load: int, seed: int = 40) -> float:
+    system = EcashSystem(merchant_ids=MERCHANTS, seed=seed)
+    deployment = NetworkDeployment(
+        system,
+        cost_model=python2006_profile(noise=0),
+        seed=seed,
+        server_concurrency=SERVER_CONCURRENCY,
+    )
+    prepared = []
+    for index in range(load):
+        client_name = f"client-{index}"
+        deployment.add_client(client_name)
+        stored = deployment.run(
+            deployment.withdrawal_process(
+                client_name, system.standard_info(5, now=deployment.now())
+            )
+        )
+        rng = random.Random(seed * 1000 + index)
+        merchant_id = rng.choice(
+            [m for m in system.merchant_ids if m != stored.coin.witness_id]
+        )
+        prepared.append((client_name, stored, merchant_id))
+    start = deployment.sim.now
+    futures = [
+        deployment.sim.spawn(
+            metered(
+                deployment.payment_process(client_name, stored, merchant_id),
+                deployment.network.cost_model,
+                deployment.network.rng,
+            )
+        )
+        for client_name, stored, merchant_id in prepared
+    ]
+    _gather(deployment.sim, futures)
+    return deployment.sim.now - start
+
+
+def online_makespan(load: int, seed: int = 41) -> float:
+    """Same load against a single online-clearing broker."""
+    system = EcashSystem(merchant_ids=MERCHANTS, seed=seed)
+    online = OnlineBroker(params=system.params, broker=system.broker)
+    sim = Simulator()
+    network = Network(
+        sim,
+        uniform_mesh([Region.LOCAL, Region.WISCONSIN], one_way=0.03, seed=seed),
+        python2006_profile(noise=0),
+        seed=seed,
+    )
+    broker_node = network.register(
+        Node("clearing-broker", Region.WISCONSIN, concurrency=SERVER_CONCURRENCY)
+    )
+
+    def clear(payload):
+        transcript = PaymentTranscript.from_wire(
+            {
+                key.removeprefix("transcript."): value
+                for key, value in _flatten(payload).items()
+                if key.startswith("transcript.")
+            }
+        )
+        online.clear_payment(transcript)
+        return {"ok": 1}
+
+    broker_node.on("clear", clear)
+
+    prepared = []
+    from repro.core.protocols import run_withdrawal
+
+    client = system.new_client()
+    for index in range(load):
+        name = f"client-{index}"
+        network.register(Node(name, Region.LOCAL))
+        stored = run_withdrawal(client, system.broker, system.standard_info(5, now=0))
+        d = system.params.hashes.H0(
+            *stored.coin.hash_parts(), f"shop-{index % len(MERCHANTS)}", 10
+        )
+        transcript = PaymentTranscript(
+            coin=stored.coin,
+            response=respond(stored.secrets, d, system.params.group.q),
+            merchant_id=f"shop-{index % len(MERCHANTS)}",
+            timestamp=10,
+            salt=0,
+        )
+        prepared.append((name, transcript))
+
+    def clearing_call(name, transcript):
+        reply = yield network.rpc(
+            name, "clearing-broker", "clear", {"transcript": transcript.to_wire()},
+            timeout=300.0,
+        )
+        return reply
+
+    start = sim.now
+    futures = [
+        sim.spawn(metered(clearing_call(name, transcript), network.cost_model, network.rng))
+        for name, transcript in prepared
+    ]
+    _gather(sim, futures)
+    return sim.now - start
+
+
+def _flatten(payload):
+    from repro.crypto.serialize import flatten
+
+    flat = flatten(payload)
+    return {
+        key: (value if isinstance(value, str) else _to_text(value))
+        for key, value in flat.items()
+    }
+
+
+def _to_text(value):
+    from repro.crypto.serialize import int_to_text
+
+    return int_to_text(value) if isinstance(value, int) else str(value)
+
+
+def run_sweep():
+    return [
+        (load, witness_makespan(load), online_makespan(load)) for load in LOADS
+    ]
+
+
+def test_saturation_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        results_dir,
+        "ablation_saturation",
+        render_table(
+            f"Ablation: makespan of N concurrent payments (server concurrency "
+            f"{SERVER_CONCURRENCY}, python-2006 crypto)",
+            ["concurrent payments", "witness scheme", "online broker", "ratio"],
+            [
+                [load, f"{w:.2f}s", f"{o:.2f}s", f"{o / w:.1f}x"]
+                for load, w, o in rows
+            ],
+        ),
+    )
+    by_load = {load: (w, o) for load, w, o in rows}
+    # At low load both are fine; at high load the single clearing broker
+    # queues while the witness network absorbs the fan-out.
+    w_peak, o_peak = by_load[LOADS[-1]]
+    w_base, o_base = by_load[LOADS[0]]
+    assert o_peak / o_base > 3.0  # broker makespan grows with load (saturation)
+    assert w_peak / w_base < o_peak / o_base  # witness scheme degrades more slowly
+    assert o_peak > w_peak  # and is slower at peak load: capacity scales with M

@@ -1,0 +1,82 @@
+"""Reproduces **Figure 1**: the high-level system architecture.
+
+Figure 1 is the paper's message-flow diagram: merchants register with the
+broker and leave security deposits; clients buy (blind-signed) coins; a
+payment goes client -> witness (commitment), client -> merchant, merchant
+-> witness (transcript signature); merchants cash signed transcripts at
+the broker, which settles against the bank. This benchmark replays the
+complete lifecycle on the simulated network and asserts the message trace
+contains exactly the arrows of Figure 1, then renders an ASCII version of
+the figure from the observed trace.
+"""
+
+from repro.core.system import EcashSystem
+from repro.net.services import NetworkDeployment
+
+from conftest import record
+
+FIGURE1_FLOW = [
+    # (step label, method, from-role, to-role)
+    ("1. buy coins (blind withdrawal)", "withdraw/begin", "client", "broker"),
+    ("   unblind + witness attach", "withdraw/complete", "client", "broker"),
+    ("2. request witness commitment", "witness/commit", "client", "witness"),
+    ("3. pay with coin + commitment", "pay", "client", "merchant"),
+    ("4. witness signs transcript", "witness/sign", "merchant", "witness"),
+    ("5. deposit signed transcript", "deposit", "merchant", "broker"),
+]
+
+
+def run_lifecycle():
+    system = EcashSystem(seed=41)
+    deployment = NetworkDeployment(system, seed=41)
+    deployment.add_client("client-0")
+    info = system.standard_info(25, now=0)
+    stored = deployment.run(deployment.withdrawal_process("client-0", info))
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    deployment.run(deployment.payment_process("client-0", stored, merchant_id))
+    deployment.run(deployment.deposit_process(merchant_id))
+    return system, deployment, stored, merchant_id
+
+
+def test_figure1_message_flow(benchmark, results_dir):
+    system, deployment, stored, merchant_id = benchmark.pedantic(
+        run_lifecycle, rounds=1, iterations=1
+    )
+    trace = deployment.network.trace
+    assert trace.methods() == [method for _, method, _, _ in FIGURE1_FLOW]
+
+    roles = {
+        "broker": "broker",
+        "client-0": "client",
+        stored.coin.witness_id: "witness",
+        merchant_id: "merchant",
+    }
+    lines = ["Figure 1. High-level view of the E-cash system (observed trace)", ""]
+    requests = [e for e in trace.entries if e.kind == "request"]
+    for (label, method, expected_src, expected_dst), entry in zip(FIGURE1_FLOW, requests):
+        source_role = roles[entry.source]
+        destination_role = roles[entry.destination]
+        assert source_role == expected_src, f"{method}: {source_role} != {expected_src}"
+        assert destination_role == expected_dst
+        lines.append(
+            f"  {label:<38} {source_role:>8} --[{method}, {entry.size_bytes}B]--> "
+            f"{destination_role}"
+        )
+    lines.append("")
+    lines.append(
+        "  registration/security deposits and bank settlement happen out of band:"
+    )
+    for merchant in system.merchant_ids:
+        lines.append(
+            f"    {merchant:>12} escrow at broker: "
+            f"{system.broker.security_deposit_balance(merchant)} cents"
+        )
+    lines.append(
+        f"    merchant {merchant_id!r} revenue after settlement: "
+        f"{system.broker.merchant_balance(merchant_id)} cents"
+    )
+    record(results_dir, "fig1_architecture_flow", "\n".join(lines))
+
+    # Figure 1's economics: money is conserved end to end.
+    assert system.broker.merchant_balance(merchant_id) == 25
+    assert system.ledger.conserved()

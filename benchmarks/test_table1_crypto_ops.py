@@ -1,0 +1,49 @@
+"""Reproduces **Table 1**: number of cryptographic operations.
+
+For every protocol (withdrawal, payment, deposit, coin renewal) and every
+party, counts the modular exponentiations, hashes, signature generations
+and verifications our implementation performs, and checks each cell
+against the paper's Table 1. Also reproduces the Section 7 in-text claims
+about the double-spending case (merchant: +2 Exp, −1 Ver; witness: at most
+2 Exp).
+"""
+
+from repro.analysis.opcount import (
+    PAPER_TABLE1,
+    measure_double_spend_deltas,
+    measure_table1,
+    render_table1,
+)
+from repro.analysis.tables import render_table
+
+from conftest import record
+
+
+def test_table1_operation_counts(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_table1, rounds=3, iterations=1)
+    record(results_dir, "table1_crypto_ops", render_table1(rows))
+    for row in rows:
+        assert row.matches, (
+            f"{row.protocol}/{row.party}: measured {row.measured}, paper {row.paper}"
+        )
+
+
+def test_table1_double_spend_deltas(benchmark, results_dir):
+    deltas = benchmark.pedantic(measure_double_spend_deltas, rounds=3, iterations=1)
+    body = [
+        [party, counts["Exp"], counts["Hash"], counts["Sig"], counts["Ver"]]
+        for party, counts in deltas.items()
+    ]
+    record(
+        results_dir,
+        "table1_double_spend_case",
+        render_table(
+            "Section 7 double-spend case: ops for the refused second spend",
+            ["Party", "Exp", "Hash", "Sig", "Ver"],
+            body,
+        ),
+    )
+    happy_merchant = PAPER_TABLE1[("Payment", "Merchant")]
+    assert deltas["Merchant"]["Exp"] == happy_merchant[0] + 2  # "+2 exponentiations"
+    assert deltas["Merchant"]["Ver"] == happy_merchant[3] - 1  # "one verification less"
+    assert deltas["Witness"]["Exp"] <= 2  # "only two exponentiations"

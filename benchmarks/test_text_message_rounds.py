@@ -1,0 +1,27 @@
+"""Reproduces the Section 7 round-count claims.
+
+"The withdrawal and renewal protocols each require two rounds of message
+exchange between the broker and client, and payment requires 3 rounds of
+message exchange (2 for payment, and 1 for commitment). The deposit
+protocol is one-sided, only requiring the merchant to send one message to
+the broker."
+"""
+
+from repro.analysis.payment_bench import PAPER_ROUNDS, measure_message_rounds
+from repro.analysis.tables import render_table
+
+from conftest import record
+
+
+def test_message_rounds(benchmark, results_dir):
+    rounds = benchmark.pedantic(measure_message_rounds, rounds=3, iterations=1)
+    record(
+        results_dir,
+        "text_message_rounds",
+        render_table(
+            "Section 7: message rounds per protocol (measured vs paper)",
+            ["Protocol", "Measured", "Paper"],
+            [[name, rounds[name], PAPER_ROUNDS[name]] for name in PAPER_ROUNDS],
+        ),
+    )
+    assert rounds == PAPER_ROUNDS

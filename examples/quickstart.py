@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: the complete coin lifecycle in ~40 lines.
+
+Sets up a broker and three merchants, withdraws an anonymous coin, spends
+it (witness commitment -> payment -> witness signature), deposits it, and
+shows the money arriving in the merchant's account.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EcashSystem, run_deposit, run_payment, run_withdrawal
+
+
+def main() -> None:
+    # A broker plus three registered merchants, each running a storefront
+    # and a witness service; every merchant left a $100 security deposit.
+    system = EcashSystem(seed=7)
+    print(f"merchant network: {', '.join(system.merchant_ids)}")
+
+    # A client buys a 25-cent coin. The broker blind-signs (A, B) and only
+    # ever sees the public info (denomination, list version, expiry dates).
+    client = system.new_client()
+    info = system.standard_info(denomination=25, now=0)
+    stored = run_withdrawal(client, system.broker, info)
+    print(f"withdrew a {info.short_label()} coin")
+    print(f"  blind witness assignment: {stored.coin.witness_id}")
+    print(f"  wallet value: {client.wallet.total_value()} cents")
+
+    # Spend it at some other merchant. Behind this call: the client gets a
+    # signed commitment from the witness, hands the merchant the payment
+    # transcript (a NIZK of the coin secrets bound to merchant+time), and
+    # the merchant gets the transcript countersigned by the witness.
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    merchant = system.merchant(merchant_id)
+    witness = system.witness_of(stored)
+    signed = run_payment(client, stored, merchant, witness, now=10)
+    print(f"paid {merchant_id}; witness {stored.coin.witness_id} signed the transcript")
+
+    # The merchant cashes the signed transcript whenever convenient.
+    results = run_deposit(merchant, system.broker, now=3600)
+    print(f"deposited: {results[0].outcome.value}, {results[0].amount} cents")
+    print(f"  {merchant_id} balance: {system.broker.merchant_balance(merchant_id)} cents")
+    print(f"  ledger conserved: {system.ledger.conserved()}")
+
+
+if __name__ == "__main__":
+    main()

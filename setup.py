@@ -1,0 +1,5 @@
+"""Legacy setup shim for offline editable installs (`pip install -e .`)."""
+
+from setuptools import setup
+
+setup()

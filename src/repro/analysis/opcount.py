@@ -1,0 +1,243 @@
+"""Table 1 harness: count cryptographic operations per protocol per party.
+
+Runs each protocol once on a fresh :class:`~repro.core.system.EcashSystem`
+with an :class:`~repro.crypto.counters.OpCounter` active around each
+party's steps, and reports the (Exp, Hash, Sig, Ver) tallies next to the
+numbers the paper prints in Table 1. The double-spend section reproduces
+the in-text claims of Section 7 (merchant: +2 Exp, −1 Ver; witness: at
+most 2 extra Exp, no signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import Client
+from repro.core.exceptions import DoubleSpendError
+from repro.core.merchant import PaymentRequest
+from repro.core.system import EcashSystem
+from repro.crypto.counters import OpCounter
+
+#: The paper's Table 1, as (Exp, Hash, Sig, Ver) per (protocol, party).
+PAPER_TABLE1: dict[tuple[str, str], tuple[int, int, int, int]] = {
+    ("Withdrawal", "Client"): (12, 4, 0, 1),
+    ("Withdrawal", "Broker"): (3, 1, 0, 0),
+    ("Payment", "Client"): (0, 3, 0, 1),
+    ("Payment", "Witness"): (7, 6, 2, 1),
+    ("Payment", "Merchant"): (7, 6, 0, 3),
+    ("Deposit", "Merchant"): (0, 0, 0, 0),
+    ("Deposit", "Broker"): (6, 4, 0, 1),
+    ("Coin Renewal", "Client"): (12, 5, 0, 1),
+    ("Coin Renewal", "Broker"): (9, 4, 0, 0),
+}
+
+
+@dataclass(frozen=True)
+class OpRow:
+    """One measured row: protocol, party, measured counts, paper counts."""
+
+    protocol: str
+    party: str
+    measured: tuple[int, int, int, int]
+    paper: tuple[int, int, int, int]
+
+    @property
+    def matches(self) -> bool:
+        """True iff measured equals the paper's count exactly."""
+        return self.measured == self.paper
+
+
+def measure_table1(seed: int = 1_2007) -> list[OpRow]:
+    """Run all four protocols and measure every Table 1 row."""
+    system = EcashSystem(seed=seed)
+    client = system.new_client()
+    rows: list[OpRow] = []
+    rows += _measure_withdrawal(system, client)
+    rows += _measure_payment(system, client)
+    rows += _measure_deposit(system, client)
+    rows += _measure_renewal(system, client)
+    return rows
+
+
+def measure_double_spend_deltas(seed: int = 2_2007) -> dict[str, dict[str, int]]:
+    """Measure the double-spend-case operation counts of Section 7.
+
+    Returns per-party dicts for the *second* (refused) spend attempt at a
+    different merchant, to compare against the honest-path payment counts.
+    """
+    system = EcashSystem(seed=seed)
+    client = system.new_client()
+    stored = _withdraw(system, client)
+    witness = system.witness_of(stored)
+    others = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    first_merchant, second_merchant = others[0], others[1 % len(others)]
+
+    _pay(system, client, stored, first_merchant, now=10)
+
+    # Second spend of the same coin at a different merchant.
+    merchant = system.merchant(second_merchant)
+    counters = {"Client": OpCounter(), "Witness": OpCounter(), "Merchant": OpCounter()}
+    now = 400
+    with counters["Client"]:
+        request, pending = client.prepare_commitment_request(stored, second_merchant, now)
+    with counters["Witness"]:
+        commitment = witness.request_commitment(request, now)
+    with counters["Client"]:
+        transcript = client.build_payment(pending, commitment, witness.public_key, now)
+    with counters["Merchant"]:
+        merchant.verify_payment_request(
+            PaymentRequest(transcript=transcript, commitment=commitment), now
+        )
+    refused = False
+    try:
+        with counters["Witness"]:
+            witness.sign_transcript(transcript, now)
+    except DoubleSpendError as error:
+        refused = True
+        try:
+            with counters["Merchant"]:
+                merchant.handle_double_spend_proof(error.proof, transcript.coin)
+        except DoubleSpendError:
+            pass
+    if not refused:  # pragma: no cover - would be a protocol bug
+        raise AssertionError("double-spend was not refused")
+    return {party: counter.as_dict() for party, counter in counters.items()}
+
+
+def render_table1(rows: list[OpRow]) -> str:
+    """Render measured-vs-paper Table 1 as ASCII."""
+    from repro.analysis.tables import render_table
+
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.protocol,
+                row.party,
+                *row.measured,
+                "/".join(str(v) for v in row.paper),
+                "yes" if row.matches else "NO",
+            ]
+        )
+    return render_table(
+        "Table 1. Number of cryptographic operations (measured vs paper)",
+        ["Protocol", "Party", "Exp", "Hash", "Sig", "Ver", "Paper", "Match"],
+        body,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _withdraw(system: EcashSystem, client: Client, denomination: int = 25):
+    from repro.core.protocols import run_withdrawal
+
+    info = system.standard_info(denomination, now=0)
+    return run_withdrawal(client, system.broker, info)
+
+
+def _pay(system: EcashSystem, client: Client, stored, merchant_id: str, now: int):
+    from repro.core.protocols import run_payment
+
+    signed = run_payment(
+        client, stored, system.merchant(merchant_id), system.witness_of(stored), now
+    )
+    client.wallet.add(stored)  # keep the coin around for double-spend tests
+    return signed
+
+
+def _measure_withdrawal(system: EcashSystem, client: Client) -> list[OpRow]:
+    info = system.standard_info(25, now=0)
+    client_counter, broker_counter = OpCounter(), OpCounter()
+    with broker_counter:
+        ticket, challenge = system.broker.begin_withdrawal(info)
+    with client_counter:
+        session = client.begin_withdrawal(info, challenge)
+    with broker_counter:
+        response = system.broker.complete_withdrawal(ticket, session.e)
+    with client_counter:
+        client.finish_withdrawal(session, response, system.broker.tables[info.list_version])
+    return [
+        _row("Withdrawal", "Client", client_counter),
+        _row("Withdrawal", "Broker", broker_counter),
+    ]
+
+
+def _measure_payment(system: EcashSystem, client: Client) -> list[OpRow]:
+    stored = _withdraw(system, client)
+    witness = system.witness_of(stored)
+    merchant_id = [m for m in system.merchant_ids if m != stored.coin.witness_id][0]
+    merchant = system.merchant(merchant_id)
+    counters = {"Client": OpCounter(), "Witness": OpCounter(), "Merchant": OpCounter()}
+    now = 10
+    with counters["Client"]:
+        request, pending = client.prepare_commitment_request(stored, merchant_id, now)
+    with counters["Witness"]:
+        commitment = witness.request_commitment(request, now)
+    with counters["Client"]:
+        transcript = client.build_payment(pending, commitment, witness.public_key, now)
+    with counters["Merchant"]:
+        merchant.verify_payment_request(
+            PaymentRequest(transcript=transcript, commitment=commitment), now
+        )
+    with counters["Witness"]:
+        signed = witness.sign_transcript(transcript, now)
+    with counters["Merchant"]:
+        merchant.accept_signed_transcript(signed, now)
+    system.__dict__.setdefault("_last_signed", signed)  # reused by deposit measurement
+    system.__dict__.setdefault("_last_merchant", merchant_id)
+    return [_row("Payment", party, counter) for party, counter in counters.items()]
+
+
+def _measure_deposit(system: EcashSystem, client: Client) -> list[OpRow]:
+    signed = system.__dict__["_last_signed"]
+    merchant_id = system.__dict__["_last_merchant"]
+    merchant_counter, broker_counter = OpCounter(), OpCounter()
+    with merchant_counter:
+        pending = [signed]  # the merchant just forwards the stored transcript
+    with broker_counter:
+        system.broker.deposit(merchant_id, pending[0], now=20)
+    return [
+        _row("Deposit", "Merchant", merchant_counter),
+        _row("Deposit", "Broker", broker_counter),
+    ]
+
+
+def _measure_renewal(system: EcashSystem, client: Client) -> list[OpRow]:
+    stored = _withdraw(system, client, denomination=50)
+    new_info = system.standard_info(50, now=1000)
+    client_counter, broker_counter = OpCounter(), OpCounter()
+    with broker_counter:
+        ticket, challenge = system.broker.begin_renewal(new_info)
+    with client_counter:
+        session = client.begin_withdrawal(new_info, challenge)
+        timestamp, salt, r1_star, r2_star = client.renewal_proof(stored, now=1000)
+    with broker_counter:
+        response = system.broker.complete_renewal(
+            ticket, session.e, stored.coin.bare, timestamp, salt, r1_star, r2_star, now=1000
+        )
+    with client_counter:
+        client.finish_withdrawal(session, response, system.broker.tables[new_info.list_version])
+    return [
+        _row("Coin Renewal", "Client", client_counter),
+        _row("Coin Renewal", "Broker", broker_counter),
+    ]
+
+
+def _row(protocol: str, party: str, counter: OpCounter) -> OpRow:
+    return OpRow(
+        protocol=protocol,
+        party=party,
+        measured=counter.snapshot(),
+        paper=PAPER_TABLE1[(protocol, party)],
+    )
+
+
+__all__ = [
+    "PAPER_TABLE1",
+    "OpRow",
+    "measure_table1",
+    "measure_double_spend_deltas",
+    "render_table1",
+]

@@ -1,0 +1,70 @@
+"""Terminal plots: histograms and sparklines for benchmark outputs.
+
+The paper reports aggregates only (mean, standard deviation); the
+benchmarks additionally render the underlying distributions so shape
+claims — WAN-jitter tails, compute-noise spread — are visible in the
+recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram.
+
+    Args:
+        values: samples.
+        bins: number of equal-width buckets.
+        width: bar width in characters for the fullest bucket.
+        unit: label appended to bucket bounds.
+
+    Raises:
+        ValueError: empty input or non-positive bins/width.
+    """
+    if not values:
+        raise ValueError("cannot plot an empty sample")
+    if bins <= 0 or width <= 0:
+        raise ValueError("bins and width must be positive")
+    low, high = min(values), max(values)
+    if low == high:
+        return f"{low:g}{unit}: {'#' * width} ({len(values)})"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        lower = low + index * span
+        upper = lower + span
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        lines.append(f"{lower:9.1f}-{upper:9.1f}{unit} |{bar:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a one-line unicode sparkline.
+
+    Raises:
+        ValueError: empty input.
+    """
+    if not values:
+        raise ValueError("cannot plot an empty sample")
+    low, high = min(values), max(values)
+    if low == high:
+        return _BARS[4] * len(values)
+    scale = (len(_BARS) - 1) / (high - low)
+    return "".join(_BARS[round((value - low) * scale)] for value in values)
+
+
+__all__ = ["histogram", "sparkline"]

@@ -1,0 +1,124 @@
+"""One-shot reproduction report.
+
+Runs every evaluation harness and writes a single Markdown report with
+the measured-vs-paper numbers — the artifact a reviewer would ask for.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.opcount import (
+    measure_double_spend_deltas,
+    measure_table1,
+    render_table1,
+)
+from repro.analysis.payment_bench import (
+    PAPER_ROUNDS,
+    ad_comparison,
+    compute_vs_network,
+    measure_message_rounds,
+    run_payment_trials,
+)
+from repro.analysis.tables import render_table
+from repro.core.params import default_params, test_params
+
+
+def generate_report(
+    path: str | Path,
+    trials: int = 100,
+    fast: bool = False,
+    seed: int = 2007,
+) -> str:
+    """Run all harnesses and write the Markdown report to ``path``.
+
+    Args:
+        trials: Table 2 trial count.
+        fast: use the 512-bit test group (CI-speed; bandwidth numbers
+            shrink accordingly and are labelled as such).
+        seed: experiment seed.
+
+    Returns:
+        The report text.
+    """
+    params = test_params() if fast else default_params()
+    started = time.time()
+    sections: list[str] = []
+    sections.append("# Reproduction report\n")
+    sections.append(
+        "Paper: *Combating Double-Spending Using Cooperative P2P Systems* "
+        "(Osipkov, Vasserman, Kim, Hopper — ICDCS 2007).\n"
+    )
+    sections.append(
+        f"Parameters: {'512-bit test group (fast mode)' if fast else '1024-bit p, 160-bit q (paper sizes)'}; "
+        f"seed {seed}; Table 2 trials {trials}.\n"
+    )
+
+    rows = measure_table1(seed=seed)
+    sections.append("## Table 1 — cryptographic operations\n")
+    sections.append("```\n" + render_table1(rows) + "\n```\n")
+    matched = sum(1 for row in rows if row.matches)
+    sections.append(f"{matched}/{len(rows)} cells match the paper exactly.\n")
+
+    deltas = measure_double_spend_deltas(seed=seed + 1)
+    sections.append("## Double-spend case (Section 7 text)\n")
+    sections.append(
+        "```\n"
+        + render_table(
+            "Operations for the refused second spend",
+            ["Party", "Exp", "Hash", "Sig", "Ver"],
+            [
+                [party, c["Exp"], c["Hash"], c["Sig"], c["Ver"]]
+                for party, c in deltas.items()
+            ],
+        )
+        + "\n```\n"
+    )
+
+    table2 = run_payment_trials(trials=trials, params=params, seed=seed)
+    sections.append("## Table 2 — payment latency and bandwidth\n")
+    sections.append("```\n" + table2.render() + "\n```\n")
+
+    rounds = measure_message_rounds(seed=seed + 2)
+    sections.append("## Message rounds (Section 7 text)\n")
+    sections.append(
+        "```\n"
+        + render_table(
+            "Rounds per protocol",
+            ["Protocol", "Measured", "Paper"],
+            [[name, rounds[name], PAPER_ROUNDS[name]] for name in PAPER_ROUNDS],
+        )
+        + "\n```\n"
+    )
+
+    breakdown = compute_vs_network(seed=seed + 3)
+    sections.append("## Compute vs network (OpenSSL profile, Section 7)\n")
+    sections.append(
+        f"- aggregate compute per payment: **{breakdown.compute_ms:.1f} ms** "
+        "(paper: 30 ms or less)\n"
+        f"- network time per payment: **{breakdown.network_ms:.0f} ms** "
+        "(6 WAN hops at the paper's 50-100 ms RTTs)\n"
+    )
+
+    ads = ad_comparison(trials=min(10, trials), seed=seed + 4)
+    sections.append("## Ad-page comparison (Section 7)\n")
+    sections.append(
+        f"- payment client traffic: **{ads.payment_client_bytes:.0f} B** vs "
+        f"ad page **{ads.ad_page_bytes:.0f} B** — payment is "
+        f"{ads.ad_page_bytes / max(1.0, ads.payment_client_bytes):.0f}x cheaper\n"
+    )
+
+    sections.append(
+        f"\n_Total harness wall time: {time.time() - started:.1f}s. "
+        "Ablation sweeps live in `benchmarks/` "
+        "(`pytest benchmarks/ --benchmark-only`)._\n"
+    )
+
+    text = "\n".join(sections)
+    Path(path).write_text(text)
+    return text
+
+
+__all__ = ["generate_report"]

@@ -1,0 +1,35 @@
+"""Plain-text table rendering in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an ASCII table with a title line.
+
+    Column widths adapt to content; every cell is stringified.
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out = [title, separator, line(list(headers)), separator]
+    out.extend(line(row) for row in text_rows)
+    out.append(separator)
+    return "\n".join(out)
+
+
+__all__ = ["render_table"]

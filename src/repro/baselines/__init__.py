@@ -1,0 +1,38 @@
+"""Baseline double-spending defenses the paper positions itself against.
+
+* :mod:`repro.baselines.online_broker` — Chaum's original online scheme:
+  every payment is cleared synchronously at a trusted online broker.
+  Perfect detection, but a single point of failure and a broker-side
+  bottleneck.
+* :mod:`repro.baselines.offline_detection` — Chaum-Fiat-Naor / Brands
+  style offline e-cash: double-spending is only *detected* at deposit
+  time, by extracting the (registered) owner identity from two payment
+  transcripts. Requires client accounts and after-the-fact recourse.
+* :mod:`repro.baselines.dht_spent_db` — the WhoPay / Hoepman approach:
+  the merchant P2P network keeps a DHT of spent coins; detection is
+  probabilistic once a fraction of nodes is compromised.
+
+The witness scheme of the paper is the fourth point in this design space:
+real-time *prevention* with a hard guarantee (a cheated merchant is always
+made whole from the witness's security deposit), no online trusted party.
+"""
+
+from repro.baselines.online_broker import OnlineBroker, OnlineClearingResult
+from repro.baselines.offline_detection import (
+    OfflineBank,
+    OfflineCoin,
+    OfflinePayment,
+    OfflineSpender,
+)
+from repro.baselines.dht_spent_db import DhtSpentCoinDb, DhtCheckResult
+
+__all__ = [
+    "OnlineBroker",
+    "OnlineClearingResult",
+    "OfflineBank",
+    "OfflineCoin",
+    "OfflinePayment",
+    "OfflineSpender",
+    "DhtSpentCoinDb",
+    "DhtCheckResult",
+]

@@ -1,0 +1,114 @@
+"""Baseline: DHT-based spent-coin database (WhoPay / Hoepman).
+
+Section 2: WhoPay "suggests a mechanism for real-time double-spending
+detection by which the P2P system is used as a distributed database for
+spent coins and queried using a DHT routing layer such as Chord", and the
+paper's criticism is that "neither approach can provide hard guarantees
+against double-spending, especially when some fraction of P2P nodes are
+compromised".
+
+This module implements that design over the real Chord ring of
+:mod:`repro.net.chord`: spending a coin records it on the replica set of
+``h(coin)``; a merchant accepting a coin first queries the replica set.
+Malicious replicas suppress both writes and reads, so detection is
+probabilistic in the compromised fraction — the curve the baseline
+ablation benchmark sweeps, against the witness scheme's flat 100%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.chord import ChordRing
+
+
+@dataclass(frozen=True)
+class DhtCheckResult:
+    """Outcome of one spend attempt through the DHT."""
+
+    accepted: bool
+    detected_double_spend: bool
+    lookup_hops: int
+
+
+class DhtSpentCoinDb:
+    """A spent-coin database spread over a (partially compromised) DHT.
+
+    Args:
+        merchant_names: the P2P overlay membership.
+        replication: replica-set size for each coin record.
+        compromised_fraction: fraction of overlay nodes that suppress
+            spent-coin records (store nothing, report nothing).
+        seed: adversary placement seed.
+    """
+
+    def __init__(
+        self,
+        merchant_names: list[str],
+        replication: int = 3,
+        compromised_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.ring = ChordRing(merchant_names, successor_list_size=max(replication, 3))
+        self.replication = replication
+        self.rng = random.Random(seed)
+        self.compromised = set()
+        if compromised_fraction > 0:
+            self.compromised = {
+                node.name
+                for node in self.ring.compromise_fraction(compromised_fraction, self.rng)
+            }
+
+    def spend(self, coin_key: int, merchant_id: str) -> DhtCheckResult:
+        """Attempt to spend a coin at ``merchant_id``.
+
+        The merchant queries the replica set for an existing spend record;
+        if none is visible, it accepts and records the spend. A malicious
+        *paying* merchant would skip the check entirely, but the attack the
+        paper worries about is subtler: honest merchants whose view of the
+        database is silently censored by compromised replicas.
+        """
+        lookup = self.ring.lookup(coin_key)
+        existing = self.ring.get(coin_key)
+        if existing:
+            return DhtCheckResult(
+                accepted=False, detected_double_spend=True, lookup_hops=lookup.hops
+            )
+        self.ring.put(coin_key, merchant_id)
+        return DhtCheckResult(
+            accepted=True, detected_double_spend=False, lookup_hops=lookup.hops
+        )
+
+    def double_spend_detection_rate(self, attempts: int, key_seed: int = 0) -> float:
+        """Monte-Carlo P(second spend of a coin is detected).
+
+        Each trial spends a fresh coin once, then tries to spend it again
+        at another merchant; the rate of second-spend refusals is the
+        detection probability. With compromised fraction ``f`` and
+        replication ``r`` this approaches ``1 - f^r`` (a record survives
+        unless every replica suppressed it).
+        """
+        rng = random.Random(key_seed)
+        detected = 0
+        for _ in range(attempts):
+            coin_key = rng.getrandbits(63)
+            first = self.spend(coin_key, "merchant-a")
+            second = self.spend(coin_key, "merchant-b")
+            if not first.accepted:
+                # Freak key collision with an earlier trial; skip silently
+                # by counting it as detected (the record was visible).
+                detected += 1
+            elif second.detected_double_spend:
+                detected += 1
+        return detected / attempts if attempts else 0.0
+
+
+def predicted_detection_rate(compromised_fraction: float, replication: int) -> float:
+    """The analytic approximation ``1 - f^r``."""
+    if not 0 <= compromised_fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    return 1.0 - compromised_fraction**replication
+
+
+__all__ = ["DhtSpentCoinDb", "DhtCheckResult", "predicted_detection_rate"]

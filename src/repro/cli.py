@@ -1,0 +1,210 @@
+"""Command-line interface: demos and experiment reruns.
+
+Usage::
+
+    python -m repro demo                 # full coin lifecycle
+    python -m repro attack               # double-spend attempt, refused
+    python -m repro table1               # regenerate Table 1
+    python -m repro table2 --trials 20   # regenerate Table 2 (simulated)
+    python -m repro rounds               # message rounds per protocol
+    python -m repro trace                # Figure 1 message flow
+    python -m repro wallet <file>        # inspect a wallet JSON file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.exceptions import DoubleSpendError
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.protocols import run_deposit, run_payment, run_withdrawal
+    from repro.core.system import EcashSystem
+
+    system = EcashSystem(seed=args.seed)
+    client = system.new_client()
+    info = system.standard_info(args.denomination, now=0)
+    stored = run_withdrawal(client, system.broker, info)
+    print(f"withdrew {info.short_label()} coin; witness = {stored.coin.witness_id}")
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    run_payment(client, stored, system.merchant(merchant_id), system.witness_of(stored), now=10)
+    print(f"paid {merchant_id} (witness countersigned)")
+    results = run_deposit(system.merchant(merchant_id), system.broker, now=100)
+    print(
+        f"deposited: {results[0].outcome.value}; "
+        f"{merchant_id} balance = {system.broker.merchant_balance(merchant_id)} cents; "
+        f"ledger conserved = {system.ledger.conserved()}"
+    )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.core.protocols import run_payment, run_withdrawal
+    from repro.core.system import EcashSystem
+
+    system = EcashSystem(seed=args.seed)
+    attacker = system.new_client()
+    stored = run_withdrawal(attacker, system.broker, system.standard_info(25, now=0))
+    shops = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    witness = system.witness_of(stored)
+    run_payment(attacker, stored, system.merchant(shops[0]), witness, now=10)
+    print(f"spend #1 at {shops[0]}: accepted")
+    attacker.wallet.add(stored)
+    try:
+        run_payment(attacker, stored, system.merchant(shops[1]), witness, now=500)
+        print("spend #2: ACCEPTED — this is a bug")
+        return 1
+    except DoubleSpendError as refusal:
+        print(f"spend #2 at {shops[1]}: refused in real time")
+        print(f"  proof verifies: {refusal.proof.verify(system.params, stored.coin)}")
+        print(f"  extracted x == attacker's secret: {refusal.proof.x == stored.secrets.x}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.opcount import measure_table1, render_table1
+
+    rows = measure_table1()
+    print(render_table1(rows))
+    return 0 if all(row.matches for row in rows) else 1
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis.payment_bench import run_payment_trials
+    from repro.core.params import default_params, test_params
+
+    params = test_params() if args.fast else default_params()
+    result = run_payment_trials(trials=args.trials, params=params, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    from repro.analysis.payment_bench import PAPER_ROUNDS, measure_message_rounds
+    from repro.analysis.tables import render_table
+
+    rounds = measure_message_rounds()
+    print(
+        render_table(
+            "Message rounds per protocol",
+            ["Protocol", "Measured", "Paper"],
+            [[name, rounds[name], PAPER_ROUNDS[name]] for name in PAPER_ROUNDS],
+        )
+    )
+    return 0 if rounds == PAPER_ROUNDS else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.system import EcashSystem
+    from repro.net.services import NetworkDeployment
+
+    system = EcashSystem(seed=args.seed)
+    deployment = NetworkDeployment(system, seed=args.seed)
+    deployment.add_client("client-0")
+    stored = deployment.run(
+        deployment.withdrawal_process("client-0", system.standard_info(25, now=0))
+    )
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    deployment.run(deployment.payment_process("client-0", stored, merchant_id))
+    deployment.run(deployment.deposit_process(merchant_id))
+    print("Figure 1 message flow (simulated PlanetLab geography):")
+    for entry in deployment.network.trace.entries:
+        arrow = "->" if entry.kind == "request" else "<-"
+        print(
+            f"  t={entry.time*1000:8.1f}ms  {entry.source:>12} {arrow} "
+            f"{entry.destination:<12} {entry.method:<18} {entry.size_bytes:>5}B "
+            f"({entry.kind})"
+        )
+    return 0
+
+
+def _cmd_wallet(args: argparse.Namespace) -> int:
+    from repro.core.client import Wallet
+
+    wallet = Wallet.load(args.path)
+    print(f"{len(wallet.coins)} coin(s), total {wallet.total_value()} cents")
+    for index, stored in enumerate(wallet.coins):
+        info = stored.coin.info
+        print(
+            f"  [{index}] {info.short_label()}  witness={stored.coin.witness_id}  "
+            f"spendable-until={info.soft_expiry}  void-after={info.hard_expiry}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(
+        args.output, trials=args.trials, fast=args.fast, seed=args.seed
+    )
+    print(text)
+    print(f"(written to {args.output})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Witness-based anonymous e-cash (ICDCS 2007 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2007, help="deterministic seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the full coin lifecycle")
+    demo.add_argument("--denomination", type=int, default=25, help="coin value in cents")
+    demo.set_defaults(func=_cmd_demo)
+
+    attack = subparsers.add_parser("attack", help="attempt a double-spend")
+    attack.set_defaults(func=_cmd_attack)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 (op counts)")
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2 (latency/bytes)")
+    table2.add_argument("--trials", type=int, default=100)
+    table2.add_argument(
+        "--fast", action="store_true", help="use the 512-bit test group"
+    )
+    table2.set_defaults(func=_cmd_table2)
+
+    rounds = subparsers.add_parser("rounds", help="message rounds per protocol")
+    rounds.set_defaults(func=_cmd_rounds)
+
+    trace = subparsers.add_parser("trace", help="print the Figure 1 message flow")
+    trace.set_defaults(func=_cmd_trace)
+
+    wallet = subparsers.add_parser("wallet", help="inspect a wallet file")
+    wallet.add_argument("path", help="path to a wallet JSON file")
+    wallet.set_defaults(func=_cmd_wallet)
+
+    report = subparsers.add_parser(
+        "report", help="run every harness, write a Markdown reproduction report"
+    )
+    report.add_argument("--output", default="REPORT.md", help="output file")
+    report.add_argument("--trials", type=int, default=100, help="Table 2 trials")
+    report.add_argument(
+        "--fast", action="store_true", help="use the 512-bit test group"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

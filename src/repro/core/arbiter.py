@@ -1,0 +1,206 @@
+"""Third-party conflict resolution.
+
+The paper repeatedly appeals to arbitration: *"in case of problems, all
+communication transcripts can be submitted to a third party for resolution,
+which can decide who has violated the protocols"* (Section 5) and leaves
+the verification "a routine exercise" (Section 6). This module is that
+routine exercise, made executable. The arbiter holds no secrets — every
+judgment uses only public keys and submitted transcripts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.coin import Coin
+from repro.core.exceptions import CommitmentError, InvalidPaymentError
+from repro.core.params import SystemParams
+from repro.core.transcripts import (
+    DoubleSpendProof,
+    PaymentTranscript,
+    SignedTranscript,
+    WitnessCommitment,
+    verify_payment_response,
+)
+from repro.core.witness_ranges import verify_entry_matches
+from repro.crypto.hashing import encode_for_hash
+
+
+class Verdict(enum.Enum):
+    """Who the arbiter finds at fault."""
+
+    NO_VIOLATION = "no-violation"
+    CLIENT_DOUBLE_SPENT = "client-double-spent"
+    WITNESS_VIOLATED = "witness-violated"
+    MERCHANT_VIOLATED = "merchant-violated"
+    PROOF_INVALID = "proof-invalid"
+
+
+@dataclass(frozen=True)
+class Judgment:
+    """An arbitration outcome with a human-readable explanation."""
+
+    verdict: Verdict
+    reason: str
+
+
+@dataclass(frozen=True)
+class Arbiter:
+    """A stateless third-party judge.
+
+    Args:
+        params: system parameters.
+        broker_blind_public: the broker's coin-signature key.
+        broker_sign_public: the broker's plain signature key.
+    """
+
+    params: SystemParams
+    broker_blind_public: int
+    broker_sign_public: int
+
+    def judge_double_spend_claim(self, coin: Coin, proof: DoubleSpendProof) -> Judgment:
+        """Decide whether a double-spend refusal was justified.
+
+        A valid proof — representations that open the coin's ``A``/``B`` —
+        convicts the client; anything else means the refusing party had no
+        evidence.
+        """
+        if proof.verify(self.params, coin):
+            return Judgment(
+                verdict=Verdict.CLIENT_DOUBLE_SPENT,
+                reason="revealed representations open the coin's commitments",
+            )
+        return Judgment(
+            verdict=Verdict.PROOF_INVALID,
+            reason="revealed values do not open the coin's commitments",
+        )
+
+    def judge_conflicting_transcripts(
+        self,
+        witness_public: int,
+        first: SignedTranscript,
+        second: SignedTranscript,
+    ) -> Judgment:
+        """Decide the Algorithm 3 case 2-b dispute.
+
+        Two valid witness signatures on transcripts of the same coin at
+        *different* merchants convict the witness; at the *same* merchant,
+        the depositing merchant is at fault (it replayed its own deposit).
+        """
+        if first.transcript.coin.bare != second.transcript.coin.bare:
+            return Judgment(
+                verdict=Verdict.NO_VIOLATION,
+                reason="transcripts concern different coins",
+            )
+        for signed in (first, second):
+            if not signed.verify_witness_signature(self.params, witness_public):
+                return Judgment(
+                    verdict=Verdict.PROOF_INVALID,
+                    reason="a submitted witness signature does not verify",
+                )
+        if first.transcript.merchant_id == second.transcript.merchant_id:
+            if (
+                first.transcript.timestamp == second.transcript.timestamp
+                and first.transcript.response == second.transcript.response
+            ):
+                return Judgment(
+                    verdict=Verdict.NO_VIOLATION,
+                    reason="the two submissions are the same transcript",
+                )
+            return Judgment(
+                verdict=Verdict.MERCHANT_VIOLATED,
+                reason="same merchant obtained two signatures for one coin",
+            )
+        return Judgment(
+            verdict=Verdict.WITNESS_VIOLATED,
+            reason="witness signed the same coin for two merchants",
+        )
+
+    def judge_commitment_race(
+        self,
+        witness_public: int,
+        commitment: WitnessCommitment,
+        revealed_v: tuple[object, ...],
+        refusal: DoubleSpendProof,
+        coin: Coin,
+    ) -> Judgment:
+        """Decide the Section 5 race-condition dispute.
+
+        A merchant held a commitment, yet the witness refused with a
+        double-spend proof. The witness must reveal the committed ``v``:
+        if ``v`` contains neither a prior transcript nor the secrets, the
+        witness promised a fresh coin and then claimed otherwise — a
+        protocol violation. (A witness that committed *after* the first
+        spend has a ``v`` recording that spend, so the refusal stands.)
+
+        Raises:
+            CommitmentError: the commitment signature itself is invalid.
+        """
+        if not commitment.verify(self.params, witness_public):
+            raise CommitmentError("submitted commitment is not validly signed")
+        if self.params.hashes.h(*_coerce_v(revealed_v)) != commitment.v_hash:
+            return Judgment(
+                verdict=Verdict.WITNESS_VIOLATED,
+                reason="revealed v does not match the committed h(v)",
+            )
+        tag = revealed_v[0] if revealed_v else None
+        if tag == "fresh":
+            if refusal.verify(self.params, coin):
+                # The commitment promised an unseen coin, yet the witness
+                # produced the secrets: it signed a conflicting transcript
+                # after committing.
+                return Judgment(
+                    verdict=Verdict.WITNESS_VIOLATED,
+                    reason="witness committed to a fresh coin then claimed double-spend",
+                )
+            return Judgment(
+                verdict=Verdict.PROOF_INVALID,
+                reason="refusal proof is invalid and the coin was fresh",
+            )
+        if tag in ("salted-transcript", "secrets"):
+            if refusal.verify(self.params, coin):
+                return Judgment(
+                    verdict=Verdict.CLIENT_DOUBLE_SPENT,
+                    reason="coin was already spent before the commitment",
+                )
+            return Judgment(
+                verdict=Verdict.PROOF_INVALID,
+                reason="witness had evidence but produced an invalid proof",
+            )
+        return Judgment(
+            verdict=Verdict.WITNESS_VIOLATED,
+            reason=f"committed value has unknown form {tag!r}",
+        )
+
+    def judge_payment_transcript(self, transcript: PaymentTranscript) -> Judgment:
+        """Re-run the public checks on a disputed payment transcript."""
+        coin = transcript.coin
+        try:
+            coin.ensure_valid_signature(self.params, self.broker_blind_public)
+            verify_entry_matches(
+                self.params,
+                self.broker_sign_public,
+                coin.witness_entry,
+                coin.digest(self.params),
+                coin.info.list_version,
+            )
+            verify_payment_response(self.params, transcript)
+        except InvalidPaymentError as error:
+            return Judgment(verdict=Verdict.MERCHANT_VIOLATED, reason=str(error))
+        except Exception as error:  # noqa: BLE001 - any check failure is decisive
+            return Judgment(verdict=Verdict.PROOF_INVALID, reason=str(error))
+        return Judgment(verdict=Verdict.NO_VIOLATION, reason="transcript verifies")
+
+
+def _coerce_v(v: tuple[object, ...]) -> tuple[int | str | bytes, ...]:
+    out: list[int | str | bytes] = []
+    for part in v:
+        if isinstance(part, (int, str, bytes)):
+            out.append(part)
+        else:
+            out.append(encode_for_hash(str(part)))
+    return tuple(out)
+
+
+__all__ = ["Arbiter", "Judgment", "Verdict"]

@@ -1,0 +1,552 @@
+"""The broker: coin issuer, deposit clearinghouse, witness-list authority.
+
+The broker (Section 3's dedicated-but-not-necessarily-online server) owns
+two keys — the blind-signature key ``y = g^x`` that signs coins and a plain
+Schnorr key that signs witness-range assignments — plus three databases:
+registered merchants (with their security deposits), deposited payment
+transcripts (kept until each coin's hard expiry, Alg. 3) and renewal
+transcripts (Alg. 4).
+
+Both transcript databases are keyed by the *bare coin tuple itself*, which
+is how Algorithm 3 phrases the search ("searches its database to determine
+if the bare coin ... has previously been deposited") — no extra hashing.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.bank import Ledger
+from repro.core.coin import BareCoin, Coin
+from repro.core.exceptions import (
+    DoubleDepositError,
+    ExpiredCoinError,
+    InvalidCoinError,
+    InvalidPaymentError,
+    RenewalRefusedError,
+    UnknownMerchantError,
+    WrongWitnessError,
+)
+from repro.core.info import CoinInfo
+from repro.core.params import SystemParams
+from repro.core.transcripts import DoubleSpendProof, SignedTranscript
+from repro.core.witness_ranges import WitnessAssignmentTable, build_table
+from repro.crypto.blind import PartiallyBlindSigner, SignerChallenge, SignerResponse, SignerSession
+from repro.crypto.representation import RepresentationResponse, extract_representations
+from repro.crypto.schnorr import SchnorrKeyPair, verify as schnorr_verify
+
+
+class DepositOutcome(enum.Enum):
+    """How a successful deposit was funded (Algorithm 3 step 2)."""
+
+    CREDITED = "credited"
+    CREDITED_FROM_WITNESS_DEPOSIT = "credited-from-witness-deposit"
+
+
+@dataclass(frozen=True)
+class DepositResult:
+    """Outcome of a deposit plus any faulty-witness evidence."""
+
+    outcome: DepositOutcome
+    amount: int
+    witness_fault_proof: tuple[SignedTranscript, SignedTranscript] | None = None
+
+
+@dataclass
+class MerchantAccount:
+    """Broker-side record for one registered merchant."""
+
+    merchant_id: str
+    public_key: int
+    security_deposit: int
+    coins_witnessed: int = 0
+    incidents: int = 0
+
+
+@dataclass
+class _DepositRecord:
+    """One cleared deposit, retained until the coin's hard expiry."""
+
+    signed: SignedTranscript
+    deposited_at: int
+
+
+@dataclass
+class _RenewalRecord:
+    """One renewal, retained until the old coin's hard expiry."""
+
+    bare: BareCoin
+    challenge: int
+    response: RepresentationResponse
+    renewed_at: int
+
+
+@dataclass
+class _WithdrawalTicket:
+    """Broker-side state of one in-flight withdrawal/renewal session."""
+
+    info: CoinInfo
+    session: SignerSession
+    paid_by: str | None
+
+
+class Broker:
+    """The broker role.
+
+    Args:
+        params: system parameters.
+        ledger: the bank ledger backing all balances.
+        rng: optional deterministic randomness source.
+        broker_account: ledger account name holding the coin float.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        ledger: Ledger | None = None,
+        rng: random.Random | None = None,
+        broker_account: str = "broker",
+    ) -> None:
+        self.params = params
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.rng = rng
+        self.account = broker_account
+        self.ledger.open_account(broker_account)
+        self._signer = PartiallyBlindSigner(params.group, params.hashes, rng=rng)
+        self._sign_key = SchnorrKeyPair.generate(params.group, rng)
+        self.merchants: dict[str, MerchantAccount] = {}
+        self.tables: dict[int, WitnessAssignmentTable] = {}
+        self._next_version = 1
+        self._tickets: dict[int, _WithdrawalTicket] = {}
+        self._batch_tickets: dict[int, list[_WithdrawalTicket]] = {}
+        self._ticket_ids = itertools.count(1)
+        self._deposits: dict[BareCoin, _DepositRecord] = {}
+        self._renewals: dict[BareCoin, _RenewalRecord] = {}
+        self.witness_fault_log: list[tuple[str, SignedTranscript, SignedTranscript]] = []
+
+    # ------------------------------------------------------------------
+    # Public keys
+    # ------------------------------------------------------------------
+    @property
+    def blind_public(self) -> int:
+        """The blind-signature verification key ``y`` printed on coins."""
+        return self._signer.public
+
+    @property
+    def sign_public(self) -> int:
+        """The plain signature key verifying witness-range entries."""
+        return self._sign_key.public
+
+    # ------------------------------------------------------------------
+    # Merchant registration and witness list management (Section 4)
+    # ------------------------------------------------------------------
+    def register_merchant(
+        self,
+        merchant_id: str,
+        public_key: int,
+        security_deposit: int,
+        funded_from: str | None = None,
+    ) -> MerchantAccount:
+        """Register a merchant with its certified key and security deposit.
+
+        The deposit moves into a dedicated escrow account
+        ``deposit:<merchant_id>``; Algorithm 3 pays cheated merchants from
+        it when the witness misbehaves.
+
+        Raises:
+            ValueError: duplicate registration or non-positive deposit.
+            InsufficientFundsError: the funding account cannot cover it.
+        """
+        if merchant_id in self.merchants:
+            raise ValueError(f"merchant {merchant_id!r} already registered")
+        if security_deposit <= 0:
+            raise ValueError("security deposit must be positive")
+        if not self.params.group.is_element(public_key):
+            raise ValueError("merchant public key is not a group element")
+        escrow = self._escrow_account(merchant_id)
+        source = funded_from if funded_from is not None else f"bank:{merchant_id}"
+        if funded_from is None:
+            self.ledger.mint(source, security_deposit, memo="security deposit funding")
+        self.ledger.transfer(source, escrow, security_deposit, memo="security deposit")
+        account = MerchantAccount(
+            merchant_id=merchant_id,
+            public_key=public_key,
+            security_deposit=security_deposit,
+        )
+        self.merchants[merchant_id] = account
+        return account
+
+    def publish_witness_table(self, weights: Mapping[str, float]) -> WitnessAssignmentTable:
+        """Publish a new signed witness-range assignment version.
+
+        Raises:
+            UnknownMerchantError: a weighted merchant is not registered.
+        """
+        for merchant_id in weights:
+            if merchant_id not in self.merchants:
+                raise UnknownMerchantError(f"cannot assign range to unknown {merchant_id!r}")
+        version = self._next_version
+        self._next_version += 1
+        table = build_table(self.params, self._sign_key, version, weights, rng=self.rng)
+        self.tables[version] = table
+        return table
+
+    @property
+    def current_table(self) -> WitnessAssignmentTable:
+        """The latest published witness table.
+
+        Raises:
+            RuntimeError: no table has been published yet.
+        """
+        if not self.tables:
+            raise RuntimeError("broker has not published a witness table")
+        return self.tables[max(self.tables)]
+
+    # ------------------------------------------------------------------
+    # Withdrawal (Algorithm 1, broker side)
+    # ------------------------------------------------------------------
+    def begin_withdrawal(
+        self, info: CoinInfo, paid_by: str | None = None
+    ) -> tuple[int, SignerChallenge]:
+        """Step 1: collect payment, send ``(a, b)``.
+
+        Costs 3 ``Exp`` + 1 ``Hash`` (the broker's withdrawal row).
+
+        Args:
+            info: the agreed public coin attributes; its ``list_version``
+                must be a published table version.
+            paid_by: ledger account paying for the coin; ``None`` mints
+                fresh external money (an anonymous gift-card purchase).
+
+        Raises:
+            ValueError: unpublished witness list version.
+        """
+        if info.list_version not in self.tables:
+            raise ValueError(f"witness list version {info.list_version} not published")
+        payer = paid_by if paid_by is not None else "anonymous-purchase"
+        if paid_by is None:
+            self.ledger.mint(payer, info.denomination, memo="coin purchase")
+        self.ledger.transfer(payer, self.account, info.denomination, memo="coin purchase")
+        challenge, session = self._signer.start(info.hash_parts())
+        ticket_id = next(self._ticket_ids)
+        self._tickets[ticket_id] = _WithdrawalTicket(info=info, session=session, paid_by=payer)
+        return ticket_id, challenge
+
+    def complete_withdrawal(self, ticket_id: int, e: int) -> SignerResponse:
+        """Step 3: answer the blinded challenge. Pure ``Z_q`` arithmetic.
+
+        Raises:
+            KeyError: unknown or already-completed ticket.
+        """
+        ticket = self._tickets.pop(ticket_id)
+        return self._signer.respond(ticket.session, e)
+
+    # ------------------------------------------------------------------
+    # Batched withdrawal (Algorithm 1, step 0: "Client can buy several
+    # coins at a time (saving on communication cost), but the computation
+    # below have to be performed independently for each coin to ensure
+    # they are unlinkable.")
+    # ------------------------------------------------------------------
+    def begin_batch_withdrawal(
+        self, infos: list[CoinInfo], paid_by: str | None = None
+    ) -> tuple[int, list[SignerChallenge]]:
+        """Open one ticket covering independent signing sessions per coin.
+
+        One payment covers the whole batch; every coin still gets its own
+        fresh signer nonces (independence is what makes the batch
+        unlinkable).
+
+        Raises:
+            ValueError: empty batch or unpublished list version.
+        """
+        if not infos:
+            raise ValueError("cannot withdraw an empty batch")
+        for info in infos:
+            if info.list_version not in self.tables:
+                raise ValueError(f"witness list version {info.list_version} not published")
+        total = sum(info.denomination for info in infos)
+        payer = paid_by if paid_by is not None else "anonymous-purchase"
+        if paid_by is None:
+            self.ledger.mint(payer, total, memo="coin batch purchase")
+        self.ledger.transfer(payer, self.account, total, memo="coin batch purchase")
+        challenges: list[SignerChallenge] = []
+        ticket_id = next(self._ticket_ids)
+        batch: list[_WithdrawalTicket] = []
+        for info in infos:
+            challenge, session = self._signer.start(info.hash_parts())
+            challenges.append(challenge)
+            batch.append(_WithdrawalTicket(info=info, session=session, paid_by=payer))
+        self._batch_tickets[ticket_id] = batch
+        return ticket_id, challenges
+
+    def complete_batch_withdrawal(self, ticket_id: int, es: list[int]) -> list[SignerResponse]:
+        """Answer every blinded challenge of a batch in one round.
+
+        Raises:
+            KeyError: unknown ticket.
+            ValueError: challenge count does not match the batch.
+        """
+        batch = self._batch_tickets.pop(ticket_id)
+        if len(es) != len(batch):
+            self._batch_tickets[ticket_id] = batch
+            raise ValueError(f"expected {len(batch)} challenges, got {len(es)}")
+        return [
+            self._signer.respond(ticket.session, e) for ticket, e in zip(batch, es)
+        ]
+
+    # ------------------------------------------------------------------
+    # Deposit (Algorithm 3)
+    # ------------------------------------------------------------------
+    def deposit(self, merchant_id: str, signed: SignedTranscript, now: int) -> DepositResult:
+        """Clear a witness-signed payment transcript.
+
+        Happy path costs 6 ``Exp`` + 4 ``Hash`` + 1 ``Ver`` (Table 1):
+        secret-key coin verification (3 ``Exp``, 2 ``Hash``), witness
+        digest (1 ``Hash``), transcript signature (1 ``Ver``), challenge
+        (1 ``Hash``) and the representation check (3 ``Exp``).
+
+        Raises:
+            UnknownMerchantError: depositor or witness not registered.
+            InvalidCoinError / ExpiredCoinError / WrongWitnessError /
+            InvalidPaymentError: failed verification (step 1).
+            DoubleDepositError: the same merchant re-deposited the coin.
+        """
+        depositor = self._require_merchant(merchant_id)
+        transcript = signed.transcript
+        coin = transcript.coin
+        if transcript.merchant_id != merchant_id:
+            raise InvalidPaymentError("transcript names a different depositing merchant")
+        if not self._signer.verify_with_secret(
+            coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+        ):
+            raise InvalidCoinError("broker signature on deposited coin failed to verify")
+        if not coin.info.is_spendable(now):
+            raise ExpiredCoinError("coin is past its soft expiry and no longer cashable")
+        self._check_witness_assignment(coin)
+        witness = self._require_merchant(coin.witness_id)
+        if not signed.verify_witness_signature(self.params, witness.public_key):
+            raise InvalidPaymentError("witness signature on transcript failed to verify")
+        from repro.core.transcripts import verify_payment_response
+
+        verify_payment_response(self.params, transcript)
+
+        previous = self._deposits.get(coin.bare)
+        if previous is None:
+            self._deposits[coin.bare] = _DepositRecord(signed=signed, deposited_at=now)
+            witness.coins_witnessed += 1
+            self._credit(merchant_id, coin.denomination, source=self.account)
+            return DepositResult(outcome=DepositOutcome.CREDITED, amount=coin.denomination)
+        if previous.signed.transcript.merchant_id == merchant_id:
+            raise DoubleDepositError(
+                f"merchant {merchant_id!r} already deposited this coin"
+            )
+        # Case 2-b: a second merchant deposits the same coin — both hold
+        # witness signatures, so the witness signed twice. The second
+        # merchant is still paid, from the witness's security deposit.
+        witness.incidents += 1
+        proof = (previous.signed, signed)
+        self.witness_fault_log.append((coin.witness_id, *proof))
+        self._credit(
+            merchant_id, coin.denomination, source=self._escrow_account(coin.witness_id)
+        )
+        return DepositResult(
+            outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT,
+            amount=coin.denomination,
+            witness_fault_proof=proof,
+        )
+
+    # ------------------------------------------------------------------
+    # Renewal (Algorithm 4, broker side)
+    # ------------------------------------------------------------------
+    def begin_renewal(self, new_info: CoinInfo) -> tuple[int, SignerChallenge]:
+        """Step 1: agree on the new coin and send ``(a, b)``.
+
+        Identical crypto to withdrawal's step 1 (3 ``Exp`` + 1 ``Hash``)
+        but no payment: the old coin *is* the payment.
+
+        Raises:
+            ValueError: unpublished witness list version.
+        """
+        if new_info.list_version not in self.tables:
+            raise ValueError(f"witness list version {new_info.list_version} not published")
+        challenge, session = self._signer.start(new_info.hash_parts())
+        ticket_id = next(self._ticket_ids)
+        self._tickets[ticket_id] = _WithdrawalTicket(info=new_info, session=session, paid_by=None)
+        return ticket_id, challenge
+
+    def complete_renewal(
+        self,
+        ticket_id: int,
+        e: int,
+        old_bare: BareCoin,
+        proof_timestamp: int,
+        proof_salt: int,
+        r1_star: int,
+        r2_star: int,
+        now: int,
+    ) -> SignerResponse:
+        """Step 3: verify the old coin and ownership proof, then sign.
+
+        Costs 6 ``Exp`` + 3 ``Hash`` here, 9 ``Exp`` + 4 ``Hash`` for the
+        whole renewal including :meth:`begin_renewal` — the broker's
+        renewal row of Table 1.
+
+        Raises:
+            KeyError: unknown ticket.
+            InvalidCoinError / ExpiredCoinError / InvalidPaymentError:
+                failed verification of the old coin or proof.
+            RenewalRefusedError: the old coin was already deposited or
+                renewed; carries the extracted representations.
+            ValueError: denomination mismatch between old and new coin.
+        """
+        ticket = self._tickets.pop(ticket_id)
+        if ticket.info.denomination != old_bare.info.denomination:
+            self._tickets[ticket_id] = ticket
+            raise ValueError("new coin denomination must match the renewed coin")
+        if not self._signer.verify_with_secret(
+            old_bare.info.hash_parts(), old_bare.message_parts(), old_bare.signature
+        ):
+            self._tickets[ticket_id] = ticket
+            raise InvalidCoinError("broker signature on old coin failed to verify")
+        if old_bare.info.is_void(now):
+            self._tickets[ticket_id] = ticket
+            raise ExpiredCoinError("old coin is past its hard expiry and void")
+        if not (proof_timestamp <= now <= proof_timestamp + 300):
+            self._tickets[ticket_id] = ticket
+            raise InvalidPaymentError("renewal proof timestamp outside the accepted window")
+        d_star = self.params.hashes.H0(
+            *_bare_renewal_parts(old_bare), "renewal", proof_timestamp, proof_salt
+        )
+        response = RepresentationResponse(r1=r1_star, r2=r2_star)
+        from repro.crypto.representation import verify_response
+
+        if not verify_response(
+            self.params.group, old_bare.commitment_a, old_bare.commitment_b, d_star, response
+        ):
+            self._tickets[ticket_id] = ticket
+            raise InvalidPaymentError("ownership proof on old coin failed to verify")
+
+        refusal = self._find_prior_use(old_bare, d_star, response)
+        if refusal is not None:
+            raise RenewalRefusedError(refusal)
+
+        self._renewals[old_bare] = _RenewalRecord(
+            bare=old_bare, challenge=d_star, response=response, renewed_at=now
+        )
+        return self._signer.respond(ticket.session, e)
+
+    def _find_prior_use(
+        self, old_bare: BareCoin, d_star: int, response: RepresentationResponse
+    ) -> DoubleSpendProof | None:
+        """Extract secrets if the old coin was already deposited or renewed."""
+        prior: tuple[int, RepresentationResponse] | None = None
+        deposit = self._deposits.get(old_bare)
+        if deposit is not None:
+            transcript = deposit.signed.transcript
+            prior = (transcript.challenge(self.params), transcript.response)
+        else:
+            renewal = self._renewals.get(old_bare)
+            if renewal is not None:
+                prior = (renewal.challenge, renewal.response)
+        if prior is None:
+            return None
+        secrets = extract_representations(
+            prior[0], prior[1], d_star, response, self.params.group.q
+        )
+        return DoubleSpendProof.from_secrets(old_bare.digest(self.params), secrets)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def purge_expired_records(self, now: int) -> int:
+        """Drop transcript records for coins past their hard expiry.
+
+        Algorithm 3 stores transcripts "until the coins become uncashable";
+        renewal transcripts likewise live until the old coin's second
+        expiration date.
+
+        Returns:
+            Number of records removed.
+        """
+        removed = 0
+        for store in (self._deposits, self._renewals):
+            stale = [bare for bare in store if bare.info.is_void(now)]
+            for bare in stale:
+                del store[bare]
+                removed += 1
+        return removed
+
+    def merchant_balance(self, merchant_id: str) -> int:
+        """Ledger balance of a merchant's revenue account."""
+        return self.ledger.balance(f"revenue:{merchant_id}")
+
+    def security_deposit_balance(self, merchant_id: str) -> int:
+        """Remaining security deposit of a merchant."""
+        return self.ledger.balance(self._escrow_account(merchant_id))
+
+    def witness_performance(self) -> dict[str, float]:
+        """Signed-coin counts per witness, usable as next-version weights."""
+        return {
+            merchant_id: float(account.coins_witnessed + 1)
+            for merchant_id, account in self.merchants.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def verify_range_signature(self, entry_parts: tuple[object, ...], signature) -> bool:
+        """Expose plain-signature verification (used by the arbiter)."""
+        return schnorr_verify(self.params.group, self.sign_public, signature, *entry_parts)
+
+    def _check_witness_assignment(self, coin: Coin) -> None:
+        """Check the coin's witness against the broker's own table.
+
+        The broker trusts its own records, so this is one ``Hash`` (the
+        digest) and table lookups — no signature verification.
+
+        Raises:
+            WrongWitnessError: stale version or wrong witness/range.
+        """
+        table = self.tables.get(coin.info.list_version)
+        if table is None:
+            raise WrongWitnessError(
+                f"coin references unknown witness list v{coin.info.list_version}"
+            )
+        digest = coin.digest(self.params)
+        expected = table.witness_for(digest)
+        if expected.merchant_id != coin.witness_id or expected.range != coin.witness_entry.range:
+            raise WrongWitnessError("coin's attached witness entry does not match the table")
+
+    def _credit(self, merchant_id: str, amount: int, source: str) -> None:
+        self.ledger.transfer(source, f"revenue:{merchant_id}", amount, memo="coin deposit")
+
+    def _require_merchant(self, merchant_id: str) -> MerchantAccount:
+        account = self.merchants.get(merchant_id)
+        if account is None:
+            raise UnknownMerchantError(f"merchant {merchant_id!r} is not registered")
+        return account
+
+    @staticmethod
+    def _escrow_account(merchant_id: str) -> str:
+        return f"deposit:{merchant_id}"
+
+
+def _bare_renewal_parts(bare: BareCoin) -> tuple[object, ...]:
+    """Hash parts for the renewal challenge over the *bare* coin.
+
+    Renewal (Algorithm 4) exchanges the bare coin; the witness entry is
+    irrelevant to the broker, so the challenge binds the bare coin only.
+    """
+    return bare.hash_parts()
+
+
+__all__ = [
+    "Broker",
+    "DepositOutcome",
+    "DepositResult",
+    "MerchantAccount",
+]

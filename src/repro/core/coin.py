@@ -1,0 +1,194 @@
+"""Coins: the bare coin and the full-fledged coin.
+
+Section 4: the *bare coin* is the unblinded tuple
+``(rho, omega, sigma, delta, info, A, B)`` carrying the broker's partially
+blind signature; the *full-fledged coin* additionally carries the signed
+witness-range entry of the merchant whose range contains ``h(bare coin)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ExpiredCoinError, InvalidCoinError
+from repro.core.info import CoinInfo
+from repro.core.params import SystemParams
+from repro.core.witness_ranges import SignedWitnessEntry
+from repro.crypto import blind
+from repro.crypto.blind import PartiallyBlindSignature
+from repro.crypto.hashing import HashInput
+from repro.crypto.serialize import text_to_int
+
+
+@dataclass(frozen=True)
+class BareCoin:
+    """The unblinded coin ``(rho, omega, sigma, delta, info, A, B)``.
+
+    ``A = g1^x1 g2^x2`` and ``B = g1^y1 g2^y2`` are the owner's
+    representation commitments; only the owner knows the representations,
+    which is what the payment NIZK proves.
+    """
+
+    signature: PartiallyBlindSignature
+    info: CoinInfo
+    commitment_a: int
+    commitment_b: int
+
+    def hash_parts(self) -> tuple[HashInput, ...]:
+        """Canonical tuple for ``h(bare coin)`` and transcript hashes."""
+        return (
+            "bare-coin",
+            self.signature.rho,
+            self.signature.omega,
+            self.signature.sigma,
+            self.signature.delta,
+            *self.info.hash_parts(),
+            self.commitment_a,
+            self.commitment_b,
+        )
+
+    def message_parts(self) -> tuple[HashInput, ...]:
+        """The blind-signed message: the pair ``(A, B)``."""
+        return (self.commitment_a, self.commitment_b)
+
+    def digest(self, params: SystemParams) -> int:
+        """``h(bare coin)`` — selects the witness and keys every database.
+
+        One ``Hash`` event per call; callers that need the digest for
+        several checks inside a single protocol step reuse the value, while
+        independent verification helpers recompute it (this mirrors the
+        per-step hash counts of Table 1).
+        """
+        return params.hashes.h(*self.hash_parts()) % params.witness_hash_space
+
+    def verify_signature(self, params: SystemParams, broker_blind_public: int) -> bool:
+        """Publicly verify the broker's partially blind signature.
+
+        Checks ``omega + delta == H(g^rho y^omega || g^sigma z^delta || z
+        || A || B)`` with ``z = F(info)``: 4 ``Exp`` + 2 ``Hash``.
+        """
+        return blind.verify(
+            params.group,
+            params.hashes,
+            broker_blind_public,
+            self.info.hash_parts(),
+            self.message_parts(),
+            self.signature,
+        )
+
+    def to_wire(self) -> dict[str, object]:
+        """Serialize for URI transfer."""
+        return {
+            "sig": self.signature.encoded_parts(),
+            "info": self.info.to_wire(),
+            "A": self.commitment_a,
+            "B": self.commitment_b,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: dict[str, str]) -> "BareCoin":
+        """Parse the flat dotted-key mapping produced by URI decoding."""
+        return cls(
+            signature=PartiallyBlindSignature(
+                rho=text_to_int(fields["sig.rho"]),
+                omega=text_to_int(fields["sig.omega"]),
+                sigma=text_to_int(fields["sig.sigma"]),
+                delta=text_to_int(fields["sig.delta"]),
+            ),
+            info=CoinInfo.from_wire(
+                {
+                    key.removeprefix("info."): value
+                    for key, value in fields.items()
+                    if key.startswith("info.")
+                }
+            ),
+            commitment_a=text_to_int(fields["A"]),
+            commitment_b=text_to_int(fields["B"]),
+        )
+
+
+@dataclass(frozen=True)
+class Coin:
+    """The full-fledged coin: bare coin plus its signed witness entry."""
+
+    bare: BareCoin
+    witness_entry: SignedWitnessEntry
+
+    @property
+    def info(self) -> CoinInfo:
+        """The coin's public info."""
+        return self.bare.info
+
+    @property
+    def witness_id(self) -> str:
+        """Identifier of the assigned witness merchant."""
+        return self.witness_entry.merchant_id
+
+    @property
+    def denomination(self) -> int:
+        """Coin value in cents."""
+        return self.bare.info.denomination
+
+    def hash_parts(self) -> tuple[HashInput, ...]:
+        """Canonical tuple for hashes over the *full* coin ``C``.
+
+        The payment challenge ``d = H0(C, I_M, date/time)`` hashes the full
+        coin, witness entry included, so a transcript cannot be replayed
+        with a substituted witness assignment.
+        """
+        return (
+            "coin",
+            *self.bare.hash_parts(),
+            *self.witness_entry.signed_parts(),
+            self.witness_entry.signature.e,
+            self.witness_entry.signature.s,
+        )
+
+    def digest(self, params: SystemParams) -> int:
+        """``h(bare coin)`` of the underlying bare coin (one ``Hash``)."""
+        return self.bare.digest(params)
+
+    def ensure_spendable(self, now: int) -> None:
+        """Raise unless the coin is within its spendable window.
+
+        Raises:
+            ExpiredCoinError: past the soft (or hard) expiration date.
+        """
+        if not self.bare.info.is_spendable(now):
+            raise ExpiredCoinError(
+                f"coin expired for spending at {self.bare.info.soft_expiry}, now {now}"
+            )
+
+    def ensure_valid_signature(self, params: SystemParams, broker_blind_public: int) -> None:
+        """Raise unless the broker's signature on the bare coin verifies.
+
+        Raises:
+            InvalidCoinError: on verification failure.
+        """
+        if not self.bare.verify_signature(params, broker_blind_public):
+            raise InvalidCoinError("broker's partially blind signature failed to verify")
+
+    def to_wire(self) -> dict[str, object]:
+        """Serialize for URI transfer."""
+        return {"bare": self.bare.to_wire(), "witness": self.witness_entry.to_wire()}
+
+    @classmethod
+    def from_wire(cls, fields: dict[str, str]) -> "Coin":
+        """Parse the flat dotted-key mapping produced by URI decoding."""
+        bare_fields = {
+            key.removeprefix("bare."): value
+            for key, value in fields.items()
+            if key.startswith("bare.")
+        }
+        witness_fields = {
+            key.removeprefix("witness."): value
+            for key, value in fields.items()
+            if key.startswith("witness.")
+        }
+        return cls(
+            bare=BareCoin.from_wire(bare_fields),
+            witness_entry=SignedWitnessEntry.from_wire(witness_fields),
+        )
+
+
+__all__ = ["BareCoin", "Coin"]

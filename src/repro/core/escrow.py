@@ -1,0 +1,368 @@
+"""Escrowed (trustee-traceable) coins — the Section 3 extension.
+
+The paper's requirements include *"incorporation of escrow mechanisms that
+allow tracing the coin owner"* (Section 3, "Usability and Extendibility";
+revisited in Section 8: "the accompanying cryptographic protocols can
+easily be extended to provide additional functionalities such as escrow
+service"). This module provides that extension without disturbing the
+plain anonymous coin:
+
+* a **trustee** holds an ElGamal key pair; an *escrowed coin* carries an
+  encryption of the owner's registered identity element inside the
+  blind-signed message, so the coin remains unlinkable to everyone —
+  except the trustee, who can decrypt the tag of any spent coin and hand
+  the identity to a court;
+* the broker cannot see the tag at issue time (it is blinded), so
+  correctness is enforced by **cut-and-choose**: the client prepares ``K``
+  candidate coins, the broker demands that ``K-1`` random ones be opened
+  completely (blinding factors, coin secrets, encryption randomness) and
+  checks each encrypts the registered identity, then signs the one
+  remaining candidate. A cheating client slips a bad tag through with
+  probability only ``1/K`` — the classic Chaum-Fiat-Naor trade-off the
+  paper's reference [12] made, traded here for trustee-only traceability.
+
+Escrowed coins use their own verification equation (the blind-signed
+message is ``(A, B, c1, c2)``), and spend with the same representation
+NIZK as plain coins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import InvalidCoinError, ProtocolViolationError
+from repro.core.info import CoinInfo
+from repro.core.params import SystemParams
+from repro.crypto import blind
+from repro.crypto.blind import BlindSession, PartiallyBlindSignature, SignerChallenge
+from repro.crypto.elgamal import (
+    ElGamalCiphertext,
+    ElGamalKeyPair,
+    encrypt,
+    verify_opening,
+)
+from repro.crypto.hashing import HashInput
+from repro.crypto.numbers import random_scalar
+from repro.crypto.representation import RepresentationPair
+
+#: Default cut-and-choose width: a cheater passes with probability 1/K.
+DEFAULT_CUT_AND_CHOOSE = 8
+
+
+@dataclass(frozen=True)
+class EscrowedCoin:
+    """A coin whose blind-signed message includes the identity tag."""
+
+    signature: PartiallyBlindSignature
+    info: CoinInfo
+    commitment_a: int
+    commitment_b: int
+    tag: ElGamalCiphertext
+
+    def message_parts(self) -> tuple[HashInput, ...]:
+        """The blind-signed message ``(A, B, c1, c2)``."""
+        return (self.commitment_a, self.commitment_b, self.tag.c1, self.tag.c2)
+
+    def verify_signature(self, params: SystemParams, broker_blind_public: int) -> bool:
+        """Publicly verify the broker's signature on the escrowed coin."""
+        return blind.verify(
+            params.group,
+            params.hashes,
+            broker_blind_public,
+            self.info.hash_parts(),
+            self.message_parts(),
+            self.signature,
+        )
+
+
+@dataclass
+class _Candidate:
+    """Client-side state for one cut-and-choose candidate."""
+
+    secrets: RepresentationPair
+    tag: ElGamalCiphertext
+    tag_randomness: int
+    session: BlindSession
+
+
+@dataclass(frozen=True)
+class OpenedCandidate:
+    """Everything the client reveals when a candidate is challenged."""
+
+    e: int
+    t1: int
+    t2: int
+    t3: int
+    t4: int
+    commitment_a: int
+    commitment_b: int
+    tag: ElGamalCiphertext
+    tag_randomness: int
+
+
+@dataclass
+class TrusteeService:
+    """The escrow trustee: holds the tracing key, answers court orders."""
+
+    params: SystemParams
+    keypair: ElGamalKeyPair = field(init=False)
+    rng: random.Random | None = None
+    traces_performed: int = 0
+
+    def __post_init__(self) -> None:
+        self.keypair = ElGamalKeyPair.generate(self.params.group, self.rng)
+
+    @property
+    def public_key(self) -> int:
+        """The tag-encryption key clients use."""
+        return self.keypair.public
+
+    def trace(self, coin: EscrowedCoin) -> int:
+        """Decrypt a spent coin's tag to the owner's identity element.
+
+        Only the trustee can do this — the broker and merchants see a
+        random-looking ciphertext.
+        """
+        self.traces_performed += 1
+        return self.keypair.decrypt(coin.tag)
+
+
+@dataclass
+class EscrowClientSession:
+    """Client-side state of one cut-and-choose escrowed withdrawal."""
+
+    info: CoinInfo
+    candidates: list[_Candidate]
+
+    @property
+    def blinded_challenges(self) -> list[int]:
+        """The ``e_i`` values sent to the broker (one per candidate)."""
+        return [candidate.session.e for candidate in self.candidates]
+
+    def open(self, index: int) -> OpenedCandidate:
+        """Reveal candidate ``index`` completely for audit."""
+        candidate = self.candidates[index]
+        session = candidate.session
+        t1, t2, t3, t4 = session.blinding_factors()
+        return OpenedCandidate(
+            e=session.e,
+            t1=t1,
+            t2=t2,
+            t3=t3,
+            t4=t4,
+            commitment_a=session.message_parts[0],
+            commitment_b=session.message_parts[1],
+            tag=candidate.tag,
+            tag_randomness=candidate.tag_randomness,
+        )
+
+
+def begin_escrowed_withdrawal(
+    params: SystemParams,
+    trustee_public: int,
+    identity: int,
+    info: CoinInfo,
+    broker_blind_public: int,
+    challenges: list[SignerChallenge],
+    rng: random.Random | None = None,
+) -> EscrowClientSession:
+    """Client step: build ``K`` candidates, one per broker challenge.
+
+    Args:
+        identity: the client's registered identity element ``I = g^u``.
+        challenges: the broker's ``K`` independent ``(a, b)`` pairs.
+    """
+    candidates = []
+    for challenge in challenges:
+        secrets = RepresentationPair.generate(params.group, rng)
+        commitment_a, commitment_b = secrets.commitments(params.group)
+        tag, tag_randomness = encrypt(params.group, trustee_public, identity, rng)
+        session = BlindSession.start(
+            params.group,
+            params.hashes,
+            broker_blind_public,
+            info.hash_parts(),
+            (commitment_a, commitment_b, tag.c1, tag.c2),
+            challenge,
+            rng,
+        )
+        candidates.append(
+            _Candidate(
+                secrets=secrets, tag=tag, tag_randomness=tag_randomness, session=session
+            )
+        )
+    return EscrowClientSession(info=info, candidates=candidates)
+
+
+def audit_opened_candidate(
+    params: SystemParams,
+    trustee_public: int,
+    broker_blind_public: int,
+    registered_identity: int,
+    info: CoinInfo,
+    challenge: SignerChallenge,
+    opened: OpenedCandidate,
+) -> None:
+    """Broker step: verify one opened candidate top to bottom.
+
+    Checks (a) the tag encrypts the registered identity under the revealed
+    randomness, and (b) the blinded challenge ``e`` is consistent with the
+    revealed blinding factors, commitments and tag — i.e. the candidate,
+    had it been signed, would have unblinded to a well-formed escrowed
+    coin for this client.
+
+    Raises:
+        ProtocolViolationError: any check fails (the client cheated).
+    """
+    group, hashes = params.group, params.hashes
+    if not verify_opening(
+        group, trustee_public, opened.tag, registered_identity, opened.tag_randomness
+    ):
+        raise ProtocolViolationError("escrow tag does not encrypt the registered identity")
+    z = hashes.F(*info.hash_parts())
+    alpha = group.mul(
+        challenge.a, group.commit2(group.g, opened.t1, broker_blind_public, opened.t2)
+    )
+    beta = group.mul(challenge.b, group.commit2(group.g, opened.t3, z, opened.t4))
+    epsilon = hashes.H(
+        alpha,
+        beta,
+        z,
+        opened.commitment_a,
+        opened.commitment_b,
+        opened.tag.c1,
+        opened.tag.c2,
+    )
+    if opened.e != (epsilon - opened.t2 - opened.t4) % group.q:
+        raise ProtocolViolationError("blinded challenge inconsistent with the opening")
+
+
+@dataclass
+class EscrowedWithdrawalResult:
+    """Outcome of a completed escrowed withdrawal."""
+
+    coin: EscrowedCoin
+    secrets: RepresentationPair
+
+
+def run_escrowed_withdrawal(
+    params: SystemParams,
+    signer: "blind.PartiallyBlindSigner",
+    trustee: TrusteeService,
+    registered_identity: int,
+    info: CoinInfo,
+    cut_and_choose: int = DEFAULT_CUT_AND_CHOOSE,
+    rng: random.Random | None = None,
+    cheat_candidate: int | None = None,
+    cheat_identity: int | None = None,
+) -> EscrowedWithdrawalResult:
+    """The full cut-and-choose issuing protocol, run in memory.
+
+    Args:
+        signer: the broker's blind signer.
+        registered_identity: the identity element the broker has on file.
+        cut_and_choose: ``K``; a cheater passes with probability 1/K.
+        cheat_candidate / cheat_identity: attack hooks for the tests — the
+            client substitutes a tag encrypting ``cheat_identity`` into
+            candidate ``cheat_candidate``.
+
+    Raises:
+        ProtocolViolationError: an opened candidate failed the audit.
+    """
+    if cut_and_choose < 2:
+        raise ValueError("cut-and-choose needs at least two candidates")
+    # Broker step 1: K independent signing sessions.
+    sessions = [signer.start(info.hash_parts()) for _ in range(cut_and_choose)]
+    challenges = [challenge for challenge, _ in sessions]
+
+    # Client step 2: K candidates.
+    client_session = begin_escrowed_withdrawal(
+        params,
+        trustee.public_key,
+        registered_identity,
+        info,
+        signer.public,
+        challenges,
+        rng,
+    )
+    if cheat_candidate is not None:
+        _inject_cheating_tag(
+            params, trustee.public_key, signer.public, info,
+            challenges[cheat_candidate], client_session, cheat_candidate,
+            cheat_identity if cheat_identity is not None else params.group.g,
+            rng,
+        )
+
+    # Broker step 3: challenge all but one random candidate.
+    audit_rng = rng if rng is not None else random.Random(random_scalar(params.group.q))
+    keep = audit_rng.randrange(cut_and_choose)
+    for index in range(cut_and_choose):
+        if index == keep:
+            continue
+        audit_opened_candidate(
+            params,
+            trustee.public_key,
+            signer.public,
+            registered_identity,
+            info,
+            challenges[index],
+            client_session.open(index),
+        )
+
+    # Broker step 4: sign the surviving candidate; client unblinds.
+    chosen = client_session.candidates[keep]
+    response = signer.respond(sessions[keep][1], chosen.session.e)
+    signature = chosen.session.finish(response)
+    coin = EscrowedCoin(
+        signature=signature,
+        info=info,
+        commitment_a=chosen.session.message_parts[0],
+        commitment_b=chosen.session.message_parts[1],
+        tag=chosen.tag,
+    )
+    if not coin.verify_signature(params, signer.public):
+        raise InvalidCoinError("escrowed coin failed to verify after unblinding")
+    return EscrowedWithdrawalResult(coin=coin, secrets=chosen.secrets)
+
+
+def _inject_cheating_tag(
+    params: SystemParams,
+    trustee_public: int,
+    broker_blind_public: int,
+    info: CoinInfo,
+    challenge: SignerChallenge,
+    client_session: EscrowClientSession,
+    index: int,
+    fake_identity: int,
+    rng: random.Random | None,
+) -> None:
+    """Test hook: rebuild candidate ``index`` with a tag for a fake identity."""
+    secrets = RepresentationPair.generate(params.group, rng)
+    commitment_a, commitment_b = secrets.commitments(params.group)
+    tag, tag_randomness = encrypt(params.group, trustee_public, fake_identity, rng)
+    session = BlindSession.start(
+        params.group,
+        params.hashes,
+        broker_blind_public,
+        info.hash_parts(),
+        (commitment_a, commitment_b, tag.c1, tag.c2),
+        challenge,
+        rng,
+    )
+    client_session.candidates[index] = _Candidate(
+        secrets=secrets, tag=tag, tag_randomness=tag_randomness, session=session
+    )
+
+
+__all__ = [
+    "DEFAULT_CUT_AND_CHOOSE",
+    "EscrowedCoin",
+    "OpenedCandidate",
+    "TrusteeService",
+    "EscrowClientSession",
+    "begin_escrowed_withdrawal",
+    "audit_opened_candidate",
+    "run_escrowed_withdrawal",
+    "EscrowedWithdrawalResult",
+]

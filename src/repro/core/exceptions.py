@@ -1,0 +1,91 @@
+"""Error taxonomy for the e-cash protocols.
+
+Every protocol-level rejection raises a distinct exception type so callers
+(and tests) can tell *why* a payment, deposit or renewal was refused. The
+double-spend and renewal refusals carry the extracted coin secrets, because
+in the paper those secrets *are* the publicly verifiable proof.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.transcripts import DoubleSpendProof
+
+
+class EcashError(Exception):
+    """Base class for all protocol errors."""
+
+
+class InvalidCoinError(EcashError):
+    """The broker's partially blind signature on the coin does not verify."""
+
+
+class ExpiredCoinError(EcashError):
+    """The coin is past its soft (unspendable) or hard (void) expiration."""
+
+
+class WrongWitnessError(EcashError):
+    """The coin's attached witness assignment is inconsistent.
+
+    Raised when ``h(bare coin)`` does not fall in the attached signed range,
+    the range signature is bad, the list version differs from the coin's
+    ``info``, or the contacted witness is not the assigned one.
+    """
+
+
+class CommitmentError(EcashError):
+    """A witness commitment is missing, expired, malformed or mis-bound."""
+
+
+class CommitmentOutstandingError(CommitmentError):
+    """The witness already has an unexpired commitment out for this coin.
+
+    Step 2 of the payment protocol: *"The witness must not issue new
+    commitments on this coin_hash until this commitment expires."*
+    """
+
+
+class InvalidPaymentError(EcashError):
+    """The payment transcript fails verification (NIZK, nonce, binding...)."""
+
+
+class DoubleSpendError(EcashError):
+    """The coin was already spent; carries the extraction-based proof."""
+
+    def __init__(self, proof: "DoubleSpendProof") -> None:
+        super().__init__("coin already spent: double-spend proof attached")
+        self.proof = proof
+
+
+class DoubleDepositError(EcashError):
+    """The same merchant deposited the same coin twice (Alg. 3 case 2-b)."""
+
+
+class UnknownMerchantError(EcashError):
+    """The merchant is not registered with the broker."""
+
+
+class InsufficientFundsError(EcashError):
+    """A ledger account cannot cover the requested amount."""
+
+
+class RenewalRefusedError(EcashError):
+    """Renewal refused: the coin was already cashed or renewed.
+
+    Carries the extracted representations, as Algorithm 4 step 3 returns
+    them to the client with the refusal.
+    """
+
+    def __init__(self, proof: "DoubleSpendProof") -> None:
+        super().__init__("coin already cashed or renewed")
+        self.proof = proof
+
+
+class ProtocolViolationError(EcashError):
+    """A party deviated from the protocol in a provable way."""
+
+
+class ServiceUnavailableError(EcashError):
+    """A remote party is offline or timed out (network layer)."""

@@ -1,0 +1,293 @@
+"""Optimistic fair exchange of a coin for a digital good.
+
+Section 5 (payment protocol, requirement 3): *"Conflict resolution
+mechanisms such as optimistic fair exchange can be incorporated
+naturally"*, and later: *"In particular, fair exchange protocols may be
+incorporated into the transactions."* This module incorporates one.
+
+The construction rides on the unmodified payment protocol:
+
+1. **Offer** — the merchant signs an offer ``(good_id, price, h(k),
+   expiry)`` and serves the good encrypted under ``k``.
+2. **Bound payment** — the client runs the ordinary payment protocol but
+   derives its transcript salt as ``salt = h("fair-exchange", offer_hash,
+   opening)`` for a random ``opening``. The salt is opaque to everyone
+   (it already travels in the transcript), yet the client can later
+   *prove* this payment was for this offer by revealing ``opening``.
+3. **Delivery** — on receiving the witness-signed transcript the merchant
+   sends ``k``; the client checks ``h(k)`` against the offer and decrypts.
+4. **Dispute (optimistic part)** — only if the merchant withholds or
+   mis-delivers ``k`` does the arbiter wake up: the client submits the
+   offer, the payment transcript and the opening; the arbiter checks the
+   binding and the witness's spend record, then either extracts ``k``
+   from the merchant or orders a refund out of the merchant's funds at
+   the broker.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.broker import Broker
+from repro.core.client import Client, PendingPayment, StoredCoin
+from repro.core.exceptions import InvalidPaymentError, ProtocolViolationError
+from repro.core.params import SystemParams
+from repro.core.transcripts import CommitmentRequest, PaymentTranscript, payment_nonce
+from repro.core.witness import WitnessService
+from repro.crypto.hashing import HashInput
+from repro.crypto.numbers import random_bits
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify as schnorr_verify
+
+
+# ----------------------------------------------------------------------
+# Symmetric encryption of the good (SHA-256 keystream)
+# ----------------------------------------------------------------------
+
+def _keystream(key: int, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    key_bytes = key.to_bytes(32, "big")
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            hashlib.sha256(b"fx-stream/" + key_bytes + counter.to_bytes(8, "big")).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def encrypt_good(key: int, good: bytes) -> bytes:
+    """Encrypt a digital good under ``k`` (XOR with a SHA-256 keystream)."""
+    stream = _keystream(key, len(good))
+    return bytes(a ^ b for a, b in zip(good, stream))
+
+
+def decrypt_good(key: int, blob: bytes) -> bytes:
+    """Inverse of :func:`encrypt_good`."""
+    return encrypt_good(key, blob)
+
+
+# ----------------------------------------------------------------------
+# Offers and binding
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Offer:
+    """A merchant's signed sale offer."""
+
+    merchant_id: str
+    good_id: str
+    price: int
+    key_commitment: int
+    expires_at: int
+    signature: SchnorrSignature
+
+    def signed_parts(self) -> tuple[HashInput, ...]:
+        """The tuple the merchant signs."""
+        return (
+            "fx-offer",
+            self.merchant_id,
+            self.good_id,
+            self.price,
+            self.key_commitment,
+            self.expires_at,
+        )
+
+    def verify(self, params: SystemParams, merchant_public: int) -> bool:
+        """Verify the merchant's signature."""
+        return schnorr_verify(params.group, merchant_public, self.signature, *self.signed_parts())
+
+    def digest(self, params: SystemParams) -> int:
+        """``h(offer)`` — what payments bind to."""
+        return params.hashes.h(*self.signed_parts())
+
+
+def make_offer(
+    params: SystemParams,
+    merchant_keypair: SchnorrKeyPair,
+    merchant_id: str,
+    good_id: str,
+    price: int,
+    good: bytes,
+    now: int,
+    lifetime: int = 3600,
+    rng=None,
+) -> tuple[Offer, bytes, int]:
+    """Merchant step 1: create an offer, the encrypted good, and ``k``."""
+    key = random_bits(256, rng)
+    key_commitment = params.hashes.h("fx-key", key)
+    expires_at = now + lifetime
+    signature = merchant_keypair.sign(
+        "fx-offer", merchant_id, good_id, price, key_commitment, expires_at, rng=rng
+    )
+    offer = Offer(
+        merchant_id=merchant_id,
+        good_id=good_id,
+        price=price,
+        key_commitment=key_commitment,
+        expires_at=expires_at,
+        signature=signature,
+    )
+    return offer, encrypt_good(key, good), key
+
+
+def bound_salt(params: SystemParams, offer_digest: int, opening: int) -> int:
+    """The fair-exchange salt: ``h("fair-exchange", offer_hash, opening)``."""
+    return params.hashes.h("fair-exchange", offer_digest, opening)
+
+
+def prepare_bound_payment(
+    params: SystemParams,
+    client: Client,
+    stored: StoredCoin,
+    offer: Offer,
+    now: int,
+) -> tuple[CommitmentRequest, PendingPayment, int]:
+    """Client step 2a: commitment request with an offer-bound salt.
+
+    Returns the request, the pending-payment state and the ``opening``
+    the client must retain for any later dispute.
+
+    Raises:
+        ExpiredCoinError: the coin is past its soft expiry.
+    """
+    stored.coin.ensure_spendable(now)
+    opening = random_bits(128, client.rng)
+    salt = bound_salt(params, offer.digest(params), opening)
+    coin_hash = stored.coin.digest(params)
+    nonce = payment_nonce(params, salt, offer.merchant_id)
+    request = CommitmentRequest(coin_hash=coin_hash, nonce=nonce)
+    pending = PendingPayment(
+        stored=stored,
+        merchant_id=offer.merchant_id,
+        salt=salt,
+        coin_hash=coin_hash,
+        nonce=nonce,
+    )
+    return request, pending, opening
+
+
+def verify_binding(
+    params: SystemParams,
+    transcript: PaymentTranscript,
+    offer: Offer,
+    opening: int,
+) -> bool:
+    """Check a transcript was bound to an offer (reveal-the-opening proof)."""
+    return transcript.salt == bound_salt(params, offer.digest(params), opening) and (
+        transcript.merchant_id == offer.merchant_id
+    )
+
+
+def verify_delivered_key(params: SystemParams, offer: Offer, key: int) -> bool:
+    """Client step 3: check the delivered ``k`` opens the offer commitment."""
+    return params.hashes.h("fx-key", key) == offer.key_commitment
+
+
+# ----------------------------------------------------------------------
+# Dispute resolution
+# ----------------------------------------------------------------------
+
+class FxResolution(enum.Enum):
+    """Arbiter outcomes."""
+
+    KEY_RELEASED = "key-released"
+    CLIENT_REFUNDED = "client-refunded"
+    CLAIM_REJECTED = "claim-rejected"
+
+
+@dataclass(frozen=True)
+class FxDispute:
+    """Everything the client submits when the merchant withholds the key."""
+
+    offer: Offer
+    transcript: PaymentTranscript
+    opening: int
+    encrypted_good: bytes
+
+
+@dataclass
+class FairExchangeArbiter:
+    """The optimistic third party: offline until a dispute arrives.
+
+    Args:
+        params: system parameters.
+        broker: used to execute refunds against merchant funds.
+    """
+
+    params: SystemParams
+    broker: Broker
+    disputes_resolved: int = 0
+
+    def resolve(
+        self,
+        dispute: FxDispute,
+        merchant_public: int,
+        witness: WitnessService,
+        merchant_key: int | None,
+        refund_account: str,
+        now: int,
+    ) -> tuple[FxResolution, int | None]:
+        """Adjudicate a withheld-key dispute.
+
+        Checks, in order: the offer signature, the payment-offer binding,
+        the payment's own validity, and that the coin's witness actually
+        saw the spend. Then demands the key from the merchant
+        (``merchant_key`` models its answer; ``None`` = unresponsive or
+        refusing): a valid key is released to the client; otherwise the
+        client is refunded the price from the merchant's funds at the
+        broker (revenue first, security deposit as backstop).
+
+        Returns:
+            ``(resolution, key_or_None)``.
+        """
+        self.disputes_resolved += 1
+        if not dispute.offer.verify(self.params, merchant_public):
+            return (FxResolution.CLAIM_REJECTED, None)
+        if not verify_binding(self.params, dispute.transcript, dispute.offer, dispute.opening):
+            return (FxResolution.CLAIM_REJECTED, None)
+        try:
+            from repro.core.transcripts import verify_payment_response
+
+            verify_payment_response(self.params, dispute.transcript)
+        except InvalidPaymentError:
+            return (FxResolution.CLAIM_REJECTED, None)
+        if not witness.has_seen(dispute.transcript.coin.digest(self.params)):
+            # No spend on record: the client never actually paid.
+            return (FxResolution.CLAIM_REJECTED, None)
+
+        if merchant_key is not None and verify_delivered_key(
+            self.params, dispute.offer, merchant_key
+        ):
+            return (FxResolution.KEY_RELEASED, merchant_key)
+
+        self._refund(dispute.offer, refund_account)
+        return (FxResolution.CLIENT_REFUNDED, None)
+
+    def _refund(self, offer: Offer, refund_account: str) -> None:
+        """Move the price back to the client from the merchant's funds."""
+        ledger = self.broker.ledger
+        revenue = f"revenue:{offer.merchant_id}"
+        escrow = f"deposit:{offer.merchant_id}"
+        source = revenue if ledger.balance(revenue) >= offer.price else escrow
+        if ledger.balance(source) < offer.price:
+            raise ProtocolViolationError(
+                f"merchant {offer.merchant_id!r} has no funds left to refund from"
+            )
+        ledger.transfer(source, refund_account, offer.price, memo="fair-exchange refund")
+
+
+__all__ = [
+    "Offer",
+    "make_offer",
+    "encrypt_good",
+    "decrypt_good",
+    "bound_salt",
+    "prepare_bound_payment",
+    "verify_binding",
+    "verify_delivered_key",
+    "FxResolution",
+    "FxDispute",
+    "FairExchangeArbiter",
+]

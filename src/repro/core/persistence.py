@@ -1,0 +1,183 @@
+"""Broker state persistence.
+
+Section 3: the broker is "a dedicated (but not necessarily on-line)
+server" — it goes down, restarts, and must come back with its signing
+keys, merchant registry, witness tables and (critically) its deposit and
+renewal databases intact: forgetting a deposited coin would let the same
+coin be cashed twice across a restart.
+
+State is serialized to JSON using the same wire codecs as the network
+layer, so a stored transcript is byte-identical to a transmitted one.
+The file contains the broker's SECRET keys; a deployment would encrypt it
+at rest — key management is out of scope here, as it is in the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.bank import Ledger
+from repro.core.broker import Broker, MerchantAccount, _DepositRecord, _RenewalRecord
+from repro.core.coin import BareCoin
+from repro.core.params import SystemParams
+from repro.core.transcripts import SignedTranscript
+from repro.core.witness_ranges import SignedWitnessEntry, WitnessAssignmentTable
+from repro.crypto.blind import PartiallyBlindSigner
+from repro.crypto.representation import RepresentationResponse
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.crypto.serialize import int_to_text, text_to_int
+
+STATE_VERSION = 1
+
+
+def save_broker(broker: Broker, path: str | Path) -> None:
+    """Serialize the full broker state (including secrets) to JSON."""
+    state = {
+        "version": STATE_VERSION,
+        "account": broker.account,
+        "keys": {
+            "blind_secret": int_to_text(broker._signer._secret),
+            "sign_secret": int_to_text(broker._sign_key.secret),
+        },
+        "next_version": broker._next_version,
+        "merchants": {
+            merchant_id: {
+                "public_key": int_to_text(account.public_key),
+                "security_deposit": account.security_deposit,
+                "coins_witnessed": account.coins_witnessed,
+                "incidents": account.incidents,
+            }
+            for merchant_id, account in broker.merchants.items()
+        },
+        "tables": {
+            str(version): {
+                "space": int_to_text(table.space),
+                "entries": [_jsonify(entry.to_wire()) for entry in table.entries],
+            }
+            for version, table in broker.tables.items()
+        },
+        "deposits": [
+            {
+                "signed": _jsonify(record.signed.to_wire()),
+                "deposited_at": record.deposited_at,
+            }
+            for record in broker._deposits.values()
+        ],
+        "renewals": [
+            {
+                "bare": _jsonify(record.bare.to_wire()),
+                "challenge": int_to_text(record.challenge),
+                "r1": int_to_text(record.response.r1),
+                "r2": int_to_text(record.response.r2),
+                "renewed_at": record.renewed_at,
+            }
+            for record in broker._renewals.values()
+        ],
+        "ledger": {
+            "minted": broker.ledger.minted,
+            "burned": broker.ledger.burned,
+            "accounts": {
+                name: account.balance for name, account in broker.ledger.accounts.items()
+            },
+        },
+    }
+    Path(path).write_text(json.dumps(state, indent=1))
+
+
+def load_broker(path: str | Path, params: SystemParams) -> Broker:
+    """Restore a broker (and its ledger) from :func:`save_broker` output.
+
+    Raises:
+        ValueError: unsupported state-file version.
+    """
+    state = json.loads(Path(path).read_text())
+    if state.get("version") != STATE_VERSION:
+        raise ValueError(f"unsupported broker state version {state.get('version')!r}")
+
+    ledger = Ledger()
+    ledger.minted = state["ledger"]["minted"]
+    ledger.burned = state["ledger"]["burned"]
+    for name, balance in state["ledger"]["accounts"].items():
+        ledger.open_account(name).balance = balance
+
+    broker = Broker(params, ledger=ledger, broker_account=state["account"])
+    broker._signer = PartiallyBlindSigner(
+        params.group, params.hashes, secret=text_to_int(state["keys"]["blind_secret"])
+    )
+    sign_secret = text_to_int(state["keys"]["sign_secret"])
+    from repro.crypto import counters
+
+    with counters.suppressed():
+        sign_public = pow(params.group.g, sign_secret, params.group.p)
+    broker._sign_key = SchnorrKeyPair(
+        group=params.group, secret=sign_secret, public=sign_public
+    )
+    broker._next_version = state["next_version"]
+
+    for merchant_id, fields in state["merchants"].items():
+        broker.merchants[merchant_id] = MerchantAccount(
+            merchant_id=merchant_id,
+            public_key=text_to_int(fields["public_key"]),
+            security_deposit=fields["security_deposit"],
+            coins_witnessed=fields["coins_witnessed"],
+            incidents=fields["incidents"],
+        )
+
+    for version_text, table_state in state["tables"].items():
+        entries = tuple(
+            SignedWitnessEntry.from_wire(_flatten(entry))
+            for entry in table_state["entries"]
+        )
+        broker.tables[int(version_text)] = WitnessAssignmentTable(
+            version=int(version_text),
+            entries=entries,
+            space=text_to_int(table_state["space"]),
+        )
+
+    for record in state["deposits"]:
+        signed = SignedTranscript.from_wire(_flatten(record["signed"]))
+        broker._deposits[signed.transcript.coin.bare] = _DepositRecord(
+            signed=signed, deposited_at=record["deposited_at"]
+        )
+
+    for record in state["renewals"]:
+        bare = BareCoin.from_wire(_flatten(record["bare"]))
+        broker._renewals[bare] = _RenewalRecord(
+            bare=bare,
+            challenge=text_to_int(record["challenge"]),
+            response=RepresentationResponse(
+                r1=text_to_int(record["r1"]), r2=text_to_int(record["r2"])
+            ),
+            renewed_at=record["renewed_at"],
+        )
+
+    return broker
+
+
+def _jsonify(wire: dict[str, object]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for key, value in wire.items():
+        if isinstance(value, dict):
+            out[key] = _jsonify(value)
+        elif isinstance(value, int):
+            out[key] = int_to_text(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _flatten(data: object, prefix: str = "") -> dict[str, str]:
+    if not isinstance(data, dict):
+        raise ValueError("malformed broker state entry")
+    out: dict[str, str] = {}
+    for key, value in data.items():
+        full_key = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(_flatten(value, full_key))
+        else:
+            out[full_key] = str(value)
+    return out
+
+
+__all__ = ["save_broker", "load_broker", "STATE_VERSION"]

@@ -1,0 +1,190 @@
+"""In-memory protocol orchestration.
+
+These functions run the paper's four protocols (Algorithms 1-4) between
+party objects by direct method calls — no network. They are the reference
+execution used by the unit/integration tests and by the Table 1 operation
+counting harness; :mod:`repro.net.services` re-runs the same party steps
+over the discrete-event network for the latency experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.broker import Broker, DepositResult
+from repro.core.client import Client, StoredCoin
+from repro.core.exceptions import DoubleSpendError
+from repro.core.info import CoinInfo
+from repro.core.merchant import Merchant, PaymentRequest
+from repro.core.transcripts import SignedTranscript
+from repro.core.witness import WitnessService
+
+
+def run_withdrawal(
+    client: Client,
+    broker: Broker,
+    info: CoinInfo,
+    paid_by: str | None = None,
+) -> StoredCoin:
+    """Algorithm 1: withdraw one coin.
+
+    Two message rounds: (client pays, broker sends ``a, b``) and (client
+    sends ``e``, broker sends ``r, c, s``); the client then attaches the
+    witness entry locally.
+
+    Returns:
+        The stored coin (also added to the client's wallet).
+    """
+    ticket_id, challenge = broker.begin_withdrawal(info, paid_by=paid_by)
+    session = client.begin_withdrawal(info, challenge)
+    response = broker.complete_withdrawal(ticket_id, session.e)
+    return client.finish_withdrawal(session, response, broker.tables[info.list_version])
+
+
+def run_batch_withdrawal(
+    client: Client,
+    broker: Broker,
+    infos: list[CoinInfo],
+    paid_by: str | None = None,
+) -> list[StoredCoin]:
+    """Algorithm 1, batched: withdraw several coins in two rounds total.
+
+    The paper's step 0: buying several coins at once saves communication,
+    while each coin's blinding runs independently so the batch stays
+    unlinkable.
+
+    Returns:
+        The stored coins, in ``infos`` order.
+    """
+    ticket_id, challenges = broker.begin_batch_withdrawal(infos, paid_by=paid_by)
+    sessions = [
+        client.begin_withdrawal(info, challenge)
+        for info, challenge in zip(infos, challenges)
+    ]
+    responses = broker.complete_batch_withdrawal(
+        ticket_id, [session.e for session in sessions]
+    )
+    return [
+        client.finish_withdrawal(session, response, broker.tables[info.list_version])
+        for info, session, response in zip(infos, sessions, responses)
+    ]
+
+
+def run_payment(
+    client: Client,
+    stored: StoredCoin,
+    merchant: Merchant,
+    witness: WitnessService,
+    now: int,
+) -> SignedTranscript:
+    """Algorithm 2: spend ``stored`` at ``merchant`` with ``witness``.
+
+    Three message rounds: commitment (client <-> witness), payment
+    (client -> merchant) and transcript signing (merchant <-> witness).
+
+    Raises:
+        DoubleSpendError: the witness proved the coin already spent; the
+            merchant validated the proof before refusing (step 6).
+        CommitmentError / InvalidPaymentError / ...: per failed check.
+    """
+    request, pending = client.prepare_commitment_request(stored, merchant.merchant_id, now)
+    commitment = witness.request_commitment(request, now)
+    transcript = client.build_payment(pending, commitment, witness.public_key, now)
+    payment = PaymentRequest(transcript=transcript, commitment=commitment)
+    merchant.verify_payment_request(payment, now)
+    try:
+        signed = witness.sign_transcript(transcript, now)
+    except DoubleSpendError as refusal:
+        # Step 6: the merchant validates the extraction before refusing the
+        # client, so a lazy witness cannot fabricate refusals.
+        merchant.handle_double_spend_proof(refusal.proof, transcript.coin)
+        raise  # pragma: no cover - handle_double_spend_proof always raises
+    merchant.accept_signed_transcript(signed, now)
+    client.mark_spent(stored)
+    return signed
+
+
+def run_purchase(
+    client: Client,
+    amount: int,
+    merchant: Merchant,
+    witnesses: dict[str, WitnessService],
+    now: int,
+) -> list[SignedTranscript]:
+    """Pay an arbitrary amount with multiple coins from the wallet.
+
+    Coins are indivisible (divisible e-cash is the paper's future work),
+    so a 60-cent purchase with 25/25/5/5-cent coins is four single-coin
+    payment protocol runs. Selection picks an exact subset
+    (:meth:`Wallet.select_coins`); each coin's own witness co-operates.
+
+    Args:
+        witnesses: witness service per merchant id (each selected coin may
+            have a different witness).
+
+    Raises:
+        ValueError: the wallet cannot pay the amount exactly.
+        KeyError: a selected coin's witness is not in ``witnesses``.
+    """
+    selected = client.wallet.select_coins(amount, now)
+    signed: list[SignedTranscript] = []
+    for stored in selected:
+        witness = witnesses[stored.coin.witness_id]
+        signed.append(run_payment(client, stored, merchant, witness, now))
+    return signed
+
+
+def run_deposit(merchant: Merchant, broker: Broker, now: int) -> list[DepositResult]:
+    """Algorithm 3: deposit every pending signed transcript.
+
+    One message round per transcript (merchant -> broker).
+    """
+    results = []
+    for signed in merchant.pending_deposits():
+        result = broker.deposit(merchant.merchant_id, signed, now)
+        merchant.mark_deposited(signed)
+        results.append(result)
+    return results
+
+
+def run_renewal(
+    client: Client,
+    stored: StoredCoin,
+    broker: Broker,
+    new_info: CoinInfo,
+    now: int,
+) -> StoredCoin:
+    """Algorithm 4: exchange an old coin for a fresh one.
+
+    Two message rounds, mirroring withdrawal, with the ownership proof on
+    the old bare coin piggy-backed on the client's second message.
+
+    Raises:
+        RenewalRefusedError: the coin was already cashed or renewed.
+    """
+    ticket_id, challenge = broker.begin_renewal(new_info)
+    session = client.begin_withdrawal(new_info, challenge)
+    proof_timestamp, proof_salt, r1_star, r2_star = client.renewal_proof(stored, now)
+    response = broker.complete_renewal(
+        ticket_id,
+        session.e,
+        stored.coin.bare,
+        proof_timestamp,
+        proof_salt,
+        r1_star,
+        r2_star,
+        now,
+    )
+    fresh = client.finish_withdrawal(
+        session, response, broker.tables[new_info.list_version]
+    )
+    client.mark_spent(stored)
+    return fresh
+
+
+__all__ = [
+    "run_withdrawal",
+    "run_batch_withdrawal",
+    "run_payment",
+    "run_purchase",
+    "run_deposit",
+    "run_renewal",
+]

@@ -1,0 +1,132 @@
+"""One-call assembly of a complete e-cash deployment.
+
+:class:`EcashSystem` wires up a broker, a set of merchants (each running
+its storefront *and* witness service, as in the paper's implementation
+where "the witness and merchant servers are designed to be run at the same
+time on the same physical hardware"), publishes the first witness table and
+distributes every public key. Tests, examples and benchmarks all start
+from here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.bank import Ledger
+from repro.core.broker import Broker
+from repro.core.client import Client
+from repro.core.info import CoinInfo, standard_info
+from repro.core.merchant import Merchant
+from repro.core.params import SystemParams, test_params
+from repro.core.witness import WitnessService
+from repro.crypto.schnorr import SchnorrKeyPair
+
+DEFAULT_SECURITY_DEPOSIT = 100_00  # $100.00 in cents
+
+
+@dataclass
+class MerchantNode:
+    """A merchant's two co-located services: storefront and witness."""
+
+    merchant: Merchant
+    witness: WitnessService
+
+    @property
+    def merchant_id(self) -> str:
+        """The shared identifier ``I_M``."""
+        return self.merchant.merchant_id
+
+
+class EcashSystem:
+    """A fully wired deployment: broker + merchants + key distribution.
+
+    Args:
+        params: system parameters (defaults to the fast test group).
+        merchant_ids: storefront identifiers to register.
+        weights: witness-range weights (defaults to uniform).
+        security_deposit: per-merchant security deposit in cents.
+        seed: seed for deterministic randomness across all parties.
+    """
+
+    def __init__(
+        self,
+        merchant_ids: tuple[str, ...] = ("alice-books", "bob-news", "carol-games"),
+        params: SystemParams | None = None,
+        weights: Mapping[str, float] | None = None,
+        security_deposit: int = DEFAULT_SECURITY_DEPOSIT,
+        seed: int | None = None,
+    ) -> None:
+        if not merchant_ids:
+            raise ValueError("an e-cash system needs at least one merchant")
+        self.params = params if params is not None else test_params()
+        self.rng = random.Random(seed) if seed is not None else None
+        self.ledger = Ledger()
+        self.broker = Broker(self.params, ledger=self.ledger, rng=self.rng)
+        self.nodes: dict[str, MerchantNode] = {}
+        for merchant_id in merchant_ids:
+            keypair = SchnorrKeyPair.generate(self.params.group, self.rng)
+            self.broker.register_merchant(
+                merchant_id, keypair.public, security_deposit
+            )
+            merchant = Merchant(
+                params=self.params,
+                merchant_id=merchant_id,
+                keypair=keypair,
+                broker_blind_public=self.broker.blind_public,
+                broker_sign_public=self.broker.sign_public,
+                rng=self.rng,
+            )
+            witness = WitnessService(
+                params=self.params,
+                merchant_id=merchant_id,
+                keypair=keypair,
+                broker_sign_public=self.broker.sign_public,
+                broker_blind_public=self.broker.blind_public,
+                rng=self.rng,
+            )
+            self.nodes[merchant_id] = MerchantNode(merchant=merchant, witness=witness)
+        table_weights = dict(weights) if weights else {mid: 1.0 for mid in merchant_ids}
+        self.broker.publish_witness_table(table_weights)
+        directory = {mid: node.merchant.public_key for mid, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.merchant.witness_keys.update(directory)
+
+    @property
+    def merchant_ids(self) -> tuple[str, ...]:
+        """All registered merchant identifiers."""
+        return tuple(self.nodes)
+
+    def new_client(self) -> Client:
+        """Create a client knowing the broker's public keys."""
+        return Client(
+            params=self.params,
+            broker_blind_public=self.broker.blind_public,
+            broker_sign_public=self.broker.sign_public,
+            rng=self.rng,
+        )
+
+    def merchant(self, merchant_id: str) -> Merchant:
+        """The storefront service of ``merchant_id``."""
+        return self.nodes[merchant_id].merchant
+
+    def witness(self, merchant_id: str) -> WitnessService:
+        """The witness service of ``merchant_id``."""
+        return self.nodes[merchant_id].witness
+
+    def witness_of(self, coin_holder) -> WitnessService:
+        """The witness service assigned to a stored coin.
+
+        Args:
+            coin_holder: a :class:`~repro.core.client.StoredCoin` (or any
+                object with a ``coin`` attribute).
+        """
+        return self.witness(coin_holder.coin.witness_id)
+
+    def standard_info(self, denomination: int, now: int) -> CoinInfo:
+        """A :class:`CoinInfo` bound to the current witness list version."""
+        return standard_info(denomination, self.broker.current_table.version, now)
+
+
+__all__ = ["EcashSystem", "MerchantNode", "DEFAULT_SECURITY_DEPOSIT"]

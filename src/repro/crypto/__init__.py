@@ -1,0 +1,59 @@
+"""Cryptographic substrate for the witness-based e-cash system.
+
+This package implements, from scratch, every primitive the paper relies on:
+
+* Schnorr groups of prime order (:mod:`repro.crypto.group`) together with
+  modular-arithmetic helpers and Miller-Rabin primality testing
+  (:mod:`repro.crypto.numbers`).
+* The hash functions ``F : {0,1}* -> <g>``, ``H, H0 : {0,1}* -> Z_q`` and
+  ``h : {0,1}* -> [0, 2^k)`` used throughout the protocols
+  (:mod:`repro.crypto.hashing`).
+* Schnorr signatures (:mod:`repro.crypto.schnorr`), used for the broker's
+  witness-range assignments and for witness commitments/transcript
+  signatures.
+* The Abe-Okamoto partially blind signature scheme
+  (:mod:`repro.crypto.blind`), the core of the withdrawal protocol.
+* Okamoto/Brands representation commitments with the payment-time NIZK
+  proof and double-spend extraction (:mod:`repro.crypto.representation`).
+* Per-party operation counters used to regenerate Table 1 of the paper
+  (:mod:`repro.crypto.counters`).
+"""
+
+from repro.crypto.counters import OpCounter, counting, current_counter
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.hashing import HashSuite
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature
+from repro.crypto.blind import (
+    BlindSession,
+    PartiallyBlindSignature,
+    PartiallyBlindSigner,
+    SignerChallenge,
+    SignerResponse,
+)
+from repro.crypto.representation import (
+    Representation,
+    RepresentationPair,
+    extract_representations,
+    respond,
+    verify_response,
+)
+
+__all__ = [
+    "OpCounter",
+    "counting",
+    "current_counter",
+    "SchnorrGroup",
+    "HashSuite",
+    "SchnorrKeyPair",
+    "SchnorrSignature",
+    "BlindSession",
+    "PartiallyBlindSignature",
+    "PartiallyBlindSigner",
+    "SignerChallenge",
+    "SignerResponse",
+    "Representation",
+    "RepresentationPair",
+    "extract_representations",
+    "respond",
+    "verify_response",
+]

@@ -1,0 +1,123 @@
+"""The protocol hash functions ``F``, ``H``, ``H0`` and ``h``.
+
+Section 5 of the paper fixes four random oracles:
+
+* ``F : {0,1}* -> <g>`` — hash-to-group, used to derive ``z = F(info)`` in
+  the Abe-Okamoto partially blind signature;
+* ``H : {0,1}* -> Z_q`` — the challenge hash of the blind signature;
+* ``H0 : {0,1}* -> Z_q`` — the payment challenge ``d = H0(C, I_M, date)``;
+* ``h : {0,1}* -> [0, 2^k)`` — the coin hash that selects the witness range
+  (and doubles as the generic transcript/commitment hash).
+
+All four are built from SHA-256 with domain separation. Structured inputs
+are canonicalized with an injective length-prefixed encoding so that no two
+distinct tuples collide at the byte level.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import counters
+from repro.crypto.group import SchnorrGroup
+
+HashInput = int | str | bytes
+
+#: Width (bits) of the witness-selection hash ``h``; witness ranges
+#: partition ``[0, 2^WITNESS_HASH_BITS)``.
+WITNESS_HASH_BITS = 256
+
+
+def encode_for_hash(*parts: HashInput) -> bytes:
+    """Injectively encode a tuple of ints/strings/bytes for hashing.
+
+    Each part is tagged with its type and prefixed with its 8-byte length,
+    so ``("ab", "c")`` and ``("a", "bc")`` hash differently.
+    """
+    out = bytearray()
+    for part in parts:
+        if isinstance(part, bool):
+            raise TypeError("booleans are ambiguous hash inputs; encode explicitly")
+        if isinstance(part, int):
+            if part < 0:
+                raise ValueError("hash inputs must be non-negative integers")
+            body = part.to_bytes((part.bit_length() + 7) // 8 or 1, "big")
+            tag = b"i"
+        elif isinstance(part, str):
+            body = part.encode("utf-8")
+            tag = b"s"
+        elif isinstance(part, (bytes, bytearray)):
+            body = bytes(part)
+            tag = b"b"
+        else:
+            raise TypeError(f"unhashable protocol value of type {type(part).__name__}")
+        out += tag
+        out += len(body).to_bytes(8, "big")
+        out += body
+    return bytes(out)
+
+
+def _digest(domain: bytes, data: bytes) -> bytes:
+    return hashlib.sha256(domain + data).digest()
+
+
+@dataclass(frozen=True)
+class HashSuite:
+    """The four protocol hash functions bound to a group.
+
+    Every evaluation reports one ``Hash`` event to the active
+    :class:`~repro.crypto.counters.OpCounter` (the hash-to-group ``F``
+    performs an internal exponentiation to land in the subgroup; that
+    exponentiation is suppressed, matching the paper's accounting where
+    ``F(info)`` is one hash).
+    """
+
+    group: SchnorrGroup
+
+    def F(self, *parts: HashInput) -> int:  # noqa: N802 - paper notation
+        """Hash into the order-``q`` subgroup ``<g>`` with unknown dlog.
+
+        The digest is expanded to an element of ``Z_p^*`` and raised to
+        ``(p-1)/q`` to force it into the subgroup; the counter-indexed
+        retry loop handles the (cryptographically negligible) chance of
+        hitting the identity.
+        """
+        counters.record_hash()
+        data = encode_for_hash(*parts)
+        cofactor = (self.group.p - 1) // self.group.q
+        with counters.suppressed():
+            for attempt in range(256):
+                seed = _digest(b"repro/F/" + bytes([attempt]), data)
+                candidate = self._expand(seed) % self.group.p
+                if candidate in (0, 1):
+                    continue
+                element = pow(candidate, cofactor, self.group.p)
+                if element != 1:
+                    return element
+        raise RuntimeError("hash-to-group failed to find a subgroup element")
+
+    def H(self, *parts: HashInput) -> int:  # noqa: N802 - paper notation
+        """The blind-signature challenge hash into ``Z_q``."""
+        counters.record_hash()
+        return int.from_bytes(_digest(b"repro/H/", encode_for_hash(*parts)), "big") % self.group.q
+
+    def H0(self, *parts: HashInput) -> int:  # noqa: N802 - paper notation
+        """The payment challenge hash ``d = H0(C, I_M, date/time)``."""
+        counters.record_hash()
+        return int.from_bytes(_digest(b"repro/H0/", encode_for_hash(*parts)), "big") % self.group.q
+
+    def h(self, *parts: HashInput) -> int:
+        """The generic ``k``-bit hash used for witness selection and digests."""
+        counters.record_hash()
+        return int.from_bytes(_digest(b"repro/h/", encode_for_hash(*parts)), "big")
+
+    def _expand(self, seed: bytes) -> int:
+        """Expand a 32-byte seed to ``p.bit_length()`` pseudorandom bits."""
+        needed = (self.group.p.bit_length() + 7) // 8
+        blocks = []
+        counter = 0
+        while sum(len(b) for b in blocks) < needed:
+            blocks.append(_digest(b"repro/expand/", seed + counter.to_bytes(4, "big")))
+            counter += 1
+        return int.from_bytes(b"".join(blocks)[:needed], "big")

@@ -1,0 +1,238 @@
+"""A Chord distributed hash table.
+
+The related-work baselines (WhoPay, Hoepman) use the P2P system itself as
+"a distributed database for spent coins ... queried using a DHT routing
+layer such as Chord". This module implements Chord's ring structure —
+consistent hashing of node identifiers, successor lists, finger tables and
+O(log N) iterative lookup — sized for overlay-level experiments (hundreds
+of nodes), plus replicated storage on successor sets.
+
+Malicious behaviour hooks: a node can be marked ``malicious``, in which
+case it suppresses stored records and answers "not found" — the attack
+that makes DHT-based double-spend detection probabilistic (Section 2:
+"the distributed database cannot be fully trusted ... and can only
+support probabilistic guarantees").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Width of Chord identifiers.
+ID_BITS = 64
+ID_SPACE = 1 << ID_BITS
+
+
+def chord_id(name: str | int) -> int:
+    """Hash a name (or key) onto the identifier ring."""
+    data = str(name).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(b"chord/" + data).digest()[:8], "big")
+
+
+def in_interval(value: int, low: int, high: int, inclusive_high: bool = False) -> bool:
+    """Ring-interval membership test for ``(low, high)`` or ``(low, high]``."""
+    value, low, high = value % ID_SPACE, low % ID_SPACE, high % ID_SPACE
+    if low == high:
+        # Degenerate interval wraps the whole ring: (x, x] is everything,
+        # (x, x) is everything except x itself.
+        return True if inclusive_high else value != low
+    if low < high:
+        return low < value < high or (inclusive_high and value == high)
+    return value > low or value < high or (inclusive_high and value == high)
+
+
+@dataclass
+class ChordNode:
+    """One DHT participant."""
+
+    name: str
+    node_id: int
+    malicious: bool = False
+    up: bool = True
+    store: dict[int, list[object]] = field(default_factory=dict)
+    finger: list["ChordNode"] = field(default_factory=list)
+    successors: list["ChordNode"] = field(default_factory=list)
+
+    def put_local(self, key: int, value: object) -> None:
+        """Store a record locally (malicious nodes silently discard)."""
+        if self.malicious:
+            return
+        self.store.setdefault(key, []).append(value)
+
+    def get_local(self, key: int) -> list[object]:
+        """Return local records (malicious nodes deny knowledge)."""
+        if self.malicious:
+            return []
+        return list(self.store.get(key, []))
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a Chord lookup."""
+
+    owner: "ChordNode"
+    hops: int
+    path: tuple[str, ...]
+
+
+class ChordRing:
+    """A fully built Chord overlay.
+
+    The ring is constructed eagerly (no join/stabilize message churn):
+    the experiments measure routing and storage behaviour, not membership
+    maintenance. ``lookup`` still walks real finger tables so hop counts
+    are authentic O(log N).
+
+    Args:
+        node_names: participant names (hashed onto the ring).
+        successor_list_size: replication factor r — records for a key are
+            stored on the key's first r live successors.
+    """
+
+    def __init__(self, node_names: list[str], successor_list_size: int = 3) -> None:
+        if not node_names:
+            raise ValueError("a Chord ring needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("duplicate node names")
+        self.r = successor_list_size
+        self.nodes = sorted(
+            (ChordNode(name=name, node_id=chord_id(name)) for name in node_names),
+            key=lambda node: node.node_id,
+        )
+        if len({node.node_id for node in self.nodes}) != len(self.nodes):
+            raise ValueError("chord id collision; rename a node")
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        count = len(self.nodes)
+        for index, node in enumerate(self.nodes):
+            node.successors = [
+                self.nodes[(index + offset) % count] for offset in range(1, self.r + 1)
+            ]
+            node.finger = [
+                self._successor_of((node.node_id + (1 << bit)) % ID_SPACE)
+                for bit in range(ID_BITS)
+            ]
+
+    def _successor_of(self, point: int) -> ChordNode:
+        """The first node at or after ``point`` on the ring."""
+        import bisect
+
+        ids = [node.node_id for node in self.nodes]
+        index = bisect.bisect_left(ids, point)
+        return self.nodes[index % len(self.nodes)]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def lookup(self, key: int, start: ChordNode | None = None) -> LookupResult:
+        """Iteratively route to the key's owner, counting hops.
+
+        Down nodes are skipped via successor lists (a hop each), matching
+        Chord's failure handling.
+        """
+        key %= ID_SPACE
+        current = start if start is not None else self.nodes[0]
+        hops = 0
+        path = [current.name]
+        for _ in range(4 * ID_BITS):  # generous loop bound; routing always converges
+            successor = self._live_successor(current)
+            if in_interval(key, current.node_id, successor.node_id, inclusive_high=True):
+                return LookupResult(owner=successor, hops=hops + 1, path=tuple(path))
+            nxt = self._closest_preceding(current, key)
+            if nxt is current:
+                nxt = successor
+            current = nxt
+            hops += 1
+            path.append(current.name)
+        raise RuntimeError("chord lookup failed to converge")  # pragma: no cover
+
+    def _live_successor(self, node: ChordNode) -> ChordNode:
+        for successor in node.successors:
+            if successor.up:
+                return successor
+        # With every listed successor down fall back to ring scan.
+        index = self.nodes.index(node)
+        for offset in range(1, len(self.nodes)):
+            candidate = self.nodes[(index + offset) % len(self.nodes)]
+            if candidate.up:
+                return candidate
+        return node
+
+    def _closest_preceding(self, node: ChordNode, key: int) -> ChordNode:
+        for finger in reversed(node.finger):
+            if finger.up and in_interval(finger.node_id, node.node_id, key):
+                return finger
+        return node
+
+    # ------------------------------------------------------------------
+    # Replicated storage
+    # ------------------------------------------------------------------
+    def replica_set(self, key: int) -> list[ChordNode]:
+        """The key's owner plus its ``r - 1`` immediate live successors."""
+        owner = self.lookup(key).owner
+        replicas = [owner]
+        for successor in owner.successors:
+            if len(replicas) >= self.r:
+                break
+            if successor not in replicas:
+                replicas.append(successor)
+        return replicas[: self.r]
+
+    def put(self, key: int, value: object) -> int:
+        """Store a record on the key's replica set; returns replicas written."""
+        written = 0
+        for node in self.replica_set(key):
+            if node.up:
+                node.put_local(key, value)
+                written += 1
+        return written
+
+    def get(self, key: int) -> list[object]:
+        """Query all replicas and merge results (honest-majority style)."""
+        found: list[object] = []
+        for node in self.replica_set(key):
+            if node.up:
+                for record in node.get_local(key):
+                    if record not in found:
+                        found.append(record)
+        return found
+
+    # ------------------------------------------------------------------
+    # Adversary control
+    # ------------------------------------------------------------------
+    def compromise_fraction(self, fraction: float, rng) -> list[ChordNode]:
+        """Mark a random fraction of nodes malicious; returns them."""
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        count = round(fraction * len(self.nodes))
+        chosen = rng.sample(self.nodes, count)
+        for node in chosen:
+            node.malicious = True
+        return chosen
+
+    def node_by_name(self, name: str) -> ChordNode:
+        """Look up a participant by name.
+
+        Raises:
+            KeyError: unknown name.
+        """
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "chord_id",
+    "in_interval",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+]

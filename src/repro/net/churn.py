@@ -1,0 +1,111 @@
+"""Node availability and churn.
+
+Section 3's observation 2: merchants are "on-line most of the time", and
+even if attacked "will go back on-line within a few days". Section 4
+acknowledges a coin may still be unusable because its witness happens to
+be down, and proposes two mitigations — multiple witnesses per coin
+("say, three witnesses per coin and require any two of them to sign") and
+the soft-expiry renewal path. This module provides the availability model
+those ablations run against.
+
+Nodes alternate exponentially distributed up and down periods; the
+stationary availability is ``mtbf / (mtbf + mttr)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AvailabilityTimeline:
+    """A precomputed up/down schedule for one node.
+
+    Attributes:
+        transitions: sorted times at which the node flips state.
+        initially_up: state at time 0.
+    """
+
+    transitions: list[float]
+    initially_up: bool
+
+    def is_up(self, time: float) -> bool:
+        """State of the node at ``time``."""
+        import bisect
+
+        flips = bisect.bisect_right(self.transitions, time)
+        up = self.initially_up
+        return up if flips % 2 == 0 else not up
+
+
+@dataclass
+class ChurnModel:
+    """Generates availability timelines with exponential holding times.
+
+    Args:
+        mean_uptime: mean duration of an up period (seconds).
+        mean_downtime: mean duration of a down period (seconds).
+        rng: seeded randomness source.
+    """
+
+    mean_uptime: float
+    mean_downtime: float
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if self.mean_uptime <= 0 or self.mean_downtime < 0:
+            raise ValueError("mean uptime must be positive, downtime non-negative")
+
+    @property
+    def availability(self) -> float:
+        """Stationary probability the node is up."""
+        return self.mean_uptime / (self.mean_uptime + self.mean_downtime)
+
+    def timeline(self, horizon: float) -> AvailabilityTimeline:
+        """Sample one node's schedule over ``[0, horizon]``.
+
+        The initial state is drawn from the stationary distribution so
+        observations at any time are unbiased.
+        """
+        if self.mean_downtime == 0:
+            return AvailabilityTimeline(transitions=[], initially_up=True)
+        initially_up = self.rng.random() < self.availability
+        transitions: list[float] = []
+        time = 0.0
+        up = initially_up
+        while time < horizon:
+            mean = self.mean_uptime if up else self.mean_downtime
+            time += self.rng.expovariate(1.0 / mean)
+            if time < horizon:
+                transitions.append(time)
+            up = not up
+        return AvailabilityTimeline(transitions=transitions, initially_up=initially_up)
+
+
+def k_of_n_availability(per_witness: float, n: int, k: int) -> float:
+    """P(at least ``k`` of ``n`` independent witnesses are up).
+
+    The analytic curve behind the multi-witness ablation: with one witness
+    a coin is spendable with probability ``p``; with the paper's "three
+    witnesses, any two sign" it is ``p^3 + 3 p^2 (1-p)``.
+
+    Raises:
+        ValueError: invalid ``k``/``n`` or probability.
+    """
+    if not 0 <= per_witness <= 1:
+        raise ValueError("availability must be a probability")
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    total = 0.0
+    for up_count in range(k, n + 1):
+        total += (
+            math.comb(n, up_count)
+            * per_witness**up_count
+            * (1 - per_witness) ** (n - up_count)
+        )
+    return total
+
+
+__all__ = ["AvailabilityTimeline", "ChurnModel", "k_of_n_availability"]

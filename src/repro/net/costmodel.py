@@ -1,0 +1,120 @@
+"""Per-operation compute cost model.
+
+The cryptography in this reproduction is *executed for real* (every
+signature is actually verified), but simulated wall-clock time cannot come
+from the host CPU: the paper's Table 2 numbers were produced by 2006-era
+native-Python bignum code ("the average wall-clock time for an RSA
+signature is 250 ms, compared to 4.8 ms using OpenSSL" — footnote 7).
+Instead, each party's protocol step runs under an
+:class:`~repro.crypto.counters.OpCounter`, and the measured operation
+counts are converted to simulated compute time via a profile:
+
+* :func:`python2006_profile` — calibrated to the paper's own reported
+  figures, reproducing the Table 2 environment;
+* :func:`openssl_profile` — the paper's projected "30 ms or less"
+  aggregate per transaction with OpenSSL on a P4 3.2 GHz.
+
+This substitution is recorded in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.counters import OpCounter
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Converts operation counts into simulated compute seconds.
+
+    Args:
+        exp_ms: one modular exponentiation (1024-bit modulus).
+        hash_ms: one hash evaluation.
+        sig_ms: one signature generation.
+        ver_ms: one signature verification.
+        noise: coefficient of variation of multiplicative lognormal noise
+            (GC pauses, interpreter scheduling); 0 disables it.
+        name: profile label for reports.
+    """
+
+    exp_ms: float
+    hash_ms: float
+    sig_ms: float
+    ver_ms: float
+    noise: float = 0.0
+    name: str = "custom"
+
+    def mean_seconds(self, counter: OpCounter) -> float:
+        """Deterministic compute time for a tally, in seconds."""
+        total_ms = (
+            counter.exp * self.exp_ms
+            + counter.hash * self.hash_ms
+            + counter.sig * self.sig_ms
+            + counter.ver * self.ver_ms
+        )
+        return total_ms / 1000.0
+
+    def sample_seconds(self, counter: OpCounter, rng: random.Random) -> float:
+        """Compute time with multiplicative noise applied."""
+        mean = self.mean_seconds(counter)
+        if self.noise <= 0 or mean == 0:
+            return mean
+        sigma = math.sqrt(math.log(1 + self.noise**2))
+        mu = math.log(mean) - sigma**2 / 2
+        return rng.lognormvariate(mu, sigma)
+
+
+def python2006_profile(noise: float = 0.35) -> ComputeCostModel:
+    """The paper's Table 2 environment: 2006-era native-Python bignums.
+
+    Calibration anchors: the paper reports 250 ms per (RSA-sized) signature
+    in native Python; a plain 1024-bit modular exponentiation is roughly a
+    factor 6-7 cheaper than an RSA-1024 private-key operation at matching
+    optimization levels; verification of our Schnorr signatures is about
+    two exponentiations plus overhead. The default noise coefficient
+    reflects the run-to-run variance of interpreted bignum code on shared
+    PlanetLab hosts (paper: sigma/mean ~ 0.18 over the whole transaction,
+    which per-segment noise of ~0.35 reproduces once independent segments
+    partially cancel).
+    """
+    return ComputeCostModel(
+        exp_ms=35.0,
+        hash_ms=1.0,
+        sig_ms=250.0,
+        ver_ms=115.0,
+        noise=noise,
+        name="python2006",
+    )
+
+
+def openssl_profile(noise: float = 0.10) -> ComputeCostModel:
+    """The paper's projected OpenSSL deployment (P4 3.2 GHz, §7).
+
+    Anchors: 4.8 ms per RSA-sized signature (footnote 7); the paper
+    projects "30 ms or less" of aggregate compute per payment transaction,
+    which this profile lands on (see the compute-vs-network benchmark).
+    """
+    return ComputeCostModel(
+        exp_ms=0.65,
+        hash_ms=0.01,
+        sig_ms=4.8,
+        ver_ms=1.6,
+        noise=noise,
+        name="openssl",
+    )
+
+
+def instant_profile() -> ComputeCostModel:
+    """Zero-cost compute, for isolating pure network behaviour in tests."""
+    return ComputeCostModel(exp_ms=0.0, hash_ms=0.0, sig_ms=0.0, ver_ms=0.0, name="instant")
+
+
+__all__ = [
+    "ComputeCostModel",
+    "python2006_profile",
+    "openssl_profile",
+    "instant_profile",
+]

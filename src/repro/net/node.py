@@ -1,0 +1,382 @@
+"""Simulated nodes and the RPC fabric connecting them.
+
+A :class:`Node` registers handler functions per method; a handler either
+returns a payload mapping directly or is a *generator* that can itself
+``yield`` RPC futures (the merchant's payment handler contacts the witness
+mid-request). All handler-local computation runs under an
+:class:`~repro.crypto.counters.OpCounter`, and at every yield point the
+accumulated operation counts are converted into simulated compute delay by
+the network's :class:`~repro.net.costmodel.ComputeCostModel` — so the
+latency experiments charge for exactly the cryptography that actually ran.
+
+Protocol errors (:class:`~repro.core.exceptions.EcashError`) raised by a
+handler travel back over the wire and re-raise at the caller; they are
+protocol messages, not crashes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator
+
+from repro.core.exceptions import EcashError, ServiceUnavailableError
+from repro.crypto.counters import OpCounter
+from repro.net.costmodel import ComputeCostModel
+from repro.net.latency import LatencyModel, Region
+from repro.net.sim import Future, LazyFuture, Simulator, SimTimeoutError, Sleep
+from repro.net.transport import Message, Trace, TraceEntry, TrafficMeter, error_size_bytes
+
+Handler = Callable[[dict[str, Any]], Any]
+
+#: Default RPC timeout in simulated seconds.
+DEFAULT_RPC_TIMEOUT = 15.0
+
+
+class Node:
+    """One simulated host (broker, merchant/witness pair, or client).
+
+    Args:
+        name: unique node name (the RPC address).
+        region: latency-model region the host lives in.
+        concurrency: maximum handlers executing at once; further requests
+            queue FIFO and wait for a free slot (``None`` = unlimited —
+            the default models a well-provisioned web server, a small
+            integer models a saturable one for the load experiments).
+    """
+
+    def __init__(
+        self, name: str, region: Region, concurrency: int | None = None
+    ) -> None:
+        if concurrency is not None and concurrency < 1:
+            raise ValueError("concurrency must be at least 1 (or None)")
+        self.name = name
+        self.region = region
+        self.up = True
+        self.concurrency = concurrency
+        self.meter = TrafficMeter()
+        self.active_handlers = 0
+        self.peak_queue_depth = 0
+        self._backlog: list[tuple[Any, ...]] = []
+        self._handlers: dict[str, Handler] = {}
+        self.network: "Network | None" = None
+
+    def on(self, method: str, handler: Handler) -> None:
+        """Register the handler for ``method``.
+
+        Raises:
+            ValueError: duplicate registration.
+        """
+        if method in self._handlers:
+            raise ValueError(f"node {self.name!r} already handles {method!r}")
+        self._handlers[method] = handler
+
+    def handler_for(self, method: str) -> Handler:
+        """Look up a handler.
+
+        Raises:
+            KeyError: unknown method.
+        """
+        return self._handlers[method]
+
+    def set_up(self, up: bool) -> None:
+        """Bring the node up or down (churn model hook)."""
+        self.up = up
+
+
+def metered(
+    generator: Generator[Any, Any, Any],
+    cost_model: ComputeCostModel,
+    rng: random.Random,
+) -> Generator[Any, Any, Any]:
+    """Wrap a process generator, charging compute time for counted ops.
+
+    Between consecutive yields of the wrapped generator, all hash /
+    exponentiation / signature operations are tallied; the tally is
+    converted to a :class:`Sleep` before the yielded item is forwarded.
+    Sub-protocols inside a service must be inlined with ``yield from`` so
+    their operations stay within this meter.
+    """
+    counter = OpCounter()
+    send_value: Any = None
+    throw: BaseException | None = None
+    while True:
+        try:
+            with counter:
+                if throw is not None:
+                    exception, throw = throw, None
+                    item = generator.throw(exception)
+                else:
+                    item = generator.send(send_value)
+        except StopIteration as stop:
+            delay = cost_model.sample_seconds(counter, rng)
+            if delay > 0:
+                yield Sleep(delay)
+            return stop.value
+        delay = cost_model.sample_seconds(counter, rng)
+        counter.reset()
+        if delay > 0:
+            yield Sleep(delay)
+        try:
+            send_value = yield item
+        except BaseException as error:  # noqa: BLE001 - delivered to the wrapped gen
+            throw = error
+            send_value = None
+
+
+class Network:
+    """The RPC fabric: latency, compute charging, traffic metering, trace.
+
+    Args:
+        sim: the event loop.
+        latency: the WAN latency model.
+        cost_model: per-operation compute costs.
+        seed: seed for compute-noise sampling.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        cost_model: ComputeCostModel,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.cost_model = cost_model
+        self.rng = random.Random(seed)
+        self.nodes: dict[str, Node] = {}
+        self.trace = Trace()
+        #: Optional fault-injection hook: called as
+        #: ``hook(source, destination, message) -> Message | None`` for
+        #: every request in flight; returning ``None`` drops it, returning
+        #: a different :class:`Message` delivers the tampered version.
+        #: Used by the adversarial (man-in-the-middle) tests.
+        self.tamper_hook: Callable[[str, str, Message], Message | None] | None = None
+
+    def register(self, node: Node) -> Node:
+        """Attach a node to this network.
+
+        Raises:
+            ValueError: duplicate node name.
+        """
+        if node.name in self.nodes:
+            raise ValueError(f"node {node.name!r} already registered")
+        node.network = self
+        self.nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        return self.nodes[name]
+
+    def rpc(
+        self,
+        source: str,
+        destination: str,
+        method: str,
+        payload: dict[str, Any],
+        timeout: float = DEFAULT_RPC_TIMEOUT,
+    ) -> LazyFuture:
+        """Build a request; it is *sent* when a process yields the future.
+
+        Lazy dispatch matters for timing fidelity: a handler's compute
+        delay (charged by :func:`metered` just before the yield) must
+        elapse before its outgoing messages leave the node.
+
+        The future resolves with the response payload, or fails with the
+        remote :class:`EcashError` the handler raised, or with
+        :class:`SimTimeoutError` / :class:`ServiceUnavailableError` if the
+        destination is down or slow.
+        """
+        src = self.nodes[source]
+        dst = self.nodes[destination]
+        request = Message(method=method, payload=payload)
+        size = request.size_bytes
+        outer = LazyFuture()
+
+        def dispatch() -> None:
+            if not src.up:
+                outer.set_exception(ServiceUnavailableError(f"{source} is offline"))
+                return
+            inner: Future = Future()
+
+            def forward(done: Future) -> None:
+                if outer.done:
+                    return
+                try:
+                    outer.set_result(done.result())
+                except BaseException as error:  # noqa: BLE001 - forwarded to caller
+                    outer.set_exception(error)
+
+            def deadline() -> None:
+                if not outer.done:
+                    outer.set_exception(
+                        SimTimeoutError(
+                            f"rpc {method!r} to {destination!r} timed out "
+                            f"after {timeout} simulated seconds"
+                        )
+                    )
+
+            inner.add_callback(forward)
+            self.sim.schedule(timeout, deadline)
+            src.meter.record_sent(size)
+            travel = self.latency.sample_one_way(src.region, dst.region, size)
+            self.sim.schedule(travel, self._deliver, src, dst, request, size, inner)
+
+        outer.on_dispatch(dispatch)
+        return outer
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, src: Node, dst: Node, request: Message, size: int, result: Future
+    ) -> None:
+        if not dst.up:
+            return  # dropped; the caller's timeout fires
+        if self.tamper_hook is not None:
+            tampered = self.tamper_hook(src.name, dst.name, request)
+            if tampered is None:
+                return  # adversary ate the message; the timeout fires
+            request = tampered
+        dst.meter.record_received(size)
+        self.trace.record(
+            TraceEntry(
+                time=self.sim.now,
+                source=src.name,
+                destination=dst.name,
+                method=request.method,
+                size_bytes=size,
+                kind="request",
+            )
+        )
+        try:
+            handler = dst.handler_for(request.method)
+        except KeyError as error:
+            self._respond(dst, src, request, result, error=error)
+            return
+        if dst.concurrency is not None and dst.active_handlers >= dst.concurrency:
+            # Server saturated: the request waits for a free handler slot.
+            dst._backlog.append((src, handler, request, result))
+            dst.peak_queue_depth = max(dst.peak_queue_depth, len(dst._backlog))
+            return
+        self._start_handler(dst, src, handler, request, result)
+
+    def _start_handler(
+        self, dst: Node, src: Node, handler: Handler, request: Message, result: Future
+    ) -> None:
+        dst.active_handlers += 1
+
+        def run() -> Generator[Any, Any, Any]:
+            outcome = handler(dict(request.payload))
+            if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+                outcome = yield from outcome
+            return outcome
+
+        # The handler slot covers *compute*, not waiting: like an async web
+        # server, a handler blocked on a nested RPC releases its worker so
+        # other requests can run (and so bounded pools cannot deadlock on
+        # cross-node handler cycles). The slot is released exactly once —
+        # at the handler's first await, or at completion.
+        slot = {"held": True}
+
+        def release() -> None:
+            if slot["held"]:
+                slot["held"] = False
+                self._release_slot(dst)
+
+        def slotted() -> Generator[Any, Any, Any]:
+            generator = metered(run(), self.cost_model, self.rng)
+            send_value: Any = None
+            throw: BaseException | None = None
+            while True:
+                try:
+                    if throw is not None:
+                        exception, throw = throw, None
+                        item = generator.throw(exception)
+                    else:
+                        item = generator.send(send_value)
+                except StopIteration as stop:
+                    release()
+                    return stop.value
+                except BaseException:
+                    release()
+                    raise
+                if isinstance(item, Future):
+                    release()  # about to wait on I/O: free the worker
+                try:
+                    send_value = yield item
+                except BaseException as error:  # noqa: BLE001 - forward to handler
+                    throw = error
+                    send_value = None
+
+        handled = self.sim.spawn(slotted())
+        handled.add_callback(
+            lambda future: self._on_handled(dst, src, request, result, future)
+        )
+
+    def _release_slot(self, dst: Node) -> None:
+        dst.active_handlers = max(0, dst.active_handlers - 1)
+        if dst._backlog and (
+            dst.concurrency is None or dst.active_handlers < dst.concurrency
+        ):
+            queued_src, queued_handler, queued_request, queued_result = dst._backlog.pop(0)
+            self._start_handler(dst, queued_src, queued_handler, queued_request, queued_result)
+
+    def _on_handled(
+        self, dst: Node, src: Node, request: Message, result: Future, handled: Future
+    ) -> None:
+        try:
+            payload = handled.result()
+        except EcashError as error:
+            self._respond(dst, src, request, result, error=error)
+            return
+        except BaseException as error:  # noqa: BLE001 - handler bug: surface it
+            if not result.done:
+                result.set_exception(error)
+            return
+        self._respond(dst, src, request, result, payload=payload)
+
+    def _respond(
+        self,
+        dst: Node,
+        src: Node,
+        request: Message,
+        result: Future,
+        payload: dict[str, Any] | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if error is not None:
+            size = error_size_bytes(error)
+            kind = "error"
+        else:
+            size = Message(method=request.method + "/ok", payload=payload or {}).size_bytes
+            kind = "response"
+        if not dst.up:
+            return
+        dst.meter.record_sent(size)
+        travel = self.latency.sample_one_way(dst.region, src.region, size)
+
+        def arrive() -> None:
+            if not src.up or result.done:
+                return
+            src.meter.record_received(size)
+            self.trace.record(
+                TraceEntry(
+                    time=self.sim.now,
+                    source=dst.name,
+                    destination=src.name,
+                    method=request.method,
+                    size_bytes=size,
+                    kind=kind,
+                )
+            )
+            if error is not None:
+                result.set_exception(error)
+            else:
+                result.set_result(payload)
+
+        self.sim.schedule(travel, arrive)
+
+
+__all__ = ["Node", "Network", "metered", "DEFAULT_RPC_TIMEOUT"]

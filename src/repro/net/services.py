@@ -1,0 +1,538 @@
+"""The e-cash system deployed over the simulated network.
+
+:class:`NetworkDeployment` places the parties of a
+:class:`~repro.core.system.EcashSystem` on simulated hosts — the broker on
+one node, every merchant's storefront *and* witness service co-located on
+its own node (as in the paper's implementation), clients wherever the
+experiment wants them — and exposes the four protocols as generator
+processes whose local cryptography is charged to simulated time by the
+compute cost model and whose messages are real URI-encoded payloads
+crossing the latency model.
+
+The Table 2 benchmark drives :meth:`NetworkDeployment.payment_process`;
+the Figure 1 benchmark replays the full lifecycle and checks the message
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.core.client import Client, StoredCoin
+from repro.core.coin import BareCoin
+from repro.core.exceptions import DoubleSpendError, ServiceUnavailableError
+from repro.core.info import CoinInfo
+from repro.core.merchant import PaymentRequest
+from repro.core.system import EcashSystem
+from repro.core.transcripts import (
+    CommitmentRequest,
+    DoubleSpendProof,
+    PaymentTranscript,
+    SignedTranscript,
+    WitnessCommitment,
+)
+from repro.crypto.blind import SignerChallenge, SignerResponse
+from repro.crypto.serialize import flatten, int_to_text, text_to_int
+from repro.net.costmodel import ComputeCostModel, python2006_profile
+from repro.net.latency import LatencyModel, Region, planetlab_us
+from repro.net.node import Network, Node, metered
+from repro.net.sim import Simulator
+
+BROKER_NODE = "broker"
+
+
+@dataclass(frozen=True)
+class PaymentReceipt:
+    """What a client gets back from a successful networked payment."""
+
+    merchant_id: str
+    amount: int
+    elapsed: float
+    client_bytes_sent: int
+
+
+class NetworkDeployment:
+    """A core :class:`EcashSystem` running on simulated hosts.
+
+    Args:
+        system: the wired parties.
+        sim: event loop (fresh one created if omitted).
+        latency: WAN model (paper's PlanetLab geography by default).
+        cost_model: compute profile (paper's 2006 Python stack by default).
+        merchant_regions: region per merchant node (defaults follow the
+            paper: first merchant in California — the witness — the rest
+            in Massachusetts).
+        seed: seed for compute-noise sampling.
+    """
+
+    def __init__(
+        self,
+        system: EcashSystem,
+        sim: Simulator | None = None,
+        latency: LatencyModel | None = None,
+        cost_model: ComputeCostModel | None = None,
+        merchant_regions: dict[str, Region] | None = None,
+        broker_region: Region = Region.WISCONSIN,
+        seed: int = 0,
+        server_concurrency: int | None = None,
+    ) -> None:
+        self.system = system
+        self.sim = sim if sim is not None else Simulator()
+        self.network = Network(
+            self.sim,
+            latency if latency is not None else planetlab_us(seed=seed),
+            cost_model if cost_model is not None else python2006_profile(),
+            seed=seed,
+        )
+        regions = merchant_regions or {}
+        default_regions = [Region.CALIFORNIA, Region.MASSACHUSETTS, Region.MASSACHUSETTS]
+        self.broker_node = self.network.register(
+            Node(BROKER_NODE, broker_region, concurrency=server_concurrency)
+        )
+        self._register_broker_handlers()
+        for index, merchant_id in enumerate(system.merchant_ids):
+            region = regions.get(
+                merchant_id, default_regions[min(index, len(default_regions) - 1)]
+            )
+            node = self.network.register(
+                Node(merchant_id, region, concurrency=server_concurrency)
+            )
+            self._register_merchant_handlers(node, merchant_id)
+        self.clients: dict[str, Client] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_client(self, name: str, region: Region = Region.WISCONSIN) -> Client:
+        """Place a new client on the network."""
+        self.network.register(Node(name, region))
+        client = self.system.new_client()
+        self.clients[name] = client
+        return client
+
+    def now(self) -> int:
+        """The protocol clock: whole simulated seconds."""
+        return int(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Client-side protocol processes
+    # ------------------------------------------------------------------
+    def withdrawal_process(
+        self, client_name: str, info: CoinInfo
+    ) -> Generator[Any, Any, StoredCoin]:
+        """Algorithm 1 over the network (two rounds to the broker)."""
+        client = self.clients[client_name]
+        opened = flatten(
+            (yield self.network.rpc(
+                client_name, BROKER_NODE, "withdraw/begin", {"info": info.to_wire()}
+            ))
+        )
+        challenge = SignerChallenge(
+            a=_as_int(opened["ticket.a"]), b=_as_int(opened["ticket.b"])
+        )
+        ticket = _as_int(opened["ticket.id"])
+        session = client.begin_withdrawal(info, challenge)
+        answered = yield self.network.rpc(
+            client_name,
+            BROKER_NODE,
+            "withdraw/complete",
+            {"ticket": ticket, "e": session.e},
+        )
+        response = SignerResponse(
+            r=_as_int(answered["r"]),
+            c=_as_int(answered["c"]),
+            s=_as_int(answered["s"]),
+        )
+        table = self.system.broker.tables[info.list_version]
+        return client.finish_withdrawal(session, response, table)
+
+    def batch_withdrawal_process(
+        self, client_name: str, infos: list[CoinInfo]
+    ) -> Generator[Any, Any, list[StoredCoin]]:
+        """Batched Algorithm 1: several coins, still two rounds total.
+
+        The communication saving the paper's step 0 promises — compare
+        against running :meth:`withdrawal_process` once per coin.
+        """
+        client = self.clients[client_name]
+        opened = flatten(
+            (yield self.network.rpc(
+                client_name,
+                BROKER_NODE,
+                "withdraw/batch-begin",
+                {"batch": {f"i{k}": info.to_wire() for k, info in enumerate(infos)}},
+            ))
+        )
+        ticket = _as_int(opened["ticket"])
+        sessions = []
+        for index, info in enumerate(infos):
+            challenge = SignerChallenge(
+                a=_as_int(opened[f"c{index}.a"]), b=_as_int(opened[f"c{index}.b"])
+            )
+            sessions.append(client.begin_withdrawal(info, challenge))
+        answered = flatten(
+            (yield self.network.rpc(
+                client_name,
+                BROKER_NODE,
+                "withdraw/batch-complete",
+                {
+                    "ticket": ticket,
+                    "es": {f"e{k}": session.e for k, session in enumerate(sessions)},
+                },
+            ))
+        )
+        coins = []
+        for index, (info, session) in enumerate(zip(infos, sessions)):
+            response = SignerResponse(
+                r=_as_int(answered[f"r{index}.r"]),
+                c=_as_int(answered[f"r{index}.c"]),
+                s=_as_int(answered[f"r{index}.s"]),
+            )
+            table = self.system.broker.tables[info.list_version]
+            coins.append(client.finish_withdrawal(session, response, table))
+        return coins
+
+    def payment_process(
+        self,
+        client_name: str,
+        stored: StoredCoin,
+        merchant_id: str,
+    ) -> Generator[Any, Any, PaymentReceipt]:
+        """Algorithm 2 over the network — the Table 2 measured flow.
+
+        Rounds: client<->witness (commitment), client->merchant (payment),
+        merchant<->witness (transcript signing), merchant->client
+        (service) — "3 rounds of message exchange (2 for payment, and 1
+        for commitment)".
+
+        Raises:
+            DoubleSpendError: refused with a verified extraction proof.
+            EcashError subclasses: per failed check, raised remotely.
+        """
+        client = self.clients[client_name]
+        client_node = self.network.node(client_name)
+        start_time = self.sim.now
+        start_bytes = client_node.meter.sent_bytes
+        witness_id = stored.coin.witness_id
+
+        request, pending = client.prepare_commitment_request(
+            stored, merchant_id, self.now()
+        )
+        commit_reply = flatten(
+            (yield self.network.rpc(
+                client_name, witness_id, "witness/commit", request.to_wire()
+            ))
+        )
+        commitment = WitnessCommitment.from_wire(_strip(commit_reply, "commitment."))
+        witness_public = self.system.merchant(merchant_id).witness_keys[witness_id]
+        transcript = client.build_payment(pending, commitment, witness_public, self.now())
+        pay_reply = flatten(
+            (yield self.network.rpc(
+                client_name,
+                merchant_id,
+                "pay",
+                {
+                    "transcript": transcript.to_wire(),
+                    "commitment": commitment.to_wire(),
+                },
+            ))
+        )
+        if pay_reply.get("status") == "double-spend":
+            proof = DoubleSpendProof.from_wire(_strip(pay_reply, "proof."))
+            raise DoubleSpendError(proof)
+        client.mark_spent(stored)
+        return PaymentReceipt(
+            merchant_id=merchant_id,
+            amount=stored.denomination,
+            elapsed=self.sim.now - start_time,
+            client_bytes_sent=client_node.meter.sent_bytes - start_bytes,
+        )
+
+    def deposit_process(self, merchant_id: str) -> Generator[Any, Any, list[dict[str, Any]]]:
+        """Algorithm 3 over the network (one message per transcript)."""
+        merchant = self.system.merchant(merchant_id)
+        results: list[dict[str, Any]] = []
+        for signed in merchant.pending_deposits():
+            reply = yield self.network.rpc(
+                merchant_id,
+                BROKER_NODE,
+                "deposit",
+                {"merchant_id": merchant_id, "signed": signed.to_wire()},
+            )
+            merchant.mark_deposited(signed)
+            results.append(reply)
+        return results
+
+    def renewal_process(
+        self, client_name: str, stored: StoredCoin, new_info: CoinInfo
+    ) -> Generator[Any, Any, StoredCoin]:
+        """Algorithm 4 over the network (two rounds to the broker)."""
+        client = self.clients[client_name]
+        opened = flatten(
+            (yield self.network.rpc(
+                client_name, BROKER_NODE, "renew/begin", {"info": new_info.to_wire()}
+            ))
+        )
+        challenge = SignerChallenge(
+            a=_as_int(opened["ticket.a"]), b=_as_int(opened["ticket.b"])
+        )
+        ticket = _as_int(opened["ticket.id"])
+        session = client.begin_withdrawal(new_info, challenge)
+        timestamp, salt, r1_star, r2_star = client.renewal_proof(stored, self.now())
+        answered = yield self.network.rpc(
+            client_name,
+            BROKER_NODE,
+            "renew/complete",
+            {
+                "ticket": ticket,
+                "e": session.e,
+                "old": stored.coin.bare.to_wire(),
+                "proof_ts": timestamp,
+                "proof_salt": salt,
+                "r1": r1_star,
+                "r2": r2_star,
+            },
+        )
+        response = SignerResponse(
+            r=_as_int(answered["r"]),
+            c=_as_int(answered["c"]),
+            s=_as_int(answered["s"]),
+        )
+        table = self.system.broker.tables[new_info.list_version]
+        fresh = client.finish_withdrawal(session, response, table)
+        client.mark_spent(stored)
+        return fresh
+
+    def robust_payment_process(
+        self,
+        client_name: str,
+        stored: StoredCoin,
+        merchant_id: str,
+        max_attempts: int = 3,
+    ) -> Generator[Any, Any, PaymentReceipt]:
+        """Payment with the paper's witness-outage fallback built in.
+
+        Attempts the payment; if the coin's witness is unreachable
+        (timeout / offline), renews the coin at the broker — obtaining a
+        fresh coin with a (very likely) different witness — and retries.
+        This is the client behaviour Section 4's soft-expiry mechanism
+        exists to enable: *"This approach allows clients ... to recover
+        from faulty witnesses."*
+
+        Raises:
+            ServiceUnavailableError: every attempt exhausted (witnesses and
+                broker both unreachable).
+            DoubleSpendError / other EcashError: non-availability refusals
+                propagate immediately — retrying cannot fix those.
+        """
+        from repro.net.sim import SimTimeoutError
+
+        current = stored
+        last_error: Exception | None = None
+        for _ in range(max_attempts):
+            try:
+                receipt = yield from self.payment_process(
+                    client_name, current, merchant_id
+                )
+                return receipt
+            except (SimTimeoutError, ServiceUnavailableError) as error:
+                last_error = error
+                new_info = CoinInfo(
+                    denomination=current.coin.denomination,
+                    list_version=self.system.broker.current_table.version,
+                    soft_expiry=max(current.coin.info.soft_expiry, self.now() + 3600),
+                    hard_expiry=max(current.coin.info.hard_expiry, self.now() + 7200),
+                )
+                current = yield from self.renewal_process(
+                    client_name, current, new_info
+                )
+        raise ServiceUnavailableError(
+            f"payment failed after {max_attempts} attempts: {last_error}"
+        )
+
+    def apply_churn(
+        self,
+        model,
+        horizon: float,
+        node_names: list[str] | None = None,
+    ) -> dict[str, object]:
+        """Schedule up/down transitions for nodes from a churn model.
+
+        Args:
+            model: a :class:`repro.net.churn.ChurnModel`.
+            horizon: how far ahead (simulated seconds) to schedule.
+            node_names: which nodes churn (default: all merchant nodes —
+                the broker and clients stay up, matching the paper's
+                merchant-churn discussion).
+
+        Returns:
+            The sampled :class:`AvailabilityTimeline` per node.
+        """
+        names = node_names if node_names is not None else list(self.system.merchant_ids)
+        timelines = {}
+        for name in names:
+            node = self.network.node(name)
+            timeline = model.timeline(horizon)
+            timelines[name] = timeline
+            node.set_up(timeline.is_up(self.sim.now))
+            up = timeline.initially_up
+            for transition in timeline.transitions:
+                up = not up
+                delay = transition - self.sim.now
+                if delay >= 0:
+                    self.sim.schedule(delay, node.set_up, up)
+        return timelines
+
+    def run(self, process: Generator[Any, Any, Any]) -> Any:
+        """Run a client process (metered) to completion on the event loop."""
+        wrapped = metered(process, self.network.cost_model, self.network.rng)
+        return self.sim.run_process(wrapped)
+
+    # ------------------------------------------------------------------
+    # Server-side handlers
+    # ------------------------------------------------------------------
+    def _register_broker_handlers(self) -> None:
+        broker = self.system.broker
+
+        def withdraw_begin(payload: dict[str, Any]) -> dict[str, Any]:
+            info = CoinInfo.from_wire(_strip(flatten(payload), "info."))
+            ticket, challenge = broker.begin_withdrawal(info)
+            return {"ticket": {"id": ticket, "a": challenge.a, "b": challenge.b}}
+
+        def withdraw_complete(payload: dict[str, Any]) -> dict[str, Any]:
+            response = broker.complete_withdrawal(
+                _as_int(payload["ticket"]), _as_int(payload["e"])
+            )
+            return {"r": response.r, "c": response.c, "s": response.s}
+
+        def renew_begin(payload: dict[str, Any]) -> dict[str, Any]:
+            info = CoinInfo.from_wire(_strip(flatten(payload), "info."))
+            ticket, challenge = broker.begin_renewal(info)
+            return {"ticket": {"id": ticket, "a": challenge.a, "b": challenge.b}}
+
+        def renew_complete(payload: dict[str, Any]) -> dict[str, Any]:
+            flat = flatten(payload)
+            old = BareCoin.from_wire(_strip(flat, "old."))
+            response = broker.complete_renewal(
+                _as_int(payload["ticket"]),
+                _as_int(payload["e"]),
+                old,
+                _as_int(payload["proof_ts"]),
+                _as_int(payload["proof_salt"]),
+                _as_int(payload["r1"]),
+                _as_int(payload["r2"]),
+                self.now(),
+            )
+            return {"r": response.r, "c": response.c, "s": response.s}
+
+        def deposit(payload: dict[str, Any]) -> dict[str, Any]:
+            flat = flatten(payload)
+            signed = SignedTranscript.from_wire(_strip(flat, "signed."))
+            result = broker.deposit(str(payload["merchant_id"]), signed, self.now())
+            return {"outcome": result.outcome.value, "amount": result.amount}
+
+        def withdraw_batch_begin(payload: dict[str, Any]) -> dict[str, Any]:
+            flat = flatten(payload)
+            indices = sorted(
+                {int(key.split(".")[1][1:]) for key in flat if key.startswith("batch.i")}
+            )
+            infos = [
+                CoinInfo.from_wire(_strip(flat, f"batch.i{index}.")) for index in indices
+            ]
+            ticket, challenges = broker.begin_batch_withdrawal(infos)
+            out: dict[str, Any] = {"ticket": ticket}
+            for index, challenge in enumerate(challenges):
+                out[f"c{index}"] = {"a": challenge.a, "b": challenge.b}
+            return out
+
+        def withdraw_batch_complete(payload: dict[str, Any]) -> dict[str, Any]:
+            flat = flatten(payload)
+            indices = sorted(
+                int(key.removeprefix("es.e")) for key in flat if key.startswith("es.e")
+            )
+            es = [_as_int(flat[f"es.e{index}"]) for index in indices]
+            responses = broker.complete_batch_withdrawal(_as_int(payload["ticket"]), es)
+            out: dict[str, Any] = {}
+            for index, response in enumerate(responses):
+                out[f"r{index}"] = {"r": response.r, "c": response.c, "s": response.s}
+            return out
+
+        self.broker_node.on("withdraw/begin", withdraw_begin)
+        self.broker_node.on("withdraw/complete", withdraw_complete)
+        self.broker_node.on("withdraw/batch-begin", withdraw_batch_begin)
+        self.broker_node.on("withdraw/batch-complete", withdraw_batch_complete)
+        self.broker_node.on("renew/begin", renew_begin)
+        self.broker_node.on("renew/complete", renew_complete)
+        self.broker_node.on("deposit", deposit)
+
+    def _register_merchant_handlers(self, node: Node, merchant_id: str) -> None:
+        merchant = self.system.merchant(merchant_id)
+        witness = self.system.witness(merchant_id)
+
+        def witness_commit(payload: dict[str, Any]) -> dict[str, Any]:
+            request = CommitmentRequest.from_wire(_strip(flatten(payload), ""))
+            commitment = witness.request_commitment(request, self.now())
+            return {"commitment": commitment.to_wire()}
+
+        def witness_sign(payload: dict[str, Any]) -> dict[str, Any]:
+            transcript = PaymentTranscript.from_wire(_strip(flatten(payload), "transcript."))
+            try:
+                signed = witness.sign_transcript(transcript, self.now())
+            except DoubleSpendError as refusal:
+                return {"status": "double-spend", "proof": refusal.proof.to_wire()}
+            return {"status": "ok", "signed": signed.to_wire()}
+
+        def pay(payload: dict[str, Any]) -> Generator[Any, Any, dict[str, Any]]:
+            flat = flatten(payload)
+            transcript = PaymentTranscript.from_wire(_strip(flat, "transcript."))
+            commitment = WitnessCommitment.from_wire(_strip(flat, "commitment."))
+            merchant.verify_payment_request(
+                PaymentRequest(transcript=transcript, commitment=commitment), self.now()
+            )
+            reply = flatten(
+                (yield self.network.rpc(
+                    merchant_id,
+                    transcript.coin.witness_id,
+                    "witness/sign",
+                    {"transcript": transcript.to_wire()},
+                ))
+            )
+            if reply.get("status") == "double-spend":
+                proof = DoubleSpendProof.from_wire(_strip(reply, "proof."))
+                try:
+                    merchant.handle_double_spend_proof(proof, transcript.coin)
+                except DoubleSpendError:
+                    pass
+                return {"status": "double-spend", "proof": proof.to_wire()}
+            signed = SignedTranscript.from_wire(_strip(reply, "signed."))
+            merchant.accept_signed_transcript(signed, self.now())
+            return {"status": "service", "amount": transcript.coin.denomination}
+
+        node.on("witness/commit", witness_commit)
+        node.on("witness/sign", witness_sign)
+        node.on("pay", pay)
+
+
+def _strip(fields: dict[str, Any], prefix: str) -> dict[str, str]:
+    """Select keys under ``prefix`` and coerce values to wire text."""
+    out: dict[str, str] = {}
+    for key, value in fields.items():
+        if key.startswith(prefix):
+            out[key.removeprefix(prefix)] = _as_text(value)
+    return out
+
+
+def _as_text(value: Any) -> str:
+    if isinstance(value, int):
+        return int_to_text(value)
+    return str(value)
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, int):
+        return value
+    return text_to_int(str(value))
+
+
+__all__ = ["NetworkDeployment", "PaymentReceipt", "BROKER_NODE"]

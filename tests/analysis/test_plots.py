@@ -1,0 +1,45 @@
+"""Tests for the terminal plots."""
+
+import pytest
+
+from repro.analysis.plots import histogram, sparkline
+
+
+class TestHistogram:
+    def test_buckets_and_counts(self):
+        text = histogram([1.0, 1.1, 5.0, 9.9], bins=3, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # All four samples accounted for.
+        assert sum(int(line.rsplit(" ", 1)[1]) for line in lines) == 4
+
+    def test_degenerate_sample(self):
+        text = histogram([3.0, 3.0, 3.0], width=5)
+        assert "#####" in text
+        assert "(3)" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_peak_bucket_full_width(self):
+        text = histogram([1.0] * 10 + [2.0], bins=2, width=20)
+        first = text.splitlines()[0]
+        assert "#" * 20 in first
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == " "
+        assert line[-1] == "█"
+        assert len(line) == 9
+
+    def test_flat(self):
+        assert sparkline([2.0, 2.0]) == "▄▄"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

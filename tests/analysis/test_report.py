@@ -1,0 +1,24 @@
+"""Tests for the consolidated reproduction report."""
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+def test_generate_report_fast(tmp_path):
+    path = tmp_path / "report.md"
+    text = generate_report(path, trials=3, fast=True, seed=7)
+    assert path.read_text() == text
+    assert "# Reproduction report" in text
+    assert "9/9 cells match the paper exactly." in text
+    assert "Table 2" in text
+    assert "Rounds per protocol" in text
+    assert "aggregate compute per payment" in text
+
+
+def test_report_cli(tmp_path, capsys):
+    output = tmp_path / "r.md"
+    code = main(["report", "--fast", "--trials", "2", "--output", str(output)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert output.exists()
+    assert "written to" in out

@@ -1,0 +1,64 @@
+"""Tests for the WhoPay/Hoepman DHT spent-coin baseline."""
+
+import pytest
+
+from repro.baselines.dht_spent_db import DhtSpentCoinDb, predicted_detection_rate
+from repro.analysis.stats import mean
+
+NAMES = [f"merchant-{i}" for i in range(60)]
+
+
+def test_honest_overlay_detects_everything():
+    db = DhtSpentCoinDb(NAMES, replication=3, compromised_fraction=0.0, seed=1)
+    rate = db.double_spend_detection_rate(attempts=100)
+    assert rate == 1.0
+
+
+def test_first_spend_accepted():
+    db = DhtSpentCoinDb(NAMES, replication=3, seed=2)
+    result = db.spend(123456, "merchant-1")
+    assert result.accepted
+    assert not result.detected_double_spend
+    assert result.lookup_hops >= 1
+
+
+def test_second_spend_detected():
+    db = DhtSpentCoinDb(NAMES, replication=3, seed=3)
+    db.spend(777, "merchant-1")
+    again = db.spend(777, "merchant-2")
+    assert not again.accepted
+    assert again.detected_double_spend
+
+
+def test_compromised_overlay_misses_double_spends():
+    """The paper's core criticism: detection becomes probabilistic."""
+    rates = []
+    for seed in range(8):
+        db = DhtSpentCoinDb(NAMES, replication=2, compromised_fraction=0.5, seed=seed)
+        rates.append(db.double_spend_detection_rate(attempts=120, key_seed=seed))
+    average = mean(rates)
+    predicted = predicted_detection_rate(0.5, 2)  # 0.75
+    assert average < 1.0  # hard guarantee is lost
+    assert abs(average - predicted) < 0.15
+
+
+def test_detection_rate_monotone_in_replication():
+    low, high = [], []
+    for seed in range(6):
+        low.append(
+            DhtSpentCoinDb(NAMES, replication=1, compromised_fraction=0.4, seed=seed)
+            .double_spend_detection_rate(attempts=100, key_seed=seed)
+        )
+        high.append(
+            DhtSpentCoinDb(NAMES, replication=4, compromised_fraction=0.4, seed=seed)
+            .double_spend_detection_rate(attempts=100, key_seed=seed)
+        )
+    assert mean(high) > mean(low)
+
+
+def test_predicted_rate_formula():
+    assert predicted_detection_rate(0.0, 3) == 1.0
+    assert predicted_detection_rate(1.0, 3) == 0.0
+    assert predicted_detection_rate(0.5, 3) == pytest.approx(0.875)
+    with pytest.raises(ValueError):
+        predicted_detection_rate(1.5, 3)

@@ -1,0 +1,65 @@
+"""Tests for the Chaum-style online-clearing baseline."""
+
+import pytest
+
+from repro.baselines.online_broker import OnlineBroker
+from repro.core.exceptions import DoubleSpendError, InvalidCoinError, ServiceUnavailableError
+from repro.core.protocols import run_withdrawal
+
+
+@pytest.fixture()
+def online(system):
+    return OnlineBroker(params=system.params, broker=system.broker)
+
+
+@pytest.fixture()
+def coin(system):
+    client = system.new_client()
+    return run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+
+
+def test_first_spend_clears(system, online, coin):
+    result = online.spend_online(coin, "shop-a", now=10)
+    assert result.accepted
+    assert result.broker_queries == 1
+
+
+def test_double_spend_always_detected(system, online, coin):
+    online.spend_online(coin, "shop-a", now=10)
+    with pytest.raises(DoubleSpendError) as refusal:
+        online.spend_online(coin, "shop-b", now=20)
+    assert refusal.value.proof.verify(system.params, coin.coin)
+
+
+def test_broker_down_blocks_every_payment(system, online, coin):
+    """The single point of failure the paper's design removes."""
+    online.online = False
+    with pytest.raises(ServiceUnavailableError):
+        online.spend_online(coin, "shop-a", now=10)
+
+
+def test_broker_load_grows_with_payments(system, online):
+    client = system.new_client()
+    for index in range(5):
+        stored = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+        online.spend_online(stored, f"shop-{index}", now=10)
+    assert online.queries_served == 5
+
+
+def test_forged_coin_rejected(system, online, coin):
+    from repro.core.client import StoredCoin
+    from repro.core.coin import BareCoin, Coin
+    from repro.crypto.blind import PartiallyBlindSignature
+
+    forged_bare = BareCoin(
+        signature=PartiallyBlindSignature(rho=1, omega=2, sigma=3, delta=4),
+        info=coin.coin.info,
+        commitment_a=coin.coin.bare.commitment_a,
+        commitment_b=coin.coin.bare.commitment_b,
+    )
+    forged = StoredCoin(
+        coin=Coin(bare=forged_bare, witness_entry=coin.coin.witness_entry),
+        secrets=coin.secrets,
+    )
+    with pytest.raises(InvalidCoinError):
+        online.spend_online(forged, "shop-a", now=10)

@@ -1,0 +1,172 @@
+"""Tests for third-party conflict resolution."""
+
+import pytest
+
+from repro.core.arbiter import Arbiter, Verdict
+from repro.core.exceptions import DoubleSpendError
+from repro.core.protocols import run_payment
+from repro.core.transcripts import DoubleSpendProof, PaymentTranscript, SignedTranscript
+from repro.crypto.representation import Representation
+from tests.conftest import other_merchant
+
+
+@pytest.fixture()
+def arbiter(system):
+    return Arbiter(
+        params=system.params,
+        broker_blind_public=system.broker.blind_public,
+        broker_sign_public=system.broker.sign_public,
+    )
+
+
+def test_valid_double_spend_proof_convicts_client(system, arbiter, funded_client):
+    client, stored = funded_client
+    proof = DoubleSpendProof(
+        coin_hash=stored.coin.digest(system.params), x=stored.secrets.x, y=None
+    )
+    judgment = arbiter.judge_double_spend_claim(stored.coin, proof)
+    assert judgment.verdict is Verdict.CLIENT_DOUBLE_SPENT
+
+
+def test_invalid_proof_rejected(system, arbiter, funded_client):
+    client, stored = funded_client
+    bogus = DoubleSpendProof(
+        coin_hash=stored.coin.digest(system.params), x=Representation(7, 8), y=None
+    )
+    judgment = arbiter.judge_double_spend_claim(stored.coin, bogus)
+    assert judgment.verdict is Verdict.PROOF_INVALID
+
+
+def test_conflicting_transcripts_convict_witness(system, arbiter, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    witness.faulty = True
+    candidates = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    signed_a = run_payment(client, stored, system.merchant(candidates[0]), witness, now=10)
+    client.wallet.add(stored)
+    signed_b = run_payment(client, stored, system.merchant(candidates[1]), witness, now=400)
+    judgment = arbiter.judge_conflicting_transcripts(witness.public_key, signed_a, signed_b)
+    assert judgment.verdict is Verdict.WITNESS_VIOLATED
+
+
+def test_identical_transcripts_no_violation(system, arbiter, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, witness, now=10)
+    judgment = arbiter.judge_conflicting_transcripts(witness.public_key, signed, signed)
+    assert judgment.verdict is Verdict.NO_VIOLATION
+
+
+def test_different_coins_no_violation(system, arbiter):
+    from repro.core.protocols import run_withdrawal
+
+    client = system.new_client()
+    signeds = []
+    for _ in range(2):
+        stored = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+        merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+        signeds.append(
+            run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+        )
+    witness_key = system.witness(signeds[0].transcript.coin.witness_id).public_key
+    judgment = arbiter.judge_conflicting_transcripts(witness_key, signeds[0], signeds[1])
+    assert judgment.verdict is Verdict.NO_VIOLATION
+
+
+def test_forged_witness_signature_detected(system, arbiter, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, witness, now=10)
+    from repro.crypto.schnorr import SchnorrSignature
+
+    forged = SignedTranscript(
+        transcript=PaymentTranscript(
+            coin=signed.transcript.coin,
+            response=signed.transcript.response,
+            merchant_id=other_merchant(system, merchant.merchant_id),
+            timestamp=999,
+            salt=1,
+        ),
+        witness_signature=SchnorrSignature(e=1, s=1),
+    )
+    judgment = arbiter.judge_conflicting_transcripts(witness.public_key, signed, forged)
+    assert judgment.verdict is Verdict.PROOF_INVALID
+
+
+def test_commitment_race_honest_witness(system, arbiter, funded_client):
+    """Witness committed after the first spend: its v holds the evidence,
+    so the refusal stands and the client is convicted."""
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    candidates = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    run_payment(client, stored, system.merchant(candidates[0]), witness, now=10)
+    client.wallet.add(stored)
+    # Second merchant gets a commitment (v records the prior spend), then
+    # is refused with a proof.
+    request, pending = client.prepare_commitment_request(stored, candidates[1], now=400)
+    commitment = witness.request_commitment(request, now=400)
+    transcript = client.build_payment(pending, commitment, witness.public_key, now=400)
+    with pytest.raises(DoubleSpendError) as refusal:
+        witness.sign_transcript(transcript, now=400)
+    revealed = witness.reveal_commitment_value(request.coin_hash)
+    judgment = arbiter.judge_commitment_race(
+        witness.public_key, commitment, revealed, refusal.value.proof, stored.coin
+    )
+    assert judgment.verdict is Verdict.CLIENT_DOUBLE_SPENT
+
+
+def test_commitment_race_lying_witness(system, arbiter, funded_client):
+    """Witness committed to a FRESH coin then produced a refusal anyway:
+    revealing v convicts the witness."""
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant_id = other_merchant(system, stored.coin.witness_id)
+    request, _ = client.prepare_commitment_request(stored, merchant_id, now=10)
+    commitment = witness.request_commitment(request, now=10)
+    revealed = witness.reveal_commitment_value(request.coin_hash)
+    assert revealed[0] == "fresh"
+    # The lying witness fabricates a refusal using the real secrets (e.g.
+    # colluding with the client or having extracted them elsewhere).
+    fake_refusal = DoubleSpendProof(
+        coin_hash=stored.coin.digest(system.params), x=stored.secrets.x, y=None
+    )
+    judgment = arbiter.judge_commitment_race(
+        witness.public_key, commitment, revealed, fake_refusal, stored.coin
+    )
+    assert judgment.verdict is Verdict.WITNESS_VIOLATED
+
+
+def test_commitment_race_mismatched_v(system, arbiter, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant_id = other_merchant(system, stored.coin.witness_id)
+    request, _ = client.prepare_commitment_request(stored, merchant_id, now=10)
+    commitment = witness.request_commitment(request, now=10)
+    judgment = arbiter.judge_commitment_race(
+        witness.public_key,
+        commitment,
+        ("fresh", 12345),  # not what was committed
+        DoubleSpendProof(coin_hash=request.coin_hash, x=None, y=None),
+        stored.coin,
+    )
+    assert judgment.verdict is Verdict.WITNESS_VIOLATED
+
+
+def test_judge_payment_transcript(system, arbiter, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, witness, now=10)
+    assert arbiter.judge_payment_transcript(signed.transcript).verdict is Verdict.NO_VIOLATION
+    from repro.crypto.representation import RepresentationResponse
+
+    tampered = PaymentTranscript(
+        coin=signed.transcript.coin,
+        response=RepresentationResponse(r1=1, r2=2),
+        merchant_id=signed.transcript.merchant_id,
+        timestamp=signed.transcript.timestamp,
+        salt=signed.transcript.salt,
+    )
+    assert arbiter.judge_payment_transcript(tampered).verdict is not Verdict.NO_VIOLATION

@@ -1,0 +1,101 @@
+"""Tests for batched withdrawal (Algorithm 1, step 0)."""
+
+import pytest
+
+from repro.core.protocols import run_batch_withdrawal, run_payment
+from repro.core.system import EcashSystem
+from repro.net.costmodel import instant_profile
+from repro.net.services import BROKER_NODE, NetworkDeployment
+from tests.conftest import other_merchant
+
+
+def test_batch_withdrawal_yields_valid_coins(system):
+    client = system.new_client()
+    infos = [system.standard_info(d, now=0) for d in (1, 5, 25)]
+    coins = run_batch_withdrawal(client, system.broker, infos)
+    assert [c.denomination for c in coins] == [1, 5, 25]
+    assert client.wallet.total_value() == 31
+    for stored in coins:
+        stored.coin.ensure_valid_signature(system.params, system.broker.blind_public)
+
+
+def test_batch_charged_once_for_total(system):
+    client = system.new_client()
+    system.ledger.mint("client-card", 100)
+    before = system.ledger.balance("client-card")
+    run_batch_withdrawal(
+        client,
+        system.broker,
+        [system.standard_info(10, now=0)] * 3,
+        paid_by="client-card",
+    )
+    assert before - system.ledger.balance("client-card") == 30
+    assert system.ledger.conserved()
+
+
+def test_batch_coins_unlinkable_structure(system):
+    """Independent blinding per coin: no shared values across the batch."""
+    client = system.new_client()
+    coins = run_batch_withdrawal(
+        client, system.broker, [system.standard_info(25, now=0)] * 3
+    )
+    signatures = [c.coin.bare.signature for c in coins]
+    secrets = [c.secrets for c in coins]
+    assert len(set(signatures)) == 3
+    assert len({s.x for s in secrets}) == 3
+    commitments = [c.coin.bare.commitment_a for c in coins]
+    assert len(set(commitments)) == 3
+
+
+def test_batch_spendable(system):
+    client = system.new_client()
+    coins = run_batch_withdrawal(
+        client, system.broker, [system.standard_info(25, now=0)] * 2
+    )
+    for stored in coins:
+        merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+        run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+
+
+def test_empty_batch_rejected(system):
+    with pytest.raises(ValueError):
+        system.broker.begin_batch_withdrawal([])
+
+
+def test_wrong_challenge_count_rejected(system):
+    client = system.new_client()
+    infos = [system.standard_info(25, now=0)] * 2
+    ticket, challenges = system.broker.begin_batch_withdrawal(infos)
+    with pytest.raises(ValueError):
+        system.broker.complete_batch_withdrawal(ticket, [1])
+    # The ticket survives a malformed completion attempt.
+    sessions = [client.begin_withdrawal(i, c) for i, c in zip(infos, challenges)]
+    responses = system.broker.complete_batch_withdrawal(ticket, [s.e for s in sessions])
+    assert len(responses) == 2
+
+
+def test_networked_batch_saves_messages_and_bytes(params):
+    """The point of batching: 2 messages for K coins instead of 2K."""
+    batch_size = 4
+
+    def run(batched: bool) -> tuple[int, int]:
+        system = EcashSystem(params=params, seed=500)
+        deployment = NetworkDeployment(system, cost_model=instant_profile(), seed=500)
+        deployment.add_client("c")
+        infos = [system.standard_info(25, now=0) for _ in range(batch_size)]
+        node = deployment.network.node("c")
+        if batched:
+            coins = deployment.run(deployment.batch_withdrawal_process("c", infos))
+        else:
+            coins = [
+                deployment.run(deployment.withdrawal_process("c", info))
+                for info in infos
+            ]
+        assert len(coins) == batch_size
+        return node.meter.messages_sent, node.meter.sent_bytes
+
+    batched_messages, batched_bytes = run(batched=True)
+    separate_messages, separate_bytes = run(batched=False)
+    assert batched_messages == 2
+    assert separate_messages == 2 * batch_size
+    assert batched_bytes < separate_bytes  # HTTP framing amortized away

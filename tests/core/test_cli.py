@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.protocols import run_withdrawal
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_demo(capsys):
+    code, out = run_cli(capsys, "demo")
+    assert code == 0
+    assert "ledger conserved = True" in out
+
+
+def test_demo_custom_denomination(capsys):
+    code, out = run_cli(capsys, "--seed", "3", "demo", "--denomination", "99")
+    assert code == 0
+    assert "0.99" in out
+
+
+def test_attack(capsys):
+    code, out = run_cli(capsys, "attack")
+    assert code == 0
+    assert "refused in real time" in out
+    assert "proof verifies: True" in out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "12/4/0/1" in out
+    assert "NO" not in out.replace("NO.", "")
+
+
+def test_table2_fast(capsys):
+    code, out = run_cli(capsys, "table2", "--trials", "3", "--fast")
+    assert code == 0
+    assert "Table 2" in out
+    assert "Paper avg" in out
+
+
+def test_rounds(capsys):
+    code, out = run_cli(capsys, "rounds")
+    assert code == 0
+    assert "withdrawal" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(capsys, "trace")
+    assert code == 0
+    assert "witness/commit" in out
+    assert "deposit" in out
+
+
+def test_wallet(capsys, system, tmp_path):
+    client = system.new_client()
+    run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    path = tmp_path / "wallet.json"
+    client.wallet.save(path)
+    code, out = run_cli(capsys, "wallet", str(path))
+    assert code == 0
+    assert "total 25 cents" in out
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])

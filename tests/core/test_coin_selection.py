@@ -1,0 +1,127 @@
+"""Tests for wallet coin selection and multi-coin purchases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocols import run_batch_withdrawal, run_purchase
+from tests.conftest import other_merchant
+
+
+def fill_wallet(system, client, denominations):
+    infos = [system.standard_info(d, now=0) for d in denominations]
+    return run_batch_withdrawal(client, system.broker, infos)
+
+
+class TestSelectCoins:
+    def test_exact_single_coin(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [25, 10, 5])
+        chosen = client.wallet.select_coins(10, now=0)
+        assert [c.denomination for c in chosen] == [10]
+
+    def test_greedy_combination(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [25, 25, 5, 5])
+        chosen = client.wallet.select_coins(60, now=0)
+        assert sum(c.denomination for c in chosen) == 60
+        assert len(chosen) == 4
+
+    def test_greedy_failure_falls_back_to_dp(self, system):
+        """Pay 30 from {25, 10, 10, 10}: greedy picks 25 and strands 5."""
+        client = system.new_client()
+        fill_wallet(system, client, [25, 10, 10, 10])
+        chosen = client.wallet.select_coins(30, now=0)
+        assert sum(c.denomination for c in chosen) == 30
+        assert [c.denomination for c in chosen] == [10, 10, 10]
+
+    def test_insufficient_balance(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [5])
+        with pytest.raises(ValueError, match="cannot pay"):
+            client.wallet.select_coins(10, now=0)
+
+    def test_untileable_amount(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [25, 25])
+        with pytest.raises(ValueError, match="exactly"):
+            client.wallet.select_coins(30, now=0)
+
+    def test_non_positive_amount(self, system):
+        client = system.new_client()
+        with pytest.raises(ValueError):
+            client.wallet.select_coins(0, now=0)
+
+    def test_expired_coins_excluded(self, system):
+        client = system.new_client()
+        coins = fill_wallet(system, client, [25])
+        soft = coins[0].coin.info.soft_expiry
+        with pytest.raises(ValueError):
+            client.wallet.select_coins(25, now=soft + 1)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        denominations=st.lists(
+            st.sampled_from([1, 5, 10, 25, 100]), min_size=1, max_size=8
+        ),
+        data=st.data(),
+    )
+    def test_selection_property(self, denominations, data):
+        """If ANY subset tiles the amount, select_coins finds one.
+
+        Pure wallet-arithmetic property: uses lightweight fake coins (no
+        crypto) so hypothesis can explore widely.
+        """
+        from itertools import combinations
+        from unittest.mock import Mock
+
+        fakes = []
+        for denomination in denominations:
+            fake = Mock()
+            fake.denomination = denomination
+            fake.coin.info.is_spendable.return_value = True
+            fakes.append(fake)
+        from repro.core.client import Wallet
+
+        wallet = Wallet(coins=list(fakes))
+        amount = data.draw(
+            st.integers(min_value=1, max_value=sum(denominations)), label="amount"
+        )
+        tileable = any(
+            sum(c.denomination for c in combo) == amount
+            for size in range(1, len(fakes) + 1)
+            for combo in combinations(fakes, size)
+        )
+        if tileable:
+            chosen = wallet.select_coins(amount, now=0)
+            assert sum(c.denomination for c in chosen) == amount
+            assert len(set(map(id, chosen))) == len(chosen)  # no coin reused
+        else:
+            with pytest.raises(ValueError):
+                wallet.select_coins(amount, now=0)
+
+
+class TestRunPurchase:
+    def test_multi_coin_purchase(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [25, 25, 10])
+        merchant = system.merchant(system.merchant_ids[0])
+        witnesses = {m: system.witness(m) for m in system.merchant_ids}
+        signed = run_purchase(client, 60, merchant, witnesses, now=10)
+        assert sum(s.transcript.coin.denomination for s in signed) == 60
+        assert client.wallet.total_value() == 0
+        # All transcripts deposit and the merchant is made whole.
+        from repro.core.protocols import run_deposit
+
+        results = run_deposit(merchant, system.broker, now=20)
+        assert sum(r.amount for r in results) == 60
+        assert system.ledger.conserved()
+
+    def test_purchase_rejects_unpayable_amount(self, system):
+        client = system.new_client()
+        fill_wallet(system, client, [25])
+        merchant = system.merchant(system.merchant_ids[0])
+        witnesses = {m: system.witness(m) for m in system.merchant_ids}
+        with pytest.raises(ValueError):
+            run_purchase(client, 26, merchant, witnesses, now=10)
+        # The held coin was not burned by the failed attempt.
+        assert client.wallet.total_value() == 25

@@ -1,0 +1,125 @@
+"""Tests for the deposit protocol (Algorithm 3), including case 2-b."""
+
+import pytest
+
+from repro.core.broker import DepositOutcome
+from repro.core.exceptions import (
+    DoubleDepositError,
+    ExpiredCoinError,
+    InvalidPaymentError,
+    UnknownMerchantError,
+)
+from repro.core.protocols import run_deposit, run_payment, run_withdrawal
+from tests.conftest import other_merchant
+
+
+@pytest.fixture()
+def paid_merchant(system, funded_client):
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    return merchant, signed, stored
+
+
+def test_deposit_credits_merchant(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    results = run_deposit(merchant, system.broker, now=20)
+    assert len(results) == 1
+    assert results[0].outcome is DepositOutcome.CREDITED
+    assert system.broker.merchant_balance(merchant.merchant_id) == stored.denomination
+    assert system.ledger.conserved()
+
+
+def test_double_deposit_same_merchant_refused(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    system.broker.deposit(merchant.merchant_id, signed, now=20)
+    with pytest.raises(DoubleDepositError):
+        system.broker.deposit(merchant.merchant_id, signed, now=30)
+    assert system.broker.merchant_balance(merchant.merchant_id) == stored.denomination
+
+
+def test_case_2b_witness_charged(system, funded_client):
+    """Faulty witness signs two transcripts; the second merchant is still
+    paid — from the witness's security deposit."""
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    witness.faulty = True
+    witness_id = stored.coin.witness_id
+    candidates = [m for m in system.merchant_ids if m != witness_id]
+    merchant_a, merchant_b = system.merchant(candidates[0]), system.merchant(candidates[1])
+    run_payment(client, stored, merchant_a, witness, now=10)
+    client.wallet.add(stored)
+    run_payment(client, stored, merchant_b, witness, now=400)
+
+    deposit_before = system.broker.security_deposit_balance(witness_id)
+    run_deposit(merchant_a, system.broker, now=500)
+    results = run_deposit(merchant_b, system.broker, now=600)
+
+    assert results[0].outcome is DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT
+    assert results[0].witness_fault_proof is not None
+    assert system.broker.merchant_balance(merchant_a.merchant_id) == 25
+    assert system.broker.merchant_balance(merchant_b.merchant_id) == 25
+    assert (
+        system.broker.security_deposit_balance(witness_id) == deposit_before - 25
+    )
+    assert system.broker.merchants[witness_id].incidents == 1
+    assert len(system.broker.witness_fault_log) == 1
+    assert system.ledger.conserved()
+
+
+def test_unknown_depositor_rejected(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    with pytest.raises(UnknownMerchantError):
+        system.broker.deposit("nobody", signed, now=20)
+
+
+def test_transcript_merchant_mismatch_rejected(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    thief = other_merchant(system, merchant.merchant_id)
+    with pytest.raises(InvalidPaymentError):
+        system.broker.deposit(thief, signed, now=20)
+
+
+def test_soft_expired_coin_uncashable(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    with pytest.raises(ExpiredCoinError):
+        system.broker.deposit(
+            merchant.merchant_id, signed, now=stored.coin.info.soft_expiry + 1
+        )
+
+
+def test_forged_witness_signature_rejected(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    from repro.core.transcripts import SignedTranscript
+    from repro.crypto.schnorr import SchnorrSignature
+
+    forged = SignedTranscript(
+        transcript=signed.transcript,
+        witness_signature=SchnorrSignature(
+            e=(signed.witness_signature.e + 1) % system.params.group.q,
+            s=signed.witness_signature.s,
+        ),
+    )
+    with pytest.raises(InvalidPaymentError):
+        system.broker.deposit(merchant.merchant_id, forged, now=20)
+
+
+def test_purge_expired_records(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    system.broker.deposit(merchant.merchant_id, signed, now=20)
+    assert system.broker.purge_expired_records(now=30) == 0
+    removed = system.broker.purge_expired_records(now=stored.coin.info.hard_expiry + 1)
+    assert removed == 1
+
+
+def test_witness_performance_feeds_next_table(system, paid_merchant):
+    merchant, signed, stored = paid_merchant
+    system.broker.deposit(merchant.merchant_id, signed, now=20)
+    performance = system.broker.witness_performance()
+    witness_id = stored.coin.witness_id
+    assert performance[witness_id] > performance[merchant.merchant_id] or (
+        witness_id == merchant.merchant_id
+    )
+    table = system.broker.publish_witness_table(performance)
+    assert table.version == 2
+    assert table.selection_probability(witness_id) > 1.0 / (2 * len(system.merchant_ids))

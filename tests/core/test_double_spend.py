@@ -1,0 +1,121 @@
+"""Tests for double-spending detection and the extraction proof."""
+
+import pytest
+
+from repro.core.exceptions import DoubleSpendError, InvalidPaymentError
+from repro.core.protocols import run_payment, run_withdrawal
+from repro.core.transcripts import DoubleSpendProof
+from tests.conftest import other_merchant
+
+
+@pytest.fixture()
+def double_spend_setup(system, funded_client):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    candidates = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    first, second = candidates[0], candidates[1]
+    run_payment(client, stored, system.merchant(first), witness, now=10)
+    client.wallet.add(stored)  # the attacker keeps a copy of the spent coin
+    return client, stored, witness, second
+
+
+def test_second_spend_refused_with_proof(system, double_spend_setup):
+    client, stored, witness, second = double_spend_setup
+    with pytest.raises(DoubleSpendError) as refusal:
+        run_payment(client, stored, system.merchant(second), witness, now=400)
+    proof = refusal.value.proof
+    assert proof.verify(system.params, stored.coin)
+
+
+def test_extraction_recovers_true_secrets(system, double_spend_setup):
+    client, stored, witness, second = double_spend_setup
+    with pytest.raises(DoubleSpendError) as refusal:
+        run_payment(client, stored, system.merchant(second), witness, now=400)
+    proof = refusal.value.proof
+    # The revealed representation of A is the client's actual secret.
+    assert proof.x == stored.secrets.x
+
+
+def test_witness_drops_transcript_after_extraction(system, double_spend_setup):
+    """Privacy: after extraction the witness keeps only the secrets,
+    so it can no longer reveal where the coin was first spent."""
+    client, stored, witness, second = double_spend_setup
+    digest = stored.coin.digest(system.params)
+    assert witness._spent[digest].transcript is not None
+    with pytest.raises(DoubleSpendError):
+        run_payment(client, stored, system.merchant(second), witness, now=400)
+    record = witness._spent[digest]
+    assert record.transcript is None
+    assert record.proof is not None
+    assert record.proof.y is None  # only the A-representation is released
+
+
+def test_third_attempt_served_from_stored_proof(system, double_spend_setup):
+    client, stored, witness, second = double_spend_setup
+    with pytest.raises(DoubleSpendError):
+        run_payment(client, stored, system.merchant(second), witness, now=400)
+    third = next(
+        m
+        for m in system.merchant_ids
+        if m not in (stored.coin.witness_id, second)
+        and not system.merchant(m)._seen_bare_coins
+    )
+    with pytest.raises(DoubleSpendError) as refusal:
+        run_payment(client, stored, system.merchant(third), witness, now=800)
+    assert refusal.value.proof.verify(system.params, stored.coin)
+
+
+def test_invalid_proof_rejected_by_merchant(system, funded_client):
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    from repro.crypto.representation import Representation
+
+    bogus = DoubleSpendProof(
+        coin_hash=stored.coin.digest(system.params),
+        x=Representation(1, 2),
+        y=None,
+    )
+    with pytest.raises(InvalidPaymentError):
+        merchant.handle_double_spend_proof(bogus, stored.coin)
+
+
+def test_empty_proof_invalid(system, funded_client):
+    client, stored = funded_client
+    proof = DoubleSpendProof(coin_hash=stored.coin.digest(system.params), x=None, y=None)
+    assert not proof.verify(system.params, stored.coin)
+
+
+def test_proof_bound_to_coin(system, funded_client):
+    client, stored = funded_client
+    other = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    proof = DoubleSpendProof(
+        coin_hash=stored.coin.digest(system.params), x=stored.secrets.x, y=stored.secrets.y
+    )
+    assert proof.verify(system.params, stored.coin)
+    assert not proof.verify(system.params, other.coin)
+
+
+def test_faulty_witness_signs_both(system, funded_client):
+    """A faulty witness signs conflicting transcripts — both merchants hold
+    valid signatures (the deposit protocol is where this gets punished)."""
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    witness.faulty = True
+    candidates = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    signed_a = run_payment(client, stored, system.merchant(candidates[0]), witness, now=10)
+    client.wallet.add(stored)
+    signed_b = run_payment(client, stored, system.merchant(candidates[1]), witness, now=400)
+    assert signed_a.verify_witness_signature(system.params, witness.public_key)
+    assert signed_b.verify_witness_signature(system.params, witness.public_key)
+
+
+def test_race_reveal_v_fresh_vs_spent(system, funded_client):
+    """The Section 5 race-condition dispute hook: v reveals what the
+    witness knew at commitment time."""
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    merchant_id = other_merchant(system, stored.coin.witness_id)
+    request, _ = client.prepare_commitment_request(stored, merchant_id, now=10)
+    witness.request_commitment(request, now=10)
+    v = witness.reveal_commitment_value(request.coin_hash)
+    assert v[0] == "fresh"

@@ -1,0 +1,148 @@
+"""Tests for the escrow/tracing extension (cut-and-choose issuing)."""
+
+import random
+
+import pytest
+
+from repro.core.escrow import (
+    TrusteeService,
+    run_escrowed_withdrawal,
+)
+from repro.core.exceptions import ProtocolViolationError
+from repro.core.info import standard_info
+from repro.crypto import counters
+from repro.crypto.blind import PartiallyBlindSigner
+
+
+@pytest.fixture()
+def setting(params):
+    signer = PartiallyBlindSigner(params.group, params.hashes, rng=random.Random(40))
+    trustee = TrusteeService(params=params, rng=random.Random(41))
+    secret = 987654321 % params.group.q
+    with counters.suppressed():
+        identity = pow(params.group.g, secret, params.group.p)
+    info = standard_info(25, list_version=1, now=0)
+    return params, signer, trustee, identity, info
+
+
+def test_escrowed_withdrawal_and_trace(setting):
+    params, signer, trustee, identity, info = setting
+    result = run_escrowed_withdrawal(
+        params, signer, trustee, identity, info, rng=random.Random(50)
+    )
+    assert result.coin.verify_signature(params, signer.public)
+    # The trustee — and only the trustee — recovers the identity.
+    assert trustee.trace(result.coin) == identity
+    assert trustee.traces_performed == 1
+
+
+def test_tag_opaque_without_trustee_key(setting):
+    params, signer, trustee, identity, info = setting
+    result = run_escrowed_withdrawal(
+        params, signer, trustee, identity, info, rng=random.Random(51)
+    )
+    # The broker's view of the coin contains only the ciphertext; a second
+    # trustee with a different key decrypts to something else entirely.
+    impostor = TrusteeService(params=params, rng=random.Random(99))
+    assert impostor.keypair.decrypt(result.coin.tag) != identity
+
+
+def test_cut_and_choose_catches_cheater_in_opened_candidate(setting):
+    params, signer, trustee, identity, info = setting
+    # The client substitutes a fake-identity tag into EVERY position over
+    # repeated runs; whenever the bad candidate is opened, the audit fires.
+    caught = 0
+    passed = 0
+    runs = 12
+    for attempt in range(runs):
+        try:
+            run_escrowed_withdrawal(
+                params,
+                signer,
+                trustee,
+                identity,
+                info,
+                cut_and_choose=4,
+                rng=random.Random(1000 + attempt),
+                cheat_candidate=attempt % 4,
+            )
+            passed += 1
+        except ProtocolViolationError:
+            caught += 1
+    assert caught + passed == runs
+    # With K=4 the cheater escapes ~1/4 of the time; catching must clearly
+    # dominate (P(caught < 5 of 12) < 0.01 under the 3/4 catch rate).
+    assert caught >= 5
+
+
+def test_escaped_cheat_is_still_traceable_to_fake_identity(setting):
+    """Even when a cheater slips through, tracing yields the (wrong)
+    identity it chose — it gains unlinkability to itself but produces a
+    coin whose trace points nowhere, which the broker's registry exposes."""
+    params, signer, trustee, identity, info = setting
+    fake = params.group.g  # identity nobody registered
+    result = None
+    for attempt in range(40):
+        try:
+            result = run_escrowed_withdrawal(
+                params,
+                signer,
+                trustee,
+                identity,
+                info,
+                cut_and_choose=2,  # cheater escapes with p = 1/2
+                rng=random.Random(3000 + attempt),
+                cheat_candidate=attempt % 2,
+                cheat_identity=fake,
+            )
+            break
+        except ProtocolViolationError:
+            continue
+    if result is None:
+        pytest.skip("cheater never escaped in 40 tries (p < 1e-12)")
+    traced = trustee.trace(result.coin)
+    assert traced in (fake, identity)  # escaped => fake; honest candidate => real
+
+
+def test_invalid_cut_and_choose_width(setting):
+    params, signer, trustee, identity, info = setting
+    with pytest.raises(ValueError):
+        run_escrowed_withdrawal(
+            params, signer, trustee, identity, info, cut_and_choose=1
+        )
+
+
+def test_escrowed_coin_tamper_detected(setting):
+    params, signer, trustee, identity, info = setting
+    result = run_escrowed_withdrawal(
+        params, signer, trustee, identity, info, rng=random.Random(52)
+    )
+    from dataclasses import replace
+    from repro.crypto.elgamal import ElGamalCiphertext
+
+    # Swapping in a different tag invalidates the broker's signature: the
+    # tag is part of the blind-signed message, hence non-malleable.
+    other_tag = ElGamalCiphertext(c1=params.group.g, c2=params.group.g1)
+    tampered = replace(result.coin, tag=other_tag)
+    assert not tampered.verify_signature(params, signer.public)
+
+
+def test_escrowed_coin_spendable_with_nizk(setting):
+    """Escrowed coins pay with the same representation proof as plain ones."""
+    params, signer, trustee, identity, info = setting
+    result = run_escrowed_withdrawal(
+        params, signer, trustee, identity, info, rng=random.Random(53)
+    )
+    from repro.crypto.representation import respond, verify_response
+
+    d = params.hashes.H0(
+        *result.coin.message_parts(), "escrow-payment", "shop-a", 10
+    )
+    response = respond(result.secrets, d, params.group.q)
+    assert verify_response(
+        params.group,
+        result.coin.commitment_a,
+        result.coin.commitment_b,
+        d,
+        response,
+    )

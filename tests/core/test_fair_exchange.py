@@ -1,0 +1,185 @@
+"""Tests for the optimistic fair-exchange extension."""
+
+import pytest
+
+from repro.core.fair_exchange import (
+    FairExchangeArbiter,
+    FxDispute,
+    FxResolution,
+    decrypt_good,
+    encrypt_good,
+    make_offer,
+    prepare_bound_payment,
+    verify_binding,
+    verify_delivered_key,
+)
+from repro.core.merchant import PaymentRequest
+from repro.core.protocols import run_deposit
+from tests.conftest import other_merchant
+
+GOOD = b"Chapter 1. It was a bright cold day in April..." * 4
+PRICE = 25
+
+
+@pytest.fixture()
+def exchange_setup(system, funded_client):
+    client, stored = funded_client
+    merchant_id = other_merchant(system, stored.coin.witness_id)
+    merchant = system.merchant(merchant_id)
+    witness = system.witness_of(stored)
+    offer, blob, key = make_offer(
+        system.params, merchant.keypair, merchant_id, "novel-ch1", PRICE, GOOD, now=0
+    )
+    return client, stored, merchant, witness, offer, blob, key
+
+
+def run_bound_payment(system, client, stored, offer, witness, now=10):
+    """Drive the standard payment protocol with an offer-bound salt."""
+    request, pending, opening = prepare_bound_payment(
+        system.params, client, stored, offer, now
+    )
+    commitment = witness.request_commitment(request, now)
+    transcript = client.build_payment(pending, commitment, witness.public_key, now)
+    merchant = system.merchant(offer.merchant_id)
+    merchant.verify_payment_request(
+        PaymentRequest(transcript=transcript, commitment=commitment), now
+    )
+    signed = witness.sign_transcript(transcript, now)
+    merchant.accept_signed_transcript(signed, now)
+    client.mark_spent(stored)
+    return transcript, opening
+
+
+class TestSymmetricLayer:
+    def test_roundtrip(self):
+        assert decrypt_good(42, encrypt_good(42, GOOD)) == GOOD
+
+    def test_wrong_key_garbage(self):
+        assert decrypt_good(43, encrypt_good(42, GOOD)) != GOOD
+
+    def test_empty_good(self):
+        assert decrypt_good(1, encrypt_good(1, b"")) == b""
+
+
+class TestHappyPath:
+    def test_offer_verifies(self, system, exchange_setup):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        assert offer.verify(system.params, merchant.public_key)
+        assert not offer.verify(system.params, system.broker.sign_public)
+
+    def test_pay_then_decrypt(self, system, exchange_setup):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        # Merchant delivers the key; client verifies and decrypts.
+        assert verify_delivered_key(system.params, offer, key)
+        assert decrypt_good(key, blob) == GOOD
+        # The payment is a perfectly normal one: it deposits fine.
+        results = run_deposit(merchant, system.broker, now=100)
+        assert results[0].amount == PRICE
+
+    def test_binding_provable_and_private(self, system, exchange_setup):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        assert verify_binding(system.params, transcript, offer, opening)
+        assert not verify_binding(system.params, transcript, offer, opening + 1)
+        # Without the opening, the salt is an opaque hash — indistinguishable
+        # from a normal payment's random salt (structural privacy check).
+        assert transcript.salt != offer.digest(system.params)
+
+
+class TestDisputes:
+    @pytest.fixture()
+    def arbiter(self, system):
+        return FairExchangeArbiter(params=system.params, broker=system.broker)
+
+    def test_withheld_key_forced_release(self, system, exchange_setup, arbiter):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        dispute = FxDispute(
+            offer=offer, transcript=transcript, opening=opening, encrypted_good=blob
+        )
+        resolution, released = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=key,  # merchant answers the arbiter's demand
+            refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.KEY_RELEASED
+        assert decrypt_good(released, blob) == GOOD
+
+    def test_unresponsive_merchant_refund(self, system, exchange_setup, arbiter):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        run_deposit(merchant, system.broker, now=60)  # merchant even cashed it
+        dispute = FxDispute(
+            offer=offer, transcript=transcript, opening=opening, encrypted_good=blob
+        )
+        resolution, released = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=None,  # merchant never answers
+            refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.CLIENT_REFUNDED
+        assert released is None
+        assert system.ledger.balance("refund:client") == PRICE
+        assert system.ledger.conserved()
+
+    def test_wrong_key_refund(self, system, exchange_setup, arbiter):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        run_deposit(merchant, system.broker, now=60)
+        dispute = FxDispute(
+            offer=offer, transcript=transcript, opening=opening, encrypted_good=blob
+        )
+        resolution, _ = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=key + 1,  # merchant hands over garbage
+            refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.CLIENT_REFUNDED
+        assert system.ledger.balance("refund:client") == PRICE
+
+    def test_bogus_claim_rejected_no_payment(self, system, exchange_setup, arbiter):
+        """A client who never paid cannot extort a refund."""
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        # Build a transcript locally but never run it past the witness.
+        request, pending, opening = prepare_bound_payment(
+            system.params, client, stored, offer, now=10
+        )
+        commitment = witness.request_commitment(request, 10)
+        transcript = client.build_payment(pending, commitment, witness.public_key, 10)
+        dispute = FxDispute(
+            offer=offer, transcript=transcript, opening=opening, encrypted_good=blob
+        )
+        resolution, _ = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=None, refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.CLAIM_REJECTED
+        assert system.ledger.balance("refund:client") == 0
+
+    def test_bogus_claim_rejected_wrong_binding(self, system, exchange_setup, arbiter):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        dispute = FxDispute(
+            offer=offer, transcript=transcript, opening=opening ^ 1, encrypted_good=blob
+        )
+        resolution, _ = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=None, refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.CLAIM_REJECTED
+
+    def test_forged_offer_rejected(self, system, exchange_setup, arbiter):
+        client, stored, merchant, witness, offer, blob, key = exchange_setup
+        transcript, opening = run_bound_payment(system, client, stored, offer, witness)
+        from dataclasses import replace
+
+        inflated = replace(offer, price=offer.price * 100)
+        dispute = FxDispute(
+            offer=inflated, transcript=transcript, opening=opening, encrypted_good=blob
+        )
+        resolution, _ = arbiter.resolve(
+            dispute, merchant.public_key, witness,
+            merchant_key=None, refund_account="refund:client", now=50,
+        )
+        assert resolution is FxResolution.CLAIM_REJECTED

@@ -1,0 +1,140 @@
+"""Tests for CoinInfo and the coin model."""
+
+import pytest
+
+from repro.core.coin import BareCoin, Coin
+from repro.core.exceptions import ExpiredCoinError, InvalidCoinError
+from repro.core.info import CoinInfo, standard_info
+from repro.core.protocols import run_withdrawal
+from repro.crypto.blind import PartiallyBlindSignature
+
+
+def make_info(**overrides):
+    base = dict(denomination=25, list_version=1, soft_expiry=100, hard_expiry=200)
+    base.update(overrides)
+    return CoinInfo(**base)
+
+
+class TestCoinInfo:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_info(denomination=0)
+        with pytest.raises(ValueError):
+            make_info(hard_expiry=100)  # equal to soft
+        with pytest.raises(ValueError):
+            make_info(list_version=-1)
+
+    def test_lifecycle_windows(self):
+        info = make_info()
+        assert info.is_spendable(50)
+        assert not info.is_spendable(100)
+        assert info.is_renewable(150)
+        assert not info.is_renewable(200)
+        assert info.is_void(200)
+        assert not info.is_void(199)
+
+    def test_renewable_before_soft_expiry(self):
+        # A not-yet-expired coin is renewable too (unavailable-witness path).
+        assert make_info().is_renewable(10)
+
+    def test_wire_roundtrip(self):
+        info = make_info()
+        flat = {k: v for k, v in info.to_wire().items()}
+        from repro.crypto.serialize import int_to_text
+
+        text_fields = {k: int_to_text(v) for k, v in flat.items()}
+        assert CoinInfo.from_wire(text_fields) == info
+
+    def test_standard_info_windows(self):
+        info = standard_info(25, 3, now=1000)
+        assert info.soft_expiry == 1000 + 30 * 24 * 3600
+        assert info.hard_expiry == info.soft_expiry + 60 * 24 * 3600
+        assert info.list_version == 3
+
+    def test_hash_parts_distinct(self):
+        assert make_info().hash_parts() != make_info(denomination=26).hash_parts()
+
+    def test_short_label(self):
+        assert make_info(denomination=125).short_label() == "1.25 (list v1)"
+
+
+class TestCoin:
+    @pytest.fixture()
+    def stored(self, system):
+        client = system.new_client()
+        return run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+
+    def test_signature_verifies(self, system, stored):
+        assert stored.coin.bare.verify_signature(system.params, system.broker.blind_public)
+        stored.coin.ensure_valid_signature(system.params, system.broker.blind_public)
+
+    def test_digest_stable_and_in_space(self, system, stored):
+        digest = stored.coin.digest(system.params)
+        assert digest == stored.coin.bare.digest(system.params)
+        assert 0 <= digest < system.params.witness_hash_space
+
+    def test_witness_matches_digest(self, system, stored):
+        digest = stored.coin.digest(system.params)
+        assert stored.coin.witness_entry.range.contains(digest)
+        expected = system.broker.current_table.witness_for(digest)
+        assert expected.merchant_id == stored.coin.witness_id
+
+    @pytest.mark.parametrize("field", ["rho", "omega", "sigma", "delta"])
+    def test_tampered_signature_fails(self, system, stored, field):
+        sig = stored.coin.bare.signature
+        values = {
+            "rho": sig.rho, "omega": sig.omega, "sigma": sig.sigma, "delta": sig.delta
+        }
+        values[field] = (values[field] + 1) % system.params.group.q
+        tampered = BareCoin(
+            signature=PartiallyBlindSignature(**values),
+            info=stored.coin.bare.info,
+            commitment_a=stored.coin.bare.commitment_a,
+            commitment_b=stored.coin.bare.commitment_b,
+        )
+        assert not tampered.verify_signature(system.params, system.broker.blind_public)
+
+    def test_tampered_info_fails(self, system, stored):
+        bumped = CoinInfo(
+            denomination=stored.coin.info.denomination * 100,  # try to inflate value
+            list_version=stored.coin.info.list_version,
+            soft_expiry=stored.coin.info.soft_expiry,
+            hard_expiry=stored.coin.info.hard_expiry,
+        )
+        tampered = BareCoin(
+            signature=stored.coin.bare.signature,
+            info=bumped,
+            commitment_a=stored.coin.bare.commitment_a,
+            commitment_b=stored.coin.bare.commitment_b,
+        )
+        assert not tampered.verify_signature(system.params, system.broker.blind_public)
+        with pytest.raises(InvalidCoinError):
+            Coin(bare=tampered, witness_entry=stored.coin.witness_entry).ensure_valid_signature(
+                system.params, system.broker.blind_public
+            )
+
+    def test_tampered_commitments_fail(self, system, stored):
+        tampered = BareCoin(
+            signature=stored.coin.bare.signature,
+            info=stored.coin.bare.info,
+            commitment_a=stored.coin.bare.commitment_b,  # swapped
+            commitment_b=stored.coin.bare.commitment_a,
+        )
+        assert not tampered.verify_signature(system.params, system.broker.blind_public)
+
+    def test_expiry_enforcement(self, system, stored):
+        stored.coin.ensure_spendable(now=0)
+        with pytest.raises(ExpiredCoinError):
+            stored.coin.ensure_spendable(now=stored.coin.info.soft_expiry)
+
+    def test_wire_roundtrip(self, system, stored):
+        from repro.crypto.serialize import decode, encode
+
+        wire = encode(stored.coin.to_wire())
+        restored = Coin.from_wire(decode(wire))
+        assert restored == stored.coin
+
+    def test_properties(self, stored):
+        assert stored.coin.denomination == 25
+        assert stored.coin.info is stored.coin.bare.info
+        assert stored.denomination == 25

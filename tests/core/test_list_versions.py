@@ -1,0 +1,82 @@
+"""Tests for witness-list version transitions.
+
+Withdrawal protocol requirement 3: "merchants do not need to store the
+entire history of witness range assignments" — a coin carries its own
+signed entry, so coins bound to old list versions keep working after the
+broker publishes new versions.
+"""
+
+import pytest
+
+from repro.core.exceptions import WrongWitnessError
+from repro.core.protocols import run_deposit, run_payment, run_renewal, run_withdrawal
+from tests.conftest import other_merchant
+
+
+def test_old_version_coin_spendable_after_new_version(system, funded_client):
+    client, stored = funded_client
+    assert stored.coin.info.list_version == 1
+    # The broker rolls the witness list twice.
+    system.broker.publish_witness_table({m: 2.0 for m in system.merchant_ids})
+    system.broker.publish_witness_table({m: 3.0 for m in system.merchant_ids})
+    assert system.broker.current_table.version == 3
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    results = run_deposit(merchant, system.broker, now=20)
+    assert results[0].amount == stored.denomination
+
+
+def test_new_coins_bind_to_new_version(system):
+    system.broker.publish_witness_table({m: 2.0 for m in system.merchant_ids})
+    client = system.new_client()
+    stored = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    assert stored.coin.info.list_version == 2
+    assert stored.coin.witness_entry.version == 2
+
+
+def test_version_confusion_rejected(system, funded_client):
+    """A coin cannot borrow a witness entry from a different list version."""
+    from repro.core.coin import Coin
+
+    client, stored = funded_client
+    table2 = system.broker.publish_witness_table({m: 1.0 for m in system.merchant_ids})
+    digest = stored.coin.digest(system.params)
+    v2_entry = table2.witness_for(digest)
+    frankencoin = Coin(bare=stored.coin.bare, witness_entry=v2_entry)
+    from repro.core.witness_ranges import verify_entry_matches
+
+    with pytest.raises(WrongWitnessError):
+        verify_entry_matches(
+            system.params,
+            system.broker.sign_public,
+            frankencoin.witness_entry,
+            digest,
+            frankencoin.info.list_version,  # coin says v1, entry says v2
+        )
+
+
+def test_renewal_moves_coin_to_current_version(system, funded_client):
+    client, stored = funded_client
+    system.broker.publish_witness_table({m: 1.0 for m in system.merchant_ids})
+    new_version = system.broker.current_table.version
+    from repro.core.info import standard_info
+
+    new_info = standard_info(25, new_version, now=100)
+    fresh = run_renewal(client, stored, system.broker, new_info, now=100)
+    assert fresh.coin.info.list_version == new_version
+    assert fresh.coin.witness_entry.version == new_version
+
+
+def test_broker_rejects_deposit_for_unknown_version(system, funded_client):
+    """A coin claiming a version the broker never published is refused."""
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    # Surgically rewrite the broker's table registry to simulate a coin
+    # referencing a version that no longer exists (e.g. pruned state).
+    saved = system.broker.tables.pop(1)
+    try:
+        with pytest.raises(WrongWitnessError):
+            system.broker.deposit(merchant.merchant_id, signed, now=20)
+    finally:
+        system.broker.tables[1] = saved

@@ -1,0 +1,186 @@
+"""Tests for the k-of-n multi-witness extension."""
+
+import pytest
+
+from repro.core.exceptions import WrongWitnessError
+from repro.core.multiwitness import (
+    MultiWitnessCoin,
+    MultiWitnessService,
+    MultiWitnessTranscript,
+    assign_witnesses,
+    spend_multi,
+    verify_quorum,
+    witness_digest,
+)
+from repro.core.protocols import run_withdrawal
+from repro.core.system import EcashSystem
+from repro.crypto.representation import respond
+
+MERCHANTS = tuple(f"m{i}" for i in range(8))
+
+
+@pytest.fixture()
+def multi_system(params):
+    return EcashSystem(merchant_ids=MERCHANTS, params=params, seed=31)
+
+
+@pytest.fixture()
+def multi_coin(multi_system):
+    client = multi_system.new_client()
+    stored = run_withdrawal(client, multi_system.broker, multi_system.standard_info(25, 0))
+    entries = assign_witnesses(
+        multi_system.params, multi_system.broker.current_table, stored.coin.bare, 3
+    )
+    coin = MultiWitnessCoin(bare=stored.coin.bare, entries=entries, threshold=2)
+    return client, stored, coin
+
+
+def make_witnesses(multi_system, coin, **overrides):
+    services = {}
+    for merchant_id in coin.witness_ids:
+        services[merchant_id] = MultiWitnessService(
+            params=multi_system.params,
+            merchant_id=merchant_id,
+            keypair=multi_system.nodes[merchant_id].merchant.keypair,
+            broker_sign_public=multi_system.broker.sign_public,
+        )
+    for merchant_id, up in overrides.items():
+        services[merchant_id].up = up
+    return services
+
+
+def test_assignment_deterministic_and_distinct(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    again = assign_witnesses(
+        multi_system.params, multi_system.broker.current_table, stored.coin.bare, 3
+    )
+    assert tuple(e.merchant_id for e in again) == coin.witness_ids
+    assert len(set(coin.witness_ids)) == 3
+
+
+def test_assignment_verifies(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    coin.verify_assignment(
+        multi_system.params, multi_system.broker.current_table, multi_system.broker.sign_public
+    )
+
+
+def test_forged_assignment_rejected(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    table = multi_system.broker.current_table
+    wrong_entries = tuple(
+        table.entry_for_merchant(m)
+        for m in MERCHANTS[:3]
+    )
+    if tuple(e.merchant_id for e in wrong_entries) == coin.witness_ids:
+        pytest.skip("derivation happened to match the forged set")
+    forged = MultiWitnessCoin(bare=stored.coin.bare, entries=wrong_entries, threshold=2)
+    with pytest.raises(WrongWitnessError):
+        forged.verify_assignment(
+            multi_system.params, table, multi_system.broker.sign_public
+        )
+
+
+def test_too_many_witnesses_rejected(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    with pytest.raises(WrongWitnessError):
+        assign_witnesses(
+            multi_system.params, multi_system.broker.current_table, stored.coin.bare, 9
+        )
+
+
+def test_threshold_validation(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    with pytest.raises(ValueError):
+        MultiWitnessCoin(bare=coin.bare, entries=coin.entries, threshold=4)
+    with pytest.raises(ValueError):
+        MultiWitnessCoin(bare=coin.bare, entries=coin.entries, threshold=0)
+
+
+def test_spend_all_up(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(multi_system, coin)
+    result = spend_multi(
+        multi_system.params, coin, stored.secrets, witnesses, "shop", now=10
+    )
+    assert result.succeeded
+    assert len(result.signatures) == 2  # stops at threshold
+
+
+def test_spend_with_one_down(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(multi_system, coin, **{coin.witness_ids[0]: False})
+    result = spend_multi(
+        multi_system.params, coin, stored.secrets, witnesses, "shop", now=10
+    )
+    assert result.succeeded
+    assert coin.witness_ids[0] not in result.signatures
+
+
+def test_spend_fails_below_quorum(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(
+        multi_system, coin,
+        **{coin.witness_ids[0]: False, coin.witness_ids[1]: False},
+    )
+    result = spend_multi(
+        multi_system.params, coin, stored.secrets, witnesses, "shop", now=10
+    )
+    assert not result.succeeded
+    assert len(result.signatures) == 1
+
+
+def test_quorum_verifies(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(multi_system, coin)
+    result = spend_multi(
+        multi_system.params, coin, stored.secrets, witnesses, "shop", now=10
+    )
+    d = multi_system.params.hashes.H0(*coin.bare.hash_parts(), "multi", "shop", 10)
+    transcript = MultiWitnessTranscript(
+        coin=coin,
+        response=respond(stored.secrets, d, multi_system.params.group.q),
+        merchant_id="shop",
+        timestamp=10,
+    )
+    keys = {
+        merchant_id: multi_system.nodes[merchant_id].merchant.public_key
+        for merchant_id in coin.witness_ids
+    }
+    assert verify_quorum(multi_system.params, coin, transcript, result.signatures, keys)
+    # Below-threshold signature sets do not verify.
+    partial = dict(list(result.signatures.items())[:1])
+    assert not verify_quorum(multi_system.params, coin, transcript, partial, keys)
+
+
+def test_double_spend_detected(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(multi_system, coin)
+    first = spend_multi(multi_system.params, coin, stored.secrets, witnesses, "shop-a", 10)
+    assert first.succeeded
+    second = spend_multi(multi_system.params, coin, stored.secrets, witnesses, "shop-b", 20)
+    assert not second.succeeded
+    assert second.double_spend_proof is not None
+    assert second.double_spend_proof.x == stored.secrets.x
+
+
+def test_double_spend_via_disjoint_witnesses_blocked(multi_system, multi_coin):
+    """First spend uses witnesses {1,2}; the second tries to reach quorum
+    avoiding them — only witness 3 is fresh, so the quorum fails."""
+    client, stored, coin = multi_coin
+    witnesses = make_witnesses(multi_system, coin)
+    first = spend_multi(multi_system.params, coin, stored.secrets, witnesses, "shop-a", 10)
+    used = set(first.signatures)
+    # Attacker brings the used witnesses "down" from its own perspective by
+    # only contacting the unused one: simulate by marking used ones down.
+    for merchant_id in used:
+        witnesses[merchant_id].up = False
+    second = spend_multi(multi_system.params, coin, stored.secrets, witnesses, "shop-b", 20)
+    assert not second.succeeded
+    assert len(second.signatures) <= 1
+
+
+def test_witness_digest_varies_by_index(multi_system, multi_coin):
+    client, stored, coin = multi_coin
+    digests = {witness_digest(multi_system.params, coin.bare, i) for i in range(5)}
+    assert len(digests) == 5

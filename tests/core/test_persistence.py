@@ -1,0 +1,99 @@
+"""Tests for broker state persistence across restarts."""
+
+import pytest
+
+from repro.core.exceptions import DoubleDepositError, RenewalRefusedError
+from repro.core.persistence import load_broker, save_broker
+from repro.core.protocols import run_deposit, run_payment, run_renewal, run_withdrawal
+from tests.conftest import other_merchant
+
+
+@pytest.fixture()
+def busy_system(system, funded_client, tmp_path):
+    """A system with a deposit and a renewal already in the books."""
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    run_deposit(merchant, system.broker, now=20)
+    renewed_source = run_withdrawal(client, system.broker, system.standard_info(50, now=0))
+    fresh = run_renewal(
+        client, renewed_source, system.broker, system.standard_info(50, now=30), now=30
+    )
+    path = tmp_path / "broker-state.json"
+    save_broker(system.broker, path)
+    return system, client, merchant, signed, renewed_source, fresh, path
+
+
+def test_keys_survive_restart(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    assert restored.blind_public == system.broker.blind_public
+    assert restored.sign_public == system.broker.sign_public
+
+
+def test_old_coins_verify_after_restart(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    fresh.coin.ensure_valid_signature(system.params, restored.blind_public)
+    # The witness tables came back signed and valid.
+    table = restored.current_table
+    entry = table.witness_for(fresh.coin.digest(system.params))
+    assert entry.merchant_id == fresh.coin.witness_id
+
+
+def test_double_deposit_detected_across_restart(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    with pytest.raises(DoubleDepositError):
+        restored.deposit(merchant.merchant_id, signed, now=100)
+
+
+def test_renewal_refused_across_restart(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    client.wallet.add(renewed_source)
+    with pytest.raises(RenewalRefusedError) as refusal:
+        run_renewal(
+            client, renewed_source, restored, system.standard_info(50, now=200), now=200
+        )
+    assert refusal.value.proof.verify(system.params, renewed_source.coin)
+
+
+def test_ledger_restored_and_conserved(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    assert restored.ledger.conserved()
+    assert restored.merchant_balance(merchant.merchant_id) == system.broker.merchant_balance(
+        merchant.merchant_id
+    )
+    for merchant_id in system.merchant_ids:
+        assert restored.security_deposit_balance(
+            merchant_id
+        ) == system.broker.security_deposit_balance(merchant_id)
+
+
+def test_new_withdrawals_work_after_restart(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    # A brand-new client can withdraw and spend against the restored broker.
+    newcomer = system.new_client()
+    stored = run_withdrawal(newcomer, restored, system.standard_info(25, now=300))
+    stored.coin.ensure_valid_signature(system.params, system.broker.blind_public)
+
+
+def test_version_check(tmp_path, system):
+    path = tmp_path / "state.json"
+    path.write_text('{"version": 999}')
+    with pytest.raises(ValueError):
+        load_broker(path, system.params)
+
+
+def test_merchant_registry_restored(busy_system):
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    restored = load_broker(path, system.params)
+    assert set(restored.merchants) == set(system.merchant_ids)
+    for merchant_id in system.merchant_ids:
+        assert (
+            restored.merchants[merchant_id].public_key
+            == system.broker.merchants[merchant_id].public_key
+        )

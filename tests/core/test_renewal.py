@@ -1,0 +1,112 @@
+"""Tests for coin renewal (Algorithm 4)."""
+
+import pytest
+
+from repro.core.exceptions import (
+    ExpiredCoinError,
+    InvalidPaymentError,
+    RenewalRefusedError,
+)
+from repro.core.protocols import run_deposit, run_payment, run_renewal, run_withdrawal
+from tests.conftest import other_merchant
+
+
+def test_renew_after_soft_expiry(system, funded_client):
+    client, stored = funded_client
+    after_soft = stored.coin.info.soft_expiry + 10
+    new_info = system.standard_info(25, now=after_soft)
+    fresh = run_renewal(client, stored, system.broker, new_info, now=after_soft)
+    assert fresh.coin.info == new_info
+    assert stored not in client.wallet.coins
+    assert fresh in client.wallet.coins
+
+
+def test_renewed_coin_is_spendable(system, funded_client):
+    client, stored = funded_client
+    now = stored.coin.info.soft_expiry + 10
+    fresh = run_renewal(client, stored, system.broker, system.standard_info(25, now=now), now=now)
+    merchant = system.merchant(other_merchant(system, fresh.coin.witness_id))
+    signed = run_payment(client, fresh, merchant, system.witness_of(fresh), now=now + 5)
+    results = run_deposit(merchant, system.broker, now=now + 10)
+    assert results[0].amount == 25
+    assert system.ledger.conserved()
+
+
+def test_renewal_of_deposited_coin_refused_with_secrets(system, funded_client):
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    run_deposit(merchant, system.broker, now=20)
+    client.wallet.add(stored)
+    with pytest.raises(RenewalRefusedError) as refusal:
+        run_renewal(client, stored, system.broker, system.standard_info(25, now=30), now=30)
+    proof = refusal.value.proof
+    assert proof.verify(system.params, stored.coin)
+    assert proof.x == stored.secrets.x
+    assert proof.y == stored.secrets.y
+
+
+def test_double_renewal_refused_with_secrets(system, funded_client):
+    client, stored = funded_client
+    run_renewal(client, stored, system.broker, system.standard_info(25, now=100), now=100)
+    client.wallet.add(stored)
+    with pytest.raises(RenewalRefusedError) as refusal:
+        run_renewal(client, stored, system.broker, system.standard_info(25, now=200), now=200)
+    assert refusal.value.proof.verify(system.params, stored.coin)
+
+
+def test_void_coin_unrenewable(system, funded_client):
+    client, stored = funded_client
+    after_hard = stored.coin.info.hard_expiry + 1
+    with pytest.raises(ExpiredCoinError):
+        run_renewal(
+            client, stored, system.broker,
+            system.standard_info(25, now=after_hard), now=after_hard,
+        )
+
+
+def test_denomination_must_match(system, funded_client):
+    client, stored = funded_client
+    with pytest.raises(ValueError):
+        run_renewal(client, stored, system.broker, system.standard_info(50, now=100), now=100)
+
+
+def test_renewal_requires_ownership_proof(system, funded_client):
+    """A thief with the coin but not the secrets cannot renew it."""
+    client, stored = funded_client
+    thief = system.new_client()
+    from repro.core.client import StoredCoin
+    from repro.crypto.representation import RepresentationPair
+
+    stolen = StoredCoin(
+        coin=stored.coin, secrets=RepresentationPair.generate(system.params.group, None)
+    )
+    thief.wallet.add(stolen)
+    with pytest.raises(InvalidPaymentError):
+        run_renewal(thief, stolen, system.broker, system.standard_info(25, now=100), now=100)
+
+
+def test_stale_proof_timestamp_rejected(system, funded_client):
+    client, stored = funded_client
+    new_info = system.standard_info(25, now=1000)
+    ticket, challenge = system.broker.begin_renewal(new_info)
+    session = client.begin_withdrawal(new_info, challenge)
+    timestamp, salt, r1, r2 = client.renewal_proof(stored, now=100)  # old proof
+    with pytest.raises(InvalidPaymentError):
+        system.broker.complete_renewal(
+            ticket, session.e, stored.coin.bare, timestamp, salt, r1, r2, now=1000
+        )
+
+
+def test_renewal_is_free(system, funded_client):
+    client, stored = funded_client
+    minted_before = system.ledger.minted
+    run_renewal(client, stored, system.broker, system.standard_info(25, now=100), now=100)
+    assert system.ledger.minted == minted_before  # no new money entered
+
+
+def test_renewal_purge(system, funded_client):
+    client, stored = funded_client
+    run_renewal(client, stored, system.broker, system.standard_info(25, now=100), now=100)
+    removed = system.broker.purge_expired_records(now=stored.coin.info.hard_expiry + 1)
+    assert removed >= 1

@@ -1,0 +1,130 @@
+"""Tests for the withdrawal protocol (Algorithm 1)."""
+
+import pytest
+
+from repro.core.exceptions import WrongWitnessError
+from repro.core.protocols import run_withdrawal
+from repro.crypto.blind import SignerResponse
+from tests.conftest import other_merchant
+
+
+def test_happy_path(system):
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    stored = run_withdrawal(client, system.broker, info)
+    assert stored in client.wallet.coins
+    assert stored.coin.info == info
+    assert stored.coin.witness_id in system.merchant_ids
+
+
+def test_client_pays_for_coin(system):
+    client = system.new_client()
+    before = system.ledger.balance(system.broker.account)
+    run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    assert system.ledger.balance(system.broker.account) == before + 25
+    assert system.ledger.conserved()
+
+
+def test_named_payer_account_charged(system):
+    system.ledger.mint("client-funds", 100)
+    client = system.new_client()
+    run_withdrawal(client, system.broker, system.standard_info(30, now=0), paid_by="client-funds")
+    assert system.ledger.balance("client-funds") == 70
+
+
+def test_unpublished_list_version_rejected(system):
+    client = system.new_client()
+    from repro.core.info import standard_info
+
+    info = standard_info(25, list_version=99, now=0)
+    with pytest.raises(ValueError):
+        system.broker.begin_withdrawal(info)
+
+
+def test_ticket_single_use(system):
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    ticket, challenge = system.broker.begin_withdrawal(info)
+    session = client.begin_withdrawal(info, challenge)
+    system.broker.complete_withdrawal(ticket, session.e)
+    with pytest.raises(KeyError):
+        system.broker.complete_withdrawal(ticket, session.e)
+
+
+def test_tampered_broker_response_detected(system):
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    ticket, challenge = system.broker.begin_withdrawal(info)
+    session = client.begin_withdrawal(info, challenge)
+    response = system.broker.complete_withdrawal(ticket, session.e)
+    bad = SignerResponse(r=(response.r + 1) % system.params.group.q, c=response.c, s=response.s)
+    with pytest.raises(ValueError):
+        client.finish_withdrawal(session, bad, system.broker.current_table)
+
+
+def test_table_version_must_match_info(system):
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    ticket, challenge = system.broker.begin_withdrawal(info)
+    session = client.begin_withdrawal(info, challenge)
+    response = system.broker.complete_withdrawal(ticket, session.e)
+    newer = system.broker.publish_witness_table({m: 1.0 for m in system.merchant_ids})
+    with pytest.raises(WrongWitnessError):
+        client.finish_withdrawal(session, response, newer)
+
+
+def test_witness_distribution_follows_weights(params):
+    """Statistical check: heavier-weighted merchants witness more coins."""
+    from repro.core.system import EcashSystem
+
+    system = EcashSystem(
+        merchant_ids=("heavy", "light"),
+        params=params,
+        weights={"heavy": 9.0, "light": 1.0},
+        seed=77,
+    )
+    client = system.new_client()
+    counts = {"heavy": 0, "light": 0}
+    for _ in range(60):
+        stored = run_withdrawal(client, system.broker, system.standard_info(1, now=0))
+        counts[stored.coin.witness_id] += 1
+    # Expected 54/6; allow broad slack, the point is the skew direction
+    # and rough magnitude (P(heavy < 40) is astronomically small).
+    assert counts["heavy"] >= 40
+    assert counts["heavy"] + counts["light"] == 60
+
+
+def test_coins_are_distinct(system):
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    first = run_withdrawal(client, system.broker, info)
+    second = run_withdrawal(client, system.broker, info)
+    assert first.coin.bare != second.coin.bare
+    assert first.secrets != second.secrets
+
+
+def test_broker_never_sees_bare_coin(system):
+    """The broker's view (its ticket log) contains no coin fields.
+
+    Structural blindness check: after a withdrawal the broker has no
+    record equal to any component of the unblinded coin.
+    """
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    ticket, challenge = system.broker.begin_withdrawal(info)
+    session = client.begin_withdrawal(info, challenge)
+    ticket_state = system.broker._tickets[ticket]
+    response = system.broker.complete_withdrawal(ticket, session.e)
+    stored = client.finish_withdrawal(session, response, system.broker.current_table)
+    sig = stored.coin.bare.signature
+    broker_values = {
+        ticket_state.session.u,
+        ticket_state.session.s,
+        ticket_state.session.d,
+        response.r,
+        response.c,
+        response.s,
+        session.e,
+    }
+    coin_values = {sig.rho, sig.omega, sig.sigma, sig.delta}
+    assert broker_values.isdisjoint(coin_values)

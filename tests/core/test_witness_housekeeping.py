@@ -1,0 +1,94 @@
+"""Tests for witness-side housekeeping (commitment expiry, spent-record GC)
+and for withdrawal-session misuse (unexpandibility-style attacks)."""
+
+import pytest
+
+from repro.core.protocols import run_payment, run_withdrawal
+from tests.conftest import other_merchant
+
+
+class TestWitnessHousekeeping:
+    def test_expire_commitments(self, system, funded_client):
+        client, stored = funded_client
+        witness = system.witness_of(stored)
+        merchant_id = other_merchant(system, stored.coin.witness_id)
+        request, _ = client.prepare_commitment_request(stored, merchant_id, now=10)
+        commitment = witness.request_commitment(request, now=10)
+        assert witness.expire_commitments(now=20) == 0  # still live
+        assert witness.expire_commitments(now=commitment.expires_at + 1) == 1
+        assert witness.expire_commitments(now=commitment.expires_at + 2) == 0
+
+    def test_purge_spent_with_transcript(self, system, funded_client):
+        client, stored = funded_client
+        witness = system.witness_of(stored)
+        merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+        run_payment(client, stored, merchant, witness, now=10)
+        digest = stored.coin.digest(system.params)
+        assert witness.has_seen(digest)
+        # Not yet void: nothing purged.
+        assert witness.purge_spent(now=stored.coin.info.soft_expiry) == 0
+        assert witness.purge_spent(now=stored.coin.info.hard_expiry + 1) == 1
+        assert not witness.has_seen(digest)
+
+    def test_purge_spent_extracted_record_needs_hint(self, system, funded_client):
+        from repro.core.exceptions import DoubleSpendError
+
+        client, stored = funded_client
+        witness = system.witness_of(stored)
+        shops = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+        run_payment(client, stored, system.merchant(shops[0]), witness, now=10)
+        client.wallet.add(stored)
+        with pytest.raises(DoubleSpendError):
+            run_payment(client, stored, system.merchant(shops[1]), witness, now=400)
+        digest = stored.coin.digest(system.params)
+        # The transcript was dropped; only the proof remains. Without an
+        # expiry hint the record is conservatively kept...
+        assert witness.purge_spent(now=stored.coin.info.hard_expiry + 1) == 0
+        assert witness.has_seen(digest)
+        # ...and purged once the broker-provided hint says the coin is void.
+        hints = {digest: stored.coin.info.hard_expiry}
+        assert witness.purge_spent(
+            now=stored.coin.info.hard_expiry + 1, hard_expiry_of=hints
+        ) == 1
+        assert not witness.has_seen(digest)
+
+
+class TestWithdrawalSessionMisuse:
+    def test_mixed_session_responses_fail(self, system):
+        """A response from session A cannot complete session B — blinding
+        factors are session-specific, so mixing transcripts cannot expand
+        N sessions into more than N coins."""
+        client = system.new_client()
+        info = system.standard_info(25, now=0)
+        ticket_a, challenge_a = system.broker.begin_withdrawal(info)
+        ticket_b, challenge_b = system.broker.begin_withdrawal(info)
+        session_a = client.begin_withdrawal(info, challenge_a)
+        session_b = client.begin_withdrawal(info, challenge_b)
+        response_a = system.broker.complete_withdrawal(ticket_a, session_a.e)
+        with pytest.raises(ValueError):
+            session_b.blind_session.finish(response_a)
+
+    def test_same_response_cannot_mint_second_coin(self, system):
+        """Replaying the broker's one response through a second unblinding
+        of the same session yields the SAME coin, not a new one."""
+        client = system.new_client()
+        info = system.standard_info(25, now=0)
+        ticket, challenge = system.broker.begin_withdrawal(info)
+        session = client.begin_withdrawal(info, challenge)
+        response = system.broker.complete_withdrawal(ticket, session.e)
+        first = session.blind_session.finish(response)
+        second = session.blind_session.finish(response)
+        assert first == second
+
+    def test_response_for_different_info_fails(self, system):
+        """A signature bought for one denomination cannot be unblinded
+        into a coin of another (the partially blind part)."""
+        client = system.new_client()
+        cheap = system.standard_info(1, now=0)
+        expensive = system.standard_info(100, now=0)
+        ticket, challenge = system.broker.begin_withdrawal(cheap)
+        # The client blinds pretending the info is the expensive one.
+        session = client.begin_withdrawal(expensive, challenge)
+        response = system.broker.complete_withdrawal(ticket, session.e)
+        with pytest.raises(ValueError):
+            client.finish_withdrawal(session, response, system.broker.current_table)

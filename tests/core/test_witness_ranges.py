@@ -1,0 +1,188 @@
+"""Tests for witness-range allocation and the signed assignment table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import WrongWitnessError
+from repro.core.params import test_params as make_test_params
+from repro.core.witness_ranges import (
+    SignedWitnessEntry,
+    WitnessAssignmentTable,
+    WitnessRange,
+    allocate_ranges,
+    build_table,
+    merge_weights,
+    verify_entry_matches,
+)
+from repro.crypto.schnorr import SchnorrKeyPair
+
+
+@pytest.fixture(scope="module")
+def params():
+    return make_test_params()
+
+
+@pytest.fixture(scope="module")
+def signer(params):
+    return SchnorrKeyPair.generate(params.group, random.Random(4))
+
+
+class TestAllocation:
+    def test_exact_partition(self):
+        ranges = allocate_ranges({"a": 1.0, "b": 2.0, "c": 3.0}, space=1000)
+        assert ranges[0].low == 0
+        for prev, nxt in zip(ranges, ranges[1:]):
+            assert prev.high == nxt.low
+        assert ranges[-1].high == 1000
+
+    def test_proportional_to_weights(self):
+        ranges = allocate_ranges({"a": 1.0, "b": 3.0}, space=1 << 256)
+        widths = {r.merchant_id: r.width for r in ranges}
+        assert abs(widths["b"] / widths["a"] - 3.0) < 1e-6
+
+    def test_huge_space_integer_exact(self):
+        space = 1 << 256
+        ranges = allocate_ranges({f"m{i}": 1 + i * 0.1 for i in range(17)}, space)
+        assert sum(r.width for r in ranges) == space
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            allocate_ranges({}, 100)
+        with pytest.raises(ValueError):
+            allocate_ranges({"a": 0.0}, 100)
+        with pytest.raises(ValueError):
+            allocate_ranges({"a": -1.0}, 100)
+
+    def test_tiny_space_empty_range_detected(self):
+        with pytest.raises(ValueError):
+            allocate_ranges({"a": 1.0, "b": 1e9}, space=4)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+            st.floats(min_value=0.01, max_value=1000.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_partition_property(self, weights):
+        space = 1 << 64
+        ranges = allocate_ranges(weights, space)
+        assert len(ranges) == len(weights)
+        cursor = 0
+        for witness_range in ranges:
+            assert witness_range.low == cursor
+            assert witness_range.width >= 1
+            cursor = witness_range.high
+        assert cursor == space
+
+
+class TestTable:
+    def test_build_and_lookup(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0, "b": 1.0}, rng=random.Random(9))
+        entry = table.witness_for(0)
+        assert entry.merchant_id in ("a", "b")
+        last = table.witness_for(params.witness_hash_space - 1)
+        assert last.merchant_id in ("a", "b")
+        assert entry.merchant_id != last.merchant_id
+
+    def test_lookup_out_of_space(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0}, rng=random.Random(9))
+        with pytest.raises(WrongWitnessError):
+            table.witness_for(params.witness_hash_space)
+        with pytest.raises(WrongWitnessError):
+            table.witness_for(-1)
+
+    def test_entry_for_merchant(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0, "b": 2.0}, rng=random.Random(9))
+        assert table.entry_for_merchant("a").merchant_id == "a"
+        with pytest.raises(WrongWitnessError):
+            table.entry_for_merchant("zz")
+
+    def test_selection_probability(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0, "b": 3.0}, rng=random.Random(9))
+        assert abs(table.selection_probability("b") - 0.75) < 1e-9
+        assert abs(table.selection_probability("a") - 0.25) < 1e-9
+
+    def test_partition_validation_rejects_gaps(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0, "b": 1.0}, rng=random.Random(9))
+        broken = tuple(
+            entry
+            for entry in table.entries
+            if entry.merchant_id != "a"
+        )
+        with pytest.raises(ValueError):
+            WitnessAssignmentTable(version=1, entries=broken, space=table.space)
+
+    def test_version_mismatch_rejected(self, params, signer):
+        table = build_table(params, signer, 2, {"a": 1.0}, rng=random.Random(9))
+        with pytest.raises(ValueError):
+            WitnessAssignmentTable(version=3, entries=table.entries, space=table.space)
+
+    def test_signatures_verify(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0, "b": 1.0}, rng=random.Random(9))
+        for entry in table.entries:
+            assert entry.verify(params, signer.public)
+
+    def test_entry_wire_roundtrip(self, params, signer):
+        table = build_table(params, signer, 1, {"a": 1.0}, rng=random.Random(9))
+        entry = table.entries[0]
+        from repro.crypto.serialize import decode, encode
+
+        restored = SignedWitnessEntry.from_wire(decode(encode(entry.to_wire())))
+        assert restored == entry
+
+
+class TestVerifyEntryMatches:
+    @pytest.fixture()
+    def table(self, params, signer):
+        return build_table(params, signer, 5, {"a": 1.0, "b": 1.0}, rng=random.Random(9))
+
+    def test_accepts_valid(self, params, signer, table):
+        digest = 123456
+        entry = table.witness_for(digest)
+        verify_entry_matches(params, signer.public, entry, digest, expected_version=5)
+
+    def test_rejects_version_mismatch(self, params, signer, table):
+        entry = table.witness_for(0)
+        with pytest.raises(WrongWitnessError):
+            verify_entry_matches(params, signer.public, entry, 0, expected_version=6)
+
+    def test_rejects_digest_outside_range(self, params, signer, table):
+        entry = table.witness_for(0)
+        outside = entry.range.high
+        with pytest.raises(WrongWitnessError):
+            verify_entry_matches(params, signer.public, entry, outside, expected_version=5)
+
+    def test_rejects_forged_signature(self, params, signer, table):
+        entry = table.witness_for(0)
+        forged = SignedWitnessEntry(
+            version=entry.version,
+            range=WitnessRange(
+                merchant_id="evil", low=entry.range.low, high=entry.range.high
+            ),
+            signature=entry.signature,
+        )
+        with pytest.raises(WrongWitnessError):
+            verify_entry_matches(params, signer.public, forged, 0, expected_version=5)
+
+
+def test_merge_weights():
+    merged = merge_weights({"a": 2.0, "b": 4.0}, {"b": 8.0, "c": 2.0}, smoothing=0.5)
+    assert merged["a"] == pytest.approx(1.0)
+    assert merged["b"] == pytest.approx(6.0)
+    assert merged["c"] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        merge_weights({}, {}, smoothing=1.5)
+
+
+def test_witness_range_validation():
+    with pytest.raises(ValueError):
+        WitnessRange(merchant_id="a", low=5, high=5)
+    with pytest.raises(ValueError):
+        WitnessRange(merchant_id="a", low=-1, high=5)
+    assert WitnessRange(merchant_id="a", low=0, high=10).contains(9)
+    assert not WitnessRange(merchant_id="a", low=0, high=10).contains(10)

@@ -1,0 +1,150 @@
+"""Randomized-workload integration test: system invariants under load.
+
+Drives a seeded random mix of withdrawals, payments, deposits, renewals
+and double-spend attempts against one deployment and then checks the
+global invariants the paper's design promises:
+
+* money conservation (minted == held + burned);
+* no honest merchant is ever left unpaid for an accepted payment;
+* every double-spend attempt against an honest witness is refused with a
+  verifying proof;
+* the broker's float always covers the outstanding coin liability.
+"""
+
+import random
+
+import pytest
+
+from repro.core.broker import DepositOutcome
+from repro.core.exceptions import DoubleSpendError, EcashError, RenewalRefusedError
+from repro.core.protocols import run_deposit, run_payment, run_renewal, run_withdrawal
+from repro.core.system import EcashSystem
+
+MERCHANTS = tuple(f"shop-{i}" for i in range(5))
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_random_workload_invariants(params, seed):
+    system = EcashSystem(merchant_ids=MERCHANTS, params=params, seed=seed)
+    rng = random.Random(seed * 13)
+    clients = [system.new_client() for _ in range(3)]
+    live_coins = []   # (client, stored)
+    spent_coins = []  # (client, stored) kept by the "attacker" side
+    accepted_payments = {m: 0 for m in MERCHANTS}
+    refused_double_spends = 0
+    clock = 0
+
+    for step in range(60):
+        clock += rng.randrange(1, 300)
+        action = rng.random()
+        client = rng.choice(clients)
+        if action < 0.35 or not live_coins:
+            denomination = rng.choice([1, 5, 25, 100])
+            stored = run_withdrawal(
+                client, system.broker, system.standard_info(denomination, now=clock)
+            )
+            live_coins.append((client, stored))
+        elif action < 0.65:
+            owner, stored = live_coins.pop(rng.randrange(len(live_coins)))
+            merchant_id = rng.choice(
+                [m for m in MERCHANTS if m != stored.coin.witness_id]
+            )
+            run_payment(
+                owner, stored, system.merchant(merchant_id),
+                system.witness_of(stored), clock,
+            )
+            accepted_payments[merchant_id] += stored.denomination
+            spent_coins.append((owner, stored))
+        elif action < 0.80 and spent_coins:
+            # Double-spend attempt with an already-spent coin.
+            owner, stored = rng.choice(spent_coins)
+            merchant_id = rng.choice(
+                [m for m in MERCHANTS if m != stored.coin.witness_id]
+            )
+            owner.wallet.add(stored)
+            try:
+                run_payment(
+                    owner, stored, system.merchant(merchant_id),
+                    system.witness_of(stored), clock,
+                )
+                raise AssertionError("double-spend accepted by an honest witness")
+            except DoubleSpendError as refusal:
+                assert refusal.proof.verify(system.params, stored.coin)
+                refused_double_spends += 1
+            except EcashError:
+                pass  # e.g. merchant had already seen the coin itself
+            finally:
+                owner.mark_spent(stored)
+        elif action < 0.9 and live_coins:
+            owner, stored = live_coins.pop(rng.randrange(len(live_coins)))
+            try:
+                fresh = run_renewal(
+                    owner, stored, system.broker,
+                    system.standard_info(stored.denomination, now=clock), clock,
+                )
+                live_coins.append((owner, fresh))
+            except RenewalRefusedError:  # pragma: no cover - not expected here
+                raise
+        else:
+            merchant_id = rng.choice(MERCHANTS)
+            results = run_deposit(system.merchant(merchant_id), system.broker, clock)
+            for result in results:
+                assert result.outcome is DepositOutcome.CREDITED
+
+    # Final settlement: everyone deposits everything.
+    clock += 1
+    for merchant_id in MERCHANTS:
+        run_deposit(system.merchant(merchant_id), system.broker, clock)
+
+    # --- invariants -----------------------------------------------------
+    assert system.ledger.conserved()
+    for merchant_id in MERCHANTS:
+        assert system.broker.merchant_balance(merchant_id) == accepted_payments[merchant_id]
+        # Honest run: every security deposit is intact.
+        assert system.broker.security_deposit_balance(merchant_id) == 100_00
+    outstanding = sum(stored.denomination for _, stored in live_coins)
+    assert system.ledger.balance(system.broker.account) >= outstanding
+    if spent_coins:
+        assert refused_double_spends >= 0  # recorded attempts all verified above
+
+
+def test_workload_with_faulty_witnesses(params):
+    """Same workload shape, but half the witnesses collude; merchants must
+    still never lose money (case 2-b settles from witness escrow)."""
+    system = EcashSystem(merchant_ids=MERCHANTS, params=params, seed=77)
+    rng = random.Random(999)
+    client = system.new_client()
+    for merchant_id in list(MERCHANTS)[:2]:
+        system.witness(merchant_id).faulty = True
+
+    expected = {m: 0 for m in MERCHANTS}
+    clock = 0
+    for round_index in range(10):
+        clock += 500
+        stored = run_withdrawal(client, system.broker, system.standard_info(25, now=clock))
+        witness = system.witness_of(stored)
+        shops = [m for m in MERCHANTS if m != stored.coin.witness_id]
+        first, second = rng.sample(shops, 2)
+        run_payment(client, stored, system.merchant(first), witness, clock)
+        expected[first] += 25
+        client.wallet.add(stored)
+        try:
+            run_payment(client, stored, system.merchant(second), witness, clock + 200)
+            expected[second] += 25  # colluding witness signed twice
+        except DoubleSpendError:
+            client.mark_spent(stored)
+
+    clock += 1000
+    for merchant_id in MERCHANTS:
+        run_deposit(system.merchant(merchant_id), system.broker, clock)
+
+    assert system.ledger.conserved()
+    for merchant_id in MERCHANTS:
+        # Every accepted payment was honored, fraud or not.
+        assert system.broker.merchant_balance(merchant_id) == expected[merchant_id]
+    # The colluding witnesses paid for the damage out of escrow.
+    escrow_paid = sum(
+        100_00 - system.broker.security_deposit_balance(m) for m in MERCHANTS
+    )
+    double_paid = sum(expected.values()) - 10 * 25
+    assert escrow_paid == double_paid

@@ -1,0 +1,69 @@
+"""Tests for the operation-counter instrumentation."""
+
+from repro.crypto import counters
+from repro.crypto.counters import OpCounter, counting, current_counter, suppressed
+
+
+def test_no_counter_by_default():
+    assert current_counter() is None
+    counters.record_exp()  # must be a no-op, not an error
+
+
+def test_records_attribute_to_active_counter():
+    counter = OpCounter()
+    with counter:
+        counters.record_exp()
+        counters.record_hash(2)
+        counters.record_sig()
+        counters.record_ver(3)
+    assert counter.snapshot() == (1, 2, 1, 3)
+
+
+def test_counting_context_manager():
+    counter = OpCounter()
+    with counting(counter) as active:
+        assert active is counter
+        counters.record_exp()
+    assert counter.exp == 1
+
+
+def test_nested_counters_inner_wins():
+    outer, inner = OpCounter(), OpCounter()
+    with outer:
+        counters.record_exp()
+        with inner:
+            counters.record_exp()
+        counters.record_exp()
+    assert outer.exp == 2
+    assert inner.exp == 1
+
+
+def test_suppression_hides_operations():
+    counter = OpCounter()
+    with counter:
+        counters.record_exp()
+        with suppressed():
+            counters.record_exp(10)
+            counters.record_hash(10)
+        counters.record_hash()
+    assert counter.snapshot() == (1, 1, 0, 0)
+
+
+def test_counter_deactivates_after_exit():
+    counter = OpCounter()
+    with counter:
+        pass
+    counters.record_exp()
+    assert counter.exp == 0
+
+
+def test_reset_and_snapshot():
+    counter = OpCounter(exp=5, hash=4, sig=3, ver=2)
+    assert counter.as_dict() == {"Exp": 5, "Hash": 4, "Sig": 3, "Ver": 2}
+    counter.reset()
+    assert counter.snapshot() == (0, 0, 0, 0)
+
+
+def test_counter_addition():
+    total = OpCounter(exp=1, hash=2) + OpCounter(exp=3, sig=1, ver=4)
+    assert total.snapshot() == (4, 2, 1, 4)

@@ -1,0 +1,78 @@
+"""Tests for ElGamal encryption (the escrow substrate)."""
+
+import random
+
+import pytest
+
+from repro.core.params import test_params as make_test_params
+from repro.crypto.elgamal import ElGamalKeyPair, encrypt, verify_opening
+
+
+@pytest.fixture(scope="module")
+def group():
+    return make_test_params().group
+
+
+@pytest.fixture(scope="module")
+def keypair(group):
+    return ElGamalKeyPair.generate(group, random.Random(12))
+
+
+def test_encrypt_decrypt_roundtrip(group, keypair, rng):
+    message = group.random_element(rng)
+    ciphertext, _ = encrypt(group, keypair.public, message, rng)
+    assert keypair.decrypt(ciphertext) == message
+
+
+def test_ciphertexts_randomized(group, keypair, rng):
+    message = group.random_element(rng)
+    first, _ = encrypt(group, keypair.public, message, rng)
+    second, _ = encrypt(group, keypair.public, message, rng)
+    assert first != second
+    assert keypair.decrypt(first) == keypair.decrypt(second) == message
+
+
+def test_non_group_plaintext_rejected(group, keypair):
+    with pytest.raises(ValueError):
+        encrypt(group, keypair.public, 0)
+    # An element outside the order-q subgroup is also rejected.
+    for candidate in range(2, 50):
+        if pow(candidate, group.q, group.p) != 1:
+            with pytest.raises(ValueError):
+                encrypt(group, keypair.public, candidate)
+            break
+
+
+def test_opening_verification(group, keypair, rng):
+    message = group.random_element(rng)
+    ciphertext, randomness = encrypt(group, keypair.public, message, rng)
+    assert verify_opening(group, keypair.public, ciphertext, message, randomness)
+    other = group.random_element(rng)
+    assert not verify_opening(group, keypair.public, ciphertext, other, randomness)
+    assert not verify_opening(group, keypair.public, ciphertext, message, randomness + 1)
+
+
+def test_rerandomize_unlinkable_same_plaintext(group, keypair, rng):
+    message = group.random_element(rng)
+    ciphertext, _ = encrypt(group, keypair.public, message, rng)
+    fresh, _ = ciphertext.rerandomize(group, keypair.public, rng)
+    assert fresh != ciphertext
+    assert keypair.decrypt(fresh) == message
+
+
+def test_wrong_key_decrypts_garbage(group, rng):
+    alice = ElGamalKeyPair.generate(group, random.Random(1))
+    eve = ElGamalKeyPair.generate(group, random.Random(2))
+    message = group.random_element(rng)
+    ciphertext, _ = encrypt(group, alice.public, message, rng)
+    assert eve.decrypt(ciphertext) != message
+
+
+def test_wire_roundtrip(group, keypair, rng):
+    from repro.crypto.elgamal import ElGamalCiphertext
+    from repro.crypto.serialize import decode, encode
+
+    message = group.random_element(rng)
+    ciphertext, _ = encrypt(group, keypair.public, message, rng)
+    restored = ElGamalCiphertext.from_wire(decode(encode(ciphertext.to_wire())))
+    assert restored == ciphertext

@@ -1,0 +1,97 @@
+"""Property-based tests of algebraic laws the protocols rely on."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import test_params as make_test_params
+from repro.crypto.schnorr import SchnorrKeyPair
+
+PARAMS = make_test_params()
+GROUP = PARAMS.group
+
+scalars = st.integers(min_value=0, max_value=GROUP.q - 1)
+
+
+@settings(deadline=None, max_examples=40)
+@given(scalars, scalars)
+def test_exponent_addition_law(a, b):
+    """g^a * g^b == g^(a+b): the identity every blinding step depends on."""
+    left = GROUP.mul(GROUP.exp(GROUP.g, a), GROUP.exp(GROUP.g, b))
+    assert left == GROUP.exp(GROUP.g, a + b)
+
+
+@settings(deadline=None, max_examples=40)
+@given(scalars, scalars)
+def test_exponent_multiplication_law(a, b):
+    """(g^a)^b == g^(a*b): what makes challenge-response linear algebra work."""
+    assert GROUP.exp(GROUP.exp(GROUP.g, a), b) == GROUP.exp(GROUP.g, a * b)
+
+
+@settings(deadline=None, max_examples=40)
+@given(scalars)
+def test_order_q_subgroup(a):
+    """Every power of g has order dividing q — exponent arithmetic mod q."""
+    element = GROUP.exp(GROUP.g, a)
+    assert GROUP.exp(element, GROUP.q) == 1
+    assert GROUP.is_element(element)
+
+
+@settings(deadline=None, max_examples=40)
+@given(scalars, scalars)
+def test_commitment_homomorphism(x1, x2):
+    """g1^x1 g2^x2 * g1^y1 g2^y2 == g1^(x1+y1) g2^(x2+y2).
+
+    This is exactly why one payment response r_i = x_i + d*y_i verifies
+    against A * B^d.
+    """
+    y1 = (x1 * 7 + 13) % GROUP.q
+    y2 = (x2 * 11 + 17) % GROUP.q
+    lhs = GROUP.mul(GROUP.commit2(GROUP.g1, x1, GROUP.g2, x2),
+                    GROUP.commit2(GROUP.g1, y1, GROUP.g2, y2))
+    rhs = GROUP.commit2(GROUP.g1, x1 + y1, GROUP.g2, x2 + y2)
+    assert lhs == rhs
+
+
+@settings(deadline=None, max_examples=40)
+@given(scalars)
+def test_inverse_law(a):
+    element = GROUP.exp(GROUP.g, a)
+    assert GROUP.mul(element, GROUP.inv(element)) == 1
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=2**32), st.binary(max_size=32))
+def test_schnorr_rejects_any_bit_perturbation(nonce_seed, message):
+    """Flipping either signature component always breaks verification."""
+    keypair = SchnorrKeyPair.generate(GROUP, random.Random(5))
+    signature = keypair.sign("m", message, rng=random.Random(nonce_seed))
+    assert keypair.verify(signature, "m", message)
+    from repro.crypto.schnorr import SchnorrSignature
+
+    flipped_e = SchnorrSignature(e=signature.e ^ 1, s=signature.s)
+    flipped_s = SchnorrSignature(e=signature.e, s=signature.s ^ 1)
+    assert not keypair.verify(flipped_e, "m", message)
+    assert not keypair.verify(flipped_s, "m", message)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_chord_interval_partition_property(value, low, high):
+    """For low != high, exactly one of (low, high] and (high, low] holds."""
+    from repro.net.chord import in_interval
+
+    if low % 2**64 == high % 2**64:
+        return
+    first = in_interval(value, low, high, inclusive_high=True)
+    second = in_interval(value, high, low, inclusive_high=True)
+    if value % 2**64 == low % 2**64:
+        # The shared endpoint `low` belongs to (high, low] only.
+        assert not first and second
+    else:
+        assert first != second

@@ -1,0 +1,89 @@
+"""Tests for the protocol hash suite F, H, H0, h."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import test_params as make_test_params
+from repro.crypto.counters import OpCounter
+from repro.crypto.hashing import WITNESS_HASH_BITS, encode_for_hash
+
+
+@pytest.fixture(scope="module")
+def params():
+    return make_test_params()
+
+
+def test_deterministic(params):
+    assert params.hashes.H("a", 1) == params.hashes.H("a", 1)
+    assert params.hashes.F("a", 1) == params.hashes.F("a", 1)
+    assert params.hashes.h("a", 1) == params.hashes.h("a", 1)
+
+
+def test_domain_separation(params):
+    # The four oracles must be independent even on identical input.
+    h_out = params.hashes.H("x") % params.group.q
+    h0_out = params.hashes.H0("x") % params.group.q
+    assert h_out != h0_out
+    assert params.hashes.h("x") != params.hashes.H("x")
+
+
+def test_F_lands_in_subgroup(params):
+    for payload in ("info-1", "info-2", "info-3"):
+        element = params.hashes.F(payload)
+        assert params.group.is_element(element)
+
+
+def test_H_and_H0_in_scalar_range(params):
+    for i in range(20):
+        assert 0 <= params.hashes.H("m", i) < params.group.q
+        assert 0 <= params.hashes.H0("m", i) < params.group.q
+
+
+def test_h_width(params):
+    values = [params.hashes.h("coin", i) for i in range(50)]
+    assert all(0 <= v < 2**256 for v in values)
+    # Values spread across the space, not clustered at the bottom.
+    assert max(values) > 2**250
+
+
+def test_each_call_counts_one_hash(params):
+    counter = OpCounter()
+    with counter:
+        params.hashes.F("a")
+        params.hashes.H("b")
+        params.hashes.H0("c")
+        params.hashes.h("d")
+    assert counter.hash == 4
+    assert counter.exp == 0  # F's internal exponentiation is suppressed
+
+
+@given(
+    st.lists(st.one_of(st.integers(min_value=0), st.text(), st.binary()), max_size=6),
+    st.lists(st.one_of(st.integers(min_value=0), st.text(), st.binary()), max_size=6),
+)
+def test_encode_for_hash_injective(parts_a, parts_b):
+    if tuple(parts_a) != tuple(parts_b):
+        assert encode_for_hash(*parts_a) != encode_for_hash(*parts_b)
+    else:
+        assert encode_for_hash(*parts_a) == encode_for_hash(*parts_b)
+
+
+def test_encode_concat_ambiguity_resolved():
+    assert encode_for_hash("ab", "c") != encode_for_hash("a", "bc")
+    assert encode_for_hash(1, 23) != encode_for_hash(12, 3)
+    assert encode_for_hash("1") != encode_for_hash(1)
+    assert encode_for_hash(b"1") != encode_for_hash("1")
+
+
+def test_encode_rejects_bad_types():
+    with pytest.raises(TypeError):
+        encode_for_hash(True)
+    with pytest.raises(ValueError):
+        encode_for_hash(-1)
+    with pytest.raises(TypeError):
+        encode_for_hash(3.14)
+
+
+def test_witness_hash_bits_constant(params):
+    assert params.witness_hash_bits == WITNESS_HASH_BITS == 256
+    assert params.witness_hash_space == 2**256

@@ -1,0 +1,101 @@
+"""Unit and property tests for the number-theory helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.numbers import (
+    generate_group_parameters,
+    inverse_mod,
+    is_probable_prime,
+    random_bits,
+    random_scalar,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 561, 1105, 1729, 2465, 6601, 8911, 2**32 - 1]
+# 561, 1105, ... are Carmichael numbers: Fermat pseudoprimes to every base,
+# the classic trap for weak primality tests.
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes_accepted(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_rejected(n):
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_zero_not_prime():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_agrees_with_trial_division(n):
+    by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+    assert is_probable_prime(n) == by_trial
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_inverse_mod_is_inverse(a):
+    p = 2**61 - 1  # prime modulus: everything nonzero is invertible
+    value = a % p or 1
+    assert (value * inverse_mod(value, p)) % p == 1
+
+
+def test_inverse_of_noninvertible_raises():
+    with pytest.raises(ZeroDivisionError):
+        inverse_mod(6, 9)
+
+
+def test_random_scalar_range():
+    q = 101
+    rng = random.Random(0)
+    values = {random_scalar(q, rng) for _ in range(2000)}
+    assert min(values) >= 1
+    assert max(values) <= q - 1
+    # With 2000 draws from 100 values, essentially all should appear.
+    assert len(values) == q - 1
+
+
+def test_random_scalar_secure_path():
+    value = random_scalar(2**160)
+    assert 1 <= value < 2**160
+
+
+def test_random_bits_range():
+    rng = random.Random(1)
+    assert all(0 <= random_bits(8, rng) < 256 for _ in range(100))
+    assert 0 <= random_bits(16) < 2**16
+
+
+@settings(deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_random_bits_deterministic_with_seed(seed):
+    assert random_bits(64, random.Random(seed)) == random_bits(64, random.Random(seed))
+
+
+def test_generate_group_parameters_small():
+    p, q, g, g1, g2 = generate_group_parameters(128, 64, seed=7)
+    assert p.bit_length() == 128
+    assert q.bit_length() == 64
+    assert (p - 1) % q == 0
+    assert is_probable_prime(p)
+    assert is_probable_prime(q)
+    for gen in (g, g1, g2):
+        assert gen != 1
+        assert pow(gen, q, p) == 1
+    assert len({g, g1, g2}) == 3
+
+
+def test_generate_group_parameters_reproducible():
+    assert generate_group_parameters(96, 48, seed=3) == generate_group_parameters(96, 48, seed=3)
+
+
+def test_generate_group_parameters_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        generate_group_parameters(64, 64)

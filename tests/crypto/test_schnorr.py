@@ -1,0 +1,92 @@
+"""Tests for Schnorr signatures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import test_params as make_test_params
+from repro.crypto.counters import OpCounter
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify
+
+
+@pytest.fixture(scope="module")
+def group():
+    return make_test_params().group
+
+
+@pytest.fixture(scope="module")
+def keypair(group):
+    return SchnorrKeyPair.generate(group, random.Random(5))
+
+
+def test_sign_verify_roundtrip(group, keypair):
+    signature = keypair.sign("hello", 42)
+    assert keypair.verify(signature, "hello", 42)
+    assert verify(group, keypair.public, signature, "hello", 42)
+
+
+def test_wrong_message_rejected(keypair):
+    signature = keypair.sign("hello", 42)
+    assert not keypair.verify(signature, "hello", 43)
+    assert not keypair.verify(signature, "hellp", 42)
+    assert not keypair.verify(signature)
+
+
+def test_wrong_key_rejected(group, keypair):
+    other = SchnorrKeyPair.generate(group, random.Random(6))
+    signature = keypair.sign("msg")
+    assert not other.verify(signature, "msg")
+
+
+def test_tampered_signature_rejected(group, keypair):
+    signature = keypair.sign("msg")
+    assert not keypair.verify(SchnorrSignature(e=signature.e + 1, s=signature.s), "msg")
+    assert not keypair.verify(SchnorrSignature(e=signature.e, s=signature.s + 1), "msg")
+
+
+def test_out_of_range_signature_rejected(group, keypair):
+    signature = keypair.sign("msg")
+    assert not keypair.verify(
+        SchnorrSignature(e=signature.e + group.q, s=signature.s), "msg"
+    )
+    assert not keypair.verify(SchnorrSignature(e=-1 % 2**200, s=signature.s), "msg")
+
+
+def test_bad_public_key_rejected(group, keypair):
+    signature = keypair.sign("msg")
+    assert not verify(group, 0, signature, "msg")
+    assert not verify(group, group.p - 1, signature, "msg") or group.is_element(group.p - 1)
+
+
+def test_signatures_are_randomized(group, keypair):
+    first = keypair.sign("msg")
+    second = keypair.sign("msg")
+    assert first != second  # fresh nonce each time
+    assert keypair.verify(first, "msg") and keypair.verify(second, "msg")
+
+
+def test_counter_accounting(group, keypair):
+    counter = OpCounter()
+    with counter:
+        signature = keypair.sign("msg")
+    assert counter.snapshot() == (0, 0, 1, 0)
+    counter.reset()
+    with counter:
+        keypair.verify(signature, "msg")
+    assert counter.snapshot() == (0, 0, 0, 1)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.text(max_size=64), st.integers(min_value=0, max_value=2**64))
+def test_roundtrip_property(group, keypair, text, number):
+    signature = keypair.sign(text, number)
+    assert keypair.verify(signature, text, number)
+    assert not keypair.verify(signature, text, number + 1)
+
+
+def test_deterministic_with_seeded_rng(group):
+    pair_a = SchnorrKeyPair.generate(group, random.Random(7))
+    pair_b = SchnorrKeyPair.generate(group, random.Random(7))
+    assert pair_a.public == pair_b.public
+    assert pair_a.sign("m", rng=random.Random(8)) == pair_b.sign("m", rng=random.Random(8))

@@ -1,0 +1,109 @@
+"""Tests for the URI wire format (base64 ints, key abbreviation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.serialize import (
+    KEY_ABBREVIATIONS,
+    abbreviate_key,
+    decode,
+    encode,
+    expand_key,
+    flatten,
+    int_to_text,
+    text_to_int,
+    unflatten,
+    wire_bytes,
+)
+
+
+@given(st.integers(min_value=0, max_value=2**2048))
+def test_int_roundtrip(value):
+    assert text_to_int(int_to_text(value)) == value
+
+
+def test_int_encoding_compact():
+    # base64 is ~4/3 of byte length, far below hex's 2x.
+    value = 2**1023
+    assert len(int_to_text(value)) <= (1024 // 8) * 4 // 3 + 3
+
+
+def test_negative_int_rejected():
+    with pytest.raises(ValueError):
+        int_to_text(-1)
+
+
+def test_malformed_int_rejected():
+    with pytest.raises(ValueError):
+        text_to_int("")
+    with pytest.raises(ValueError):
+        text_to_int("!!not-base64!!")
+
+
+def test_abbreviation_roundtrip_all_keys():
+    for long_key in KEY_ABBREVIATIONS:
+        assert expand_key(abbreviate_key(long_key)) == long_key
+    dotted = "transcript.coin.bare.sig.rho"
+    assert expand_key(abbreviate_key(dotted)) == dotted
+    assert abbreviate_key(dotted) == "t.n.b.g.r"
+
+
+def test_unknown_segments_pass_through():
+    assert abbreviate_key("custom.field") == "custom.field"
+    assert expand_key("custom.field") == "custom.field"
+
+
+def test_flatten_nested():
+    assert flatten({"a": {"b": 1, "c": "x"}, "d": 2}) == {"a.b": 1, "a.c": "x", "d": 2}
+
+
+def test_flatten_rejects_bad_values():
+    with pytest.raises(TypeError):
+        flatten({"a": 3.14})
+    with pytest.raises(TypeError):
+        flatten({"a": True})
+    with pytest.raises(ValueError):
+        flatten({"a.b": 1})
+
+
+def test_encode_decode_roundtrip():
+    payload = {"coin": {"bare": {"sig": {"rho": 12345}}}, "merchant_id": "bob-news"}
+    wire = encode(payload)
+    decoded = decode(wire)
+    assert decoded["coin.bare.sig.rho"] == int_to_text(12345)
+    assert decoded["merchant_id"] == "bob-news"
+    assert unflatten(decoded)["coin"]["bare"]["sig"]["rho"] == int_to_text(12345)
+
+
+def test_encode_deterministic():
+    payload = {"b": 1, "a": 2, "c": {"z": 3, "y": 4}}
+    assert encode(payload) == encode({"c": {"y": 4, "z": 3}, "a": 2, "b": 1})
+
+
+def test_decode_rejects_duplicates():
+    with pytest.raises(ValueError):
+        decode("a=1&a=2")
+
+
+def test_unflatten_conflicts_detected():
+    with pytest.raises(ValueError):
+        unflatten({"a": "1", "a.b": "2"})
+    with pytest.raises(ValueError):
+        unflatten({"a.b": "2", "a": "1"})
+
+
+def test_wire_bytes_counts_encoded_length():
+    payload = {"k": 255}
+    assert wire_bytes(payload) == len(encode(payload).encode("ascii"))
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+        st.one_of(st.integers(min_value=0, max_value=2**64), st.text(max_size=16)),
+        max_size=6,
+    )
+)
+def test_encode_decode_property(payload):
+    decoded = decode(encode(payload))
+    assert set(decoded) == {expand_key(abbreviate_key(k)) for k in payload}

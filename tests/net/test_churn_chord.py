@@ -1,0 +1,161 @@
+"""Tests for the churn model and the Chord DHT."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.chord import ChordRing, LookupResult, chord_id, in_interval
+from repro.net.churn import ChurnModel, k_of_n_availability
+
+
+class TestChurn:
+    def test_availability_formula(self):
+        model = ChurnModel(mean_uptime=90, mean_downtime=10, rng=random.Random(0))
+        assert model.availability == pytest.approx(0.9)
+
+    def test_timeline_matches_availability(self):
+        model = ChurnModel(mean_uptime=80, mean_downtime=20, rng=random.Random(1))
+        horizon = 200_000.0
+        timeline = model.timeline(horizon)
+        samples = 4000
+        up = sum(timeline.is_up(i * horizon / samples) for i in range(samples))
+        assert abs(up / samples - 0.8) < 0.05
+
+    def test_always_up(self):
+        model = ChurnModel(mean_uptime=100, mean_downtime=0)
+        timeline = model.timeline(1000)
+        assert timeline.is_up(0) and timeline.is_up(999)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ChurnModel(mean_uptime=0, mean_downtime=1)
+
+    def test_k_of_n_formula(self):
+        p = 0.9
+        assert k_of_n_availability(p, 1, 1) == pytest.approx(p)
+        expected = p**3 + 3 * p**2 * (1 - p)  # the paper's 2-of-3
+        assert k_of_n_availability(p, 3, 2) == pytest.approx(expected)
+        assert k_of_n_availability(p, 3, 2) > p  # the extension helps
+        assert k_of_n_availability(1.0, 5, 5) == 1.0
+        assert k_of_n_availability(0.0, 3, 1) == 0.0
+
+    def test_k_of_n_validation(self):
+        with pytest.raises(ValueError):
+            k_of_n_availability(1.5, 3, 2)
+        with pytest.raises(ValueError):
+            k_of_n_availability(0.9, 3, 0)
+        with pytest.raises(ValueError):
+            k_of_n_availability(0.9, 2, 3)
+
+
+class TestChordInterval:
+    def test_plain_interval(self):
+        assert in_interval(5, 3, 8)
+        assert not in_interval(3, 3, 8)
+        assert not in_interval(8, 3, 8)
+        assert in_interval(8, 3, 8, inclusive_high=True)
+
+    def test_wrapping_interval(self):
+        space = 1 << 64
+        assert in_interval(2, space - 5, 10)
+        assert in_interval(space - 1, space - 5, 10)
+        assert not in_interval(100, space - 5, 10)
+
+    def test_degenerate_interval(self):
+        assert in_interval(7, 3, 3)
+        assert not in_interval(3, 3, 3)
+        assert in_interval(3, 3, 3, inclusive_high=True)
+
+
+class TestChordRing:
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return ChordRing([f"node-{i}" for i in range(64)], successor_list_size=3)
+
+    def test_lookup_finds_true_owner(self, ring):
+        rng = random.Random(3)
+        ordered = ring.nodes
+        for _ in range(200):
+            key = rng.getrandbits(64)
+            result = ring.lookup(key, start=rng.choice(ordered))
+            # Brute-force owner: first node id >= key (wrapping).
+            ids = [node.node_id for node in ordered]
+            import bisect
+
+            index = bisect.bisect_left(ids, key % (1 << 64))
+            expected = ordered[index % len(ordered)]
+            assert result.owner is expected
+
+    def test_logarithmic_hops(self, ring):
+        rng = random.Random(4)
+        hops = [
+            ring.lookup(rng.getrandbits(64), start=rng.choice(ring.nodes)).hops
+            for _ in range(300)
+        ]
+        assert sum(hops) / len(hops) <= math.log2(len(ring.nodes)) + 1
+        assert max(hops) <= 2 * math.log2(len(ring.nodes))
+
+    def test_put_get(self, ring):
+        key = chord_id("some-coin")
+        assert ring.put(key, "record") == 3
+        assert ring.get(key) == ["record"]
+
+    def test_replicas_survive_owner_failure(self, ring):
+        key = chord_id("resilient-coin")
+        ring.put(key, "precious")
+        owner = ring.lookup(key).owner
+        owner.up = False
+        try:
+            assert "precious" in ring.get(key)
+        finally:
+            owner.up = True
+
+    def test_routing_skips_down_nodes(self, ring):
+        rng = random.Random(5)
+        downed = rng.sample(ring.nodes, 8)
+        for node in downed:
+            node.up = False
+        try:
+            for _ in range(50):
+                key = rng.getrandbits(64)
+                start = rng.choice([n for n in ring.nodes if n.up])
+                result = ring.lookup(key, start=start)
+                assert result.owner.up
+        finally:
+            for node in downed:
+                node.up = True
+
+    def test_malicious_nodes_suppress(self):
+        ring = ChordRing([f"m{i}" for i in range(10)], successor_list_size=1)
+        for node in ring.nodes:
+            node.malicious = True
+        key = chord_id("censored")
+        ring.put(key, "never-stored")
+        assert ring.get(key) == []
+
+    def test_compromise_fraction(self):
+        ring = ChordRing([f"m{i}" for i in range(40)])
+        chosen = ring.compromise_fraction(0.25, random.Random(6))
+        assert len(chosen) == 10
+        assert all(node.malicious for node in chosen)
+        with pytest.raises(ValueError):
+            ring.compromise_fraction(1.5, random.Random(6))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ChordRing(["a", "a"])
+        with pytest.raises(ValueError):
+            ChordRing([])
+
+    def test_node_by_name(self, ring):
+        assert ring.node_by_name("node-7").name == "node-7"
+        with pytest.raises(KeyError):
+            ring.node_by_name("ghost")
+
+    def test_single_node_ring(self):
+        ring = ChordRing(["solo"])
+        result = ring.lookup(12345)
+        assert result.owner.name == "solo"
+        ring.put(1, "x")
+        assert ring.get(1) == ["x"]

@@ -1,0 +1,112 @@
+"""Churned-network integration: outages, fallbacks, recovery."""
+
+import pytest
+
+from repro.core.exceptions import ServiceUnavailableError
+from repro.core.system import EcashSystem
+from repro.net.churn import ChurnModel
+from repro.net.costmodel import instant_profile
+from repro.net.services import NetworkDeployment
+
+MERCHANTS = tuple(f"shop-{i}" for i in range(6))
+
+
+@pytest.fixture()
+def deployment(params):
+    system = EcashSystem(merchant_ids=MERCHANTS, params=params, seed=23)
+    dep = NetworkDeployment(system, cost_model=instant_profile(), seed=23)
+    dep.add_client("c")
+    return system, dep
+
+
+def test_apply_churn_schedules_transitions(deployment):
+    import random
+
+    system, dep = deployment
+    model = ChurnModel(mean_uptime=50, mean_downtime=50, rng=random.Random(4))
+    timelines = dep.apply_churn(model, horizon=500.0)
+    assert set(timelines) == set(MERCHANTS)
+    # Drive the clock forward and check node states follow the timelines.
+    for probe in (100.0, 250.0, 400.0):
+        dep.sim.run(until=probe)
+        for name, timeline in timelines.items():
+            assert dep.network.node(name).up == timeline.is_up(probe)
+
+
+def test_robust_payment_renews_around_dead_witness(deployment):
+    system, dep = deployment
+    stored = dep.run(dep.withdrawal_process("c", system.standard_info(25, now=0)))
+    first_witness = stored.coin.witness_id
+    dep.network.node(first_witness).set_up(False)  # permanent outage
+    merchant_id = next(m for m in MERCHANTS if m != first_witness)
+    receipt = dep.run(
+        dep.robust_payment_process("c", stored, merchant_id, max_attempts=4)
+    )
+    assert receipt.amount == 25
+    assert receipt.merchant_id == merchant_id
+    # The payment ultimately used a coin with a live witness.
+    assert system.ledger.conserved()
+
+
+def test_robust_payment_gives_up_when_everything_is_down(deployment):
+    system, dep = deployment
+    stored = dep.run(dep.withdrawal_process("c", system.standard_info(25, now=0)))
+    merchant_id = next(m for m in MERCHANTS if m != stored.coin.witness_id)
+    for name in MERCHANTS:
+        dep.network.node(name).set_up(False)
+    dep.network.node("broker").set_up(False)
+    with pytest.raises((ServiceUnavailableError, Exception)):
+        dep.run(dep.robust_payment_process("c", stored, merchant_id, max_attempts=2))
+
+
+def test_robust_payment_does_not_retry_protocol_refusals(deployment):
+    """Retrying cannot fix a double-spend refusal — and must not mask it."""
+    from repro.core.exceptions import DoubleSpendError
+
+    system, dep = deployment
+    stored = dep.run(dep.withdrawal_process("c", system.standard_info(25, now=0)))
+    shops = [m for m in MERCHANTS if m != stored.coin.witness_id]
+    dep.run(dep.payment_process("c", stored, shops[0]))
+    dep.clients["c"].wallet.add(stored)
+    dep.sim.schedule(200.0, lambda: None)
+    dep.sim.run()
+    with pytest.raises(DoubleSpendError):
+        dep.run(dep.robust_payment_process("c", stored, shops[1], max_attempts=3))
+
+
+def test_economy_survives_heavy_churn(deployment):
+    """Many payments under 70%-availability merchant churn: every attempt
+    either completes exactly once or fails cleanly; money stays conserved."""
+    import random
+
+    system, dep = deployment
+    model = ChurnModel(mean_uptime=70, mean_downtime=30, rng=random.Random(8))
+    dep.apply_churn(model, horizon=10_000.0)
+    completed = 0
+    failures = 0
+    for index in range(10):
+        try:
+            stored = dep.run(
+                dep.withdrawal_process("c", system.standard_info(5, now=dep.now()))
+            )
+        except Exception:
+            failures += 1
+            continue
+        merchant_id = [m for m in MERCHANTS if m != stored.coin.witness_id][
+            index % (len(MERCHANTS) - 1)
+        ]
+        try:
+            dep.run(dep.robust_payment_process("c", stored, merchant_id, max_attempts=3))
+            completed += 1
+        except Exception:
+            failures += 1
+    assert completed + failures == 10
+    assert completed >= 5  # 70% availability with renewal fallback does well
+    # Settle everything that can settle.
+    for merchant_id in MERCHANTS:
+        dep.network.node(merchant_id).set_up(True)
+        try:
+            dep.run(dep.deposit_process(merchant_id))
+        except Exception:
+            pass
+    assert system.ledger.conserved()

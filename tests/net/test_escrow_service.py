@@ -1,0 +1,94 @@
+"""Tests for the networked escrowed-withdrawal service."""
+
+import random
+
+import pytest
+
+from repro.core.escrow import TrusteeService
+from repro.core.exceptions import ProtocolViolationError
+from repro.core.system import EcashSystem
+from repro.crypto import counters
+from repro.net.costmodel import instant_profile
+from repro.net.escrow_service import EscrowIssuingService
+from repro.net.services import NetworkDeployment
+
+
+@pytest.fixture()
+def escrow_deployment(params):
+    system = EcashSystem(params=params, seed=71)
+    deployment = NetworkDeployment(system, cost_model=instant_profile(), seed=71)
+    deployment.add_client("alice")
+    trustee = TrusteeService(params=params, rng=random.Random(72))
+    with counters.suppressed():
+        identity = pow(params.group.g, 424243, params.group.p)
+    service = EscrowIssuingService(
+        network=deployment.network,
+        signer=system.broker._signer,
+        trustee_public=trustee.public_key,
+        registry={"alice": identity},
+        params=params,
+        cut_and_choose=4,
+        rng=random.Random(73),
+    )
+    return system, deployment, trustee, service, identity
+
+
+def test_networked_escrowed_withdrawal(escrow_deployment):
+    system, deployment, trustee, service, identity = escrow_deployment
+    info = system.standard_info(100, now=0)
+    result = deployment.run(service.withdrawal_process("alice", identity, info))
+    assert result.coin.verify_signature(system.params, system.broker.blind_public)
+    assert trustee.trace(result.coin) == identity
+
+
+def test_three_rounds(escrow_deployment):
+    system, deployment, trustee, service, identity = escrow_deployment
+    info = system.standard_info(100, now=0)
+    before = len(deployment.network.trace.methods())
+    deployment.run(service.withdrawal_process("alice", identity, info))
+    methods = deployment.network.trace.methods()[before:]
+    assert methods == ["escrow/begin", "escrow/submit", "escrow/open"]
+
+
+def test_unregistered_client_refused(escrow_deployment):
+    system, deployment, trustee, service, identity = escrow_deployment
+    deployment.add_client("mallory")
+    info = system.standard_info(100, now=0)
+    with pytest.raises(ProtocolViolationError):
+        deployment.run(service.withdrawal_process("mallory", identity, info))
+
+
+def test_wrong_identity_caught_in_audit(escrow_deployment):
+    """A client whose candidates encrypt a different identity than its
+    registration fails the broker's audit (unless all bad candidates land
+    on the unopened slot, prob 1/K per run — retried out here)."""
+    system, deployment, trustee, service, identity = escrow_deployment
+    with counters.suppressed():
+        other = pow(system.params.group.g, 999, system.params.group.p)
+    info = system.standard_info(100, now=0)
+    caught = 0
+    for attempt in range(4):
+        try:
+            # The client *claims* to be alice but encrypts `other` in all
+            # candidates: every audited opening mismatches.
+            deployment.run(service.withdrawal_process("alice", other, info))
+        except ProtocolViolationError:
+            caught += 1
+    assert caught == 4  # with ALL candidates bad, the audit always fires
+
+
+def test_escrowed_coin_spendable(escrow_deployment):
+    system, deployment, trustee, service, identity = escrow_deployment
+    info = system.standard_info(100, now=0)
+    result = deployment.run(service.withdrawal_process("alice", identity, info))
+    from repro.crypto.representation import respond, verify_response
+
+    d = system.params.hashes.H0(*result.coin.message_parts(), "pay", "shop", 5)
+    response = respond(result.secrets, d, system.params.group.q)
+    assert verify_response(
+        system.params.group,
+        result.coin.commitment_a,
+        result.coin.commitment_b,
+        d,
+        response,
+    )

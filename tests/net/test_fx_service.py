@@ -1,0 +1,78 @@
+"""Tests for the networked fair-exchange service."""
+
+import pytest
+
+from repro.core.fair_exchange import FxResolution
+from repro.core.system import EcashSystem
+from repro.net.costmodel import instant_profile
+from repro.net.fx_service import ARBITER_NODE, FairExchangeService
+from repro.net.services import NetworkDeployment
+
+GOOD = b"FLAC: 4'33\" (complete), 44.1kHz" * 8
+PRICE = 25
+
+
+@pytest.fixture()
+def fx_setup(params):
+    system = EcashSystem(params=params, seed=81)
+    deployment = NetworkDeployment(system, cost_model=instant_profile(), seed=81)
+    deployment.add_client("buyer")
+    service = FairExchangeService(deployment=deployment, seed=82)
+    stored = deployment.run(
+        deployment.withdrawal_process("buyer", system.standard_info(PRICE, now=0))
+    )
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    return system, deployment, service, stored, merchant_id
+
+
+def test_happy_path_delivers_good(fx_setup):
+    system, deployment, service, stored, merchant_id = fx_setup
+    service.list_good(merchant_id, "single-001", PRICE, GOOD, now=0)
+    outcome = deployment.run(
+        service.purchase_process("buyer", stored, merchant_id, "single-001")
+    )
+    assert outcome.good == GOOD
+    assert outcome.resolution is None  # the arbiter never woke up
+    assert outcome.refunded == 0
+    # The merchant got a perfectly ordinary cashable payment.
+    deployment.run(deployment.deposit_process(merchant_id))
+    assert system.broker.merchant_balance(merchant_id) == PRICE
+
+
+def test_withholding_merchant_forced_by_arbiter_or_refund(fx_setup):
+    system, deployment, service, stored, merchant_id = fx_setup
+    service.list_good(merchant_id, "single-002", PRICE, GOOD, now=0, withhold_key=True)
+    outcome = deployment.run(
+        service.purchase_process("buyer", stored, merchant_id, "single-002")
+    )
+    # The merchant stonewalls even the arbiter, so the client is refunded
+    # out of the merchant's funds at the broker.
+    assert outcome.resolution is FxResolution.CLIENT_REFUNDED
+    assert outcome.refunded == PRICE
+    assert system.ledger.balance("refund:buyer") == PRICE
+    assert system.ledger.conserved()
+
+
+def test_dispute_travels_through_arbiter_node(fx_setup):
+    system, deployment, service, stored, merchant_id = fx_setup
+    service.list_good(merchant_id, "single-003", PRICE, GOOD, now=0, withhold_key=True)
+    deployment.run(service.purchase_process("buyer", stored, merchant_id, "single-003"))
+    dispute_requests = [
+        entry
+        for entry in deployment.network.trace.entries
+        if entry.destination == ARBITER_NODE and entry.kind == "request"
+    ]
+    assert len(dispute_requests) == 1
+    assert service.arbiter.disputes_resolved == 1
+
+
+def test_unknown_good_rejected(fx_setup):
+    from repro.core.exceptions import InvalidPaymentError
+
+    system, deployment, service, stored, merchant_id = fx_setup
+    with pytest.raises(InvalidPaymentError):
+        deployment.run(
+            service.purchase_process("buyer", stored, merchant_id, "no-such-good")
+        )
+    # The coin was not burned by the failed purchase.
+    assert stored in deployment.clients["buyer"].wallet.coins

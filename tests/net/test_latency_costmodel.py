@@ -1,0 +1,100 @@
+"""Tests for the latency and compute-cost models."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import mean, stdev
+from repro.crypto.counters import OpCounter
+from repro.net.costmodel import (
+    ComputeCostModel,
+    instant_profile,
+    openssl_profile,
+    python2006_profile,
+)
+from repro.net.latency import LatencyModel, Region, planetlab_us, uniform_mesh
+
+
+class TestLatency:
+    def test_planetlab_rtts_in_paper_band(self):
+        model = planetlab_us(seed=1)
+        pairs = [
+            (Region.WISCONSIN, Region.CALIFORNIA),
+            (Region.WISCONSIN, Region.MASSACHUSETTS),
+            (Region.CALIFORNIA, Region.MASSACHUSETTS),
+        ]
+        for src, dst in pairs:
+            rtt_ms = model.mean_rtt(src, dst) * 1000
+            assert 50 <= rtt_ms <= 100, f"{src}-{dst} RTT {rtt_ms}ms outside 50-100ms"
+
+    def test_symmetry(self):
+        model = planetlab_us(seed=1)
+        assert model.mean_one_way(Region.WISCONSIN, Region.CALIFORNIA) == model.mean_one_way(
+            Region.CALIFORNIA, Region.WISCONSIN
+        )
+
+    def test_jitter_mean_preserving(self):
+        model = planetlab_us(seed=2, jitter=0.3)
+        samples = [
+            model.sample_one_way(Region.WISCONSIN, Region.CALIFORNIA) for _ in range(4000)
+        ]
+        expected = model.mean_one_way(Region.WISCONSIN, Region.CALIFORNIA)
+        assert abs(mean(samples) - expected) / expected < 0.05
+        assert stdev(samples) > 0
+
+    def test_zero_jitter_deterministic(self):
+        model = planetlab_us(seed=3, jitter=0.0)
+        a = model.sample_one_way(Region.WISCONSIN, Region.CALIFORNIA)
+        b = model.sample_one_way(Region.WISCONSIN, Region.CALIFORNIA)
+        assert a == b == model.mean_one_way(Region.WISCONSIN, Region.CALIFORNIA)
+
+    def test_size_term(self):
+        model = planetlab_us(seed=4, jitter=0.0)
+        small = model.sample_one_way(Region.WISCONSIN, Region.CALIFORNIA, size_bytes=0)
+        large = model.sample_one_way(Region.WISCONSIN, Region.CALIFORNIA, size_bytes=1_000_000)
+        assert large == pytest.approx(small + 1.0)
+
+    def test_uniform_mesh(self):
+        model = uniform_mesh([Region.LOCAL, Region.WISCONSIN], one_way=0.05, seed=5)
+        assert model.mean_one_way(Region.LOCAL, Region.WISCONSIN) == 0.05
+
+    def test_unknown_pair_raises(self):
+        model = LatencyModel(one_way_means={}, rng=random.Random(0))
+        with pytest.raises(KeyError):
+            model.mean_one_way(Region.LOCAL, Region.LOCAL)
+
+
+class TestCostModel:
+    def test_mean_seconds(self):
+        model = ComputeCostModel(exp_ms=10, hash_ms=1, sig_ms=100, ver_ms=50)
+        counter = OpCounter(exp=2, hash=3, sig=1, ver=2)
+        assert model.mean_seconds(counter) == pytest.approx(0.223)
+
+    def test_noise_mean_preserving(self):
+        model = ComputeCostModel(exp_ms=10, hash_ms=0, sig_ms=0, ver_ms=0, noise=0.4)
+        counter = OpCounter(exp=10)
+        rng = random.Random(0)
+        samples = [model.sample_seconds(counter, rng) for _ in range(4000)]
+        assert abs(mean(samples) - 0.1) / 0.1 < 0.05
+
+    def test_zero_ops_zero_time(self):
+        model = python2006_profile()
+        assert model.sample_seconds(OpCounter(), random.Random(0)) == 0.0
+
+    def test_python2006_anchor(self):
+        """The paper's footnote 7 anchor: one signature ~ 250 ms."""
+        model = python2006_profile(noise=0)
+        assert model.sample_seconds(OpCounter(sig=1), random.Random(0)) == pytest.approx(0.25)
+
+    def test_openssl_anchor(self):
+        """Aggregate payment compute under OpenSSL ~ 30 ms (Section 7)."""
+        model = openssl_profile(noise=0)
+        # Total ops of one payment across parties (client+witness+merchant).
+        total = OpCounter(exp=14, hash=15, sig=2, ver=5)
+        compute_ms = model.mean_seconds(total) * 1000
+        assert compute_ms <= 30.0
+        assert compute_ms >= 15.0  # nonzero, same order as the paper's claim
+
+    def test_instant_profile(self):
+        model = instant_profile()
+        assert model.mean_seconds(OpCounter(exp=100, sig=100)) == 0.0

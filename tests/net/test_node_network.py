@@ -1,0 +1,190 @@
+"""Tests for the RPC fabric: metering, errors, downtime, compute charging."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import InvalidPaymentError, ServiceUnavailableError
+from repro.crypto import counters
+from repro.net.costmodel import ComputeCostModel, instant_profile
+from repro.net.latency import LatencyModel, Region
+from repro.net.node import Network, Node, metered
+from repro.net.sim import Simulator, SimTimeoutError, Sleep
+from repro.net.transport import HTTP_FRAMING_BYTES, Message
+
+
+def flat_latency(one_way=0.01):
+    means = {frozenset({a, b}): one_way for a in Region for b in Region}
+    means.update({frozenset({a}): one_way for a in Region})
+    return LatencyModel(
+        one_way_means=means,
+        jitter=0.0,
+        bandwidth_bytes_per_s=float("inf"),  # isolate propagation delay
+        rng=random.Random(0),
+    )
+
+
+@pytest.fixture()
+def network():
+    sim = Simulator()
+    net = Network(sim, flat_latency(), instant_profile(), seed=0)
+    alpha = net.register(Node("alpha", Region.WISCONSIN))
+    beta = net.register(Node("beta", Region.CALIFORNIA))
+    return sim, net, alpha, beta
+
+
+def test_rpc_roundtrip(network):
+    sim, net, alpha, beta = network
+    beta.on("echo", lambda payload: {"echo": payload["value"]})
+
+    def process():
+        reply = yield net.rpc("alpha", "beta", "echo", {"value": "hi"})
+        return reply
+
+    assert sim.run_process(process()) == {"echo": "hi"}
+    assert sim.now == pytest.approx(0.02, rel=0.01)  # two one-way hops
+
+
+def test_protocol_error_travels_back(network):
+    sim, net, alpha, beta = network
+
+    def handler(payload):
+        raise InvalidPaymentError("nope")
+
+    beta.on("fail", handler)
+
+    def process():
+        yield net.rpc("alpha", "beta", "fail", {})
+
+    with pytest.raises(InvalidPaymentError):
+        sim.run_process(process())
+    # The error consumed network time in both directions.
+    assert sim.now >= 0.02
+
+
+def test_generator_handler_with_nested_rpc(network):
+    sim, net, alpha, beta = network
+    gamma = net.register(Node("gamma", Region.MASSACHUSETTS))
+    gamma.on("inner", lambda payload: {"from": "gamma"})
+
+    def beta_handler(payload):
+        reply = yield net.rpc("beta", "gamma", "inner", {})
+        return {"via": "beta", "inner": reply["from"]}
+
+    beta.on("outer", beta_handler)
+
+    def process():
+        return (yield net.rpc("alpha", "beta", "outer", {}))
+
+    assert sim.run_process(process()) == {"via": "beta", "inner": "gamma"}
+    assert sim.now == pytest.approx(0.04, rel=0.01)  # four one-way hops
+
+
+def test_down_node_times_out(network):
+    sim, net, alpha, beta = network
+    beta.on("echo", lambda payload: payload)
+    beta.set_up(False)
+
+    def process():
+        yield net.rpc("alpha", "beta", "echo", {}, timeout=1.0)
+
+    with pytest.raises(SimTimeoutError):
+        sim.run_process(process())
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_down_source_fails_fast(network):
+    sim, net, alpha, beta = network
+    alpha.set_up(False)
+    beta.on("echo", lambda payload: payload)
+
+    def process():
+        yield net.rpc("alpha", "beta", "echo", {})
+
+    with pytest.raises(ServiceUnavailableError):
+        sim.run_process(process())
+
+
+def test_unknown_method_raises(network):
+    sim, net, alpha, beta = network
+
+    def process():
+        yield net.rpc("alpha", "beta", "nonexistent", {})
+
+    with pytest.raises(KeyError):
+        sim.run_process(process())
+
+
+def test_traffic_metering(network):
+    sim, net, alpha, beta = network
+    beta.on("echo", lambda payload: {"ok": 1})
+
+    def process():
+        yield net.rpc("alpha", "beta", "echo", {"data": "x" * 100})
+
+    sim.run_process(process())
+    request_size = Message(method="echo", payload={"data": "x" * 100}).size_bytes
+    assert alpha.meter.sent_bytes == request_size
+    assert beta.meter.received_bytes == request_size
+    assert alpha.meter.received_bytes > 0  # the response
+    assert alpha.meter.messages_sent == 1
+    assert request_size > HTTP_FRAMING_BYTES
+
+
+def test_trace_records_requests_and_responses(network):
+    sim, net, alpha, beta = network
+    beta.on("echo", lambda payload: {})
+
+    def process():
+        yield net.rpc("alpha", "beta", "echo", {})
+
+    sim.run_process(process())
+    kinds = [entry.kind for entry in net.trace.entries]
+    assert kinds == ["request", "response"]
+    assert net.trace.methods() == ["echo"]
+    assert net.trace.between("alpha", "beta")[0].method == "echo"
+
+
+def test_compute_charged_before_send():
+    """A handler's counted crypto delays its outgoing messages."""
+    sim = Simulator()
+    cost = ComputeCostModel(exp_ms=1000.0, hash_ms=0, sig_ms=0, ver_ms=0, noise=0)
+    net = Network(sim, flat_latency(0.0), cost, seed=0)
+    alpha = net.register(Node("alpha", Region.LOCAL))
+    beta = net.register(Node("beta", Region.LOCAL))
+
+    def handler(payload):
+        counters.record_exp(2)  # 2 seconds of simulated compute
+        return {"done": 1}
+
+    beta.on("work", handler)
+
+    def process():
+        reply = yield net.rpc("alpha", "beta", "work", {})
+        return sim.now
+
+    assert sim.run_process(metered(process(), cost, random.Random(0))) == pytest.approx(2.0)
+
+
+def test_metered_charges_client_side_ops():
+    sim = Simulator()
+    cost = ComputeCostModel(exp_ms=500.0, hash_ms=0, sig_ms=0, ver_ms=0, noise=0)
+
+    def process():
+        counters.record_exp()  # 0.5 s before first yield
+        yield Sleep(0.0)
+        counters.record_exp(3)  # 1.5 s before finishing
+        return sim.now
+
+    result = sim.run_process(metered(process(), cost, random.Random(0)))
+    assert result == pytest.approx(0.5)  # time observed before the final charge
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_duplicate_registration_rejected(network):
+    sim, net, alpha, beta = network
+    with pytest.raises(ValueError):
+        net.register(Node("alpha", Region.LOCAL))
+    with pytest.raises(ValueError):
+        alpha.on("x", lambda p: p)
+        alpha.on("x", lambda p: p)

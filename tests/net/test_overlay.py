@@ -1,0 +1,154 @@
+"""Tests for the gossip overlay distributing signed witness directories."""
+
+import random
+
+import pytest
+
+from repro.core.system import EcashSystem
+from repro.core.witness_ranges import build_table
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature
+from repro.net.costmodel import instant_profile
+from repro.net.latency import Region, uniform_mesh
+from repro.net.node import Network, Node
+from repro.net.overlay import Directory, GossipOverlay, publish_directory
+from repro.net.sim import Simulator
+
+MEMBERS = [f"shop-{i}" for i in range(12)]
+
+
+@pytest.fixture()
+def overlay_setup(params):
+    sim = Simulator()
+    network = Network(
+        sim,
+        uniform_mesh([Region.LOCAL], one_way=0.01, seed=5),
+        instant_profile(),
+        seed=5,
+    )
+    for member in MEMBERS:
+        network.register(Node(member, Region.LOCAL))
+    broker_key = SchnorrKeyPair.generate(params.group, random.Random(6))
+    table = build_table(
+        params, broker_key, 1, {m: 1.0 for m in MEMBERS}, rng=random.Random(7)
+    )
+    keys = {
+        m: SchnorrKeyPair.generate(params.group, random.Random(10 + i)).public
+        for i, m in enumerate(MEMBERS)
+    }
+    directory = publish_directory(params, broker_key, 1, table, keys, random.Random(8))
+    overlay = GossipOverlay(
+        params, network, broker_key.public, MEMBERS, interval=1.0, fanout=1, seed=9
+    )
+    return sim, network, broker_key, table, keys, directory, overlay
+
+
+def test_directory_signature(params, overlay_setup):
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    assert directory.verify(params, broker_key.public)
+    impostor = SchnorrKeyPair.generate(params.group, random.Random(99))
+    assert not directory.verify(params, impostor.public)
+
+
+def test_gossip_converges(params, overlay_setup):
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    overlay.seed(directory, seed_members=MEMBERS[:2])
+    overlay.start()
+    sim.run(until=60.0)
+    assert overlay.converged_to(1)
+    for member in MEMBERS:
+        state = overlay.states[member]
+        assert state.directory is not None
+        assert state.directory.table.version == table.version
+
+
+def test_convergence_is_epidemic_fast(params, overlay_setup):
+    """12 members, fanout 1, 1s rounds: convergence within ~O(log N) * a
+    small constant of rounds, far below linear flooding."""
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    overlay.seed(directory, seed_members=[MEMBERS[0]])
+    overlay.start()
+    deadline = 25.0  # 25 rounds >> log2(12) ~ 3.6, << any linear schedule
+    sim.run(until=deadline)
+    assert overlay.converged_to(1)
+
+
+def test_newer_version_replaces_older(params, overlay_setup):
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    overlay.seed(directory, seed_members=MEMBERS[:3])
+    overlay.start()
+    sim.run(until=30.0)
+    table2 = build_table(
+        params, broker_key, 2, {m: 2.0 for m in MEMBERS}, rng=random.Random(17)
+    )
+    directory2 = publish_directory(params, broker_key, 2, table2, keys, random.Random(18))
+    overlay.seed(directory2, seed_members=[MEMBERS[-1]])
+    sim.run(until=90.0)
+    assert overlay.converged_to(2)
+    assert all(state.version == 2 for state in overlay.states.values())
+
+
+def test_forged_directory_rejected(params, overlay_setup):
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    overlay.seed(directory, seed_members=MEMBERS[:2])
+    # A Byzantine member fabricates a "version 99" with its own signature.
+    forged = Directory(
+        version=99,
+        table=table,
+        merchant_keys=keys,
+        signature=SchnorrSignature(e=1, s=1),
+    )
+    state = overlay.states[MEMBERS[5]]
+    overlay._consider(state, forged)
+    assert state.version == 0
+    assert state.rejected == 1
+    with pytest.raises(ValueError):
+        overlay.seed(forged, seed_members=[MEMBERS[5]])
+
+
+def test_stale_version_ignored(params, overlay_setup):
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    table2 = build_table(
+        params, broker_key, 2, {m: 1.0 for m in MEMBERS}, rng=random.Random(21)
+    )
+    directory2 = publish_directory(params, broker_key, 2, table2, keys, random.Random(22))
+    state = overlay.states[MEMBERS[0]]
+    overlay.seed(directory2, seed_members=[MEMBERS[0]])
+    installs_before = state.installs
+    overlay._consider(state, directory)  # replaying v1 after v2
+    assert state.version == 2
+    assert state.installs == installs_before
+
+
+def test_gossip_heals_around_downtime(params, overlay_setup):
+    """Members that were down during the rollout catch up on reboot."""
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    for member in MEMBERS[6:]:
+        network.node(member).set_up(False)
+    overlay.seed(directory, seed_members=[MEMBERS[0]])
+    overlay.start()
+    sim.run(until=40.0)
+    assert overlay.converged_to(1)  # converged among the online members
+    assert overlay.states[MEMBERS[7]].version == 0
+    for member in MEMBERS[6:]:
+        network.node(member).set_up(True)
+    sim.run(until=120.0)
+    assert all(state.version == 1 for state in overlay.states.values())
+
+
+def test_payload_roundtrip(params, overlay_setup):
+    from repro.net.overlay import _directory_from_payload, _directory_to_payload
+
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    restored = _directory_from_payload(params, _directory_to_payload(directory))
+    assert restored is not None
+    assert restored.version == directory.version
+    assert restored.merchant_keys == directory.merchant_keys
+    assert restored.verify(params, broker_key.public)
+
+
+def test_malformed_payload_returns_none(params, overlay_setup):
+    from repro.net.overlay import _directory_from_payload
+
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    assert _directory_from_payload(params, {"version": 0}) is None
+    assert _directory_from_payload(params, {"garbage": "x"}) is None

@@ -1,0 +1,79 @@
+"""Gossip overlay under an active network adversary (MITM on directories)."""
+
+import random
+
+import pytest
+
+from repro.core.params import test_params as make_test_params
+from repro.core.witness_ranges import build_table
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.net.costmodel import instant_profile
+from repro.net.latency import Region, uniform_mesh
+from repro.net.node import Network, Node
+from repro.net.overlay import GossipOverlay, publish_directory
+from repro.net.sim import Simulator
+from repro.net.transport import Message
+
+MEMBERS = [f"peer-{i}" for i in range(10)]
+
+
+@pytest.fixture()
+def adversarial_overlay():
+    params = make_test_params()
+    sim = Simulator()
+    network = Network(
+        sim,
+        uniform_mesh([Region.LOCAL], one_way=0.01, seed=61),
+        instant_profile(),
+        seed=61,
+    )
+    for member in MEMBERS:
+        network.register(Node(member, Region.LOCAL))
+    broker_key = SchnorrKeyPair.generate(params.group, random.Random(62))
+    table = build_table(
+        params, broker_key, 1, {m: 1.0 for m in MEMBERS}, rng=random.Random(63)
+    )
+    keys = {m: 1 + i for i, m in enumerate(MEMBERS)}
+    directory = publish_directory(params, broker_key, 1, table, keys, random.Random(64))
+    overlay = GossipOverlay(
+        params, network, broker_key.public, MEMBERS, interval=1.0, fanout=1, seed=65
+    )
+    return params, sim, network, overlay, directory
+
+
+def test_tampered_directories_never_install(adversarial_overlay):
+    """A MITM corrupting every directory transfer in flight stalls the
+    rollout but never poisons any member's state."""
+    params, sim, network, overlay, directory = adversarial_overlay
+
+    def corrupt(source, destination, message: Message):
+        if message.method == "overlay/push":
+            payload = dict(message.payload)
+            payload["version"] = 99  # claim a newer version than signed
+            return Message(method=message.method, payload=payload)
+        return message
+
+    network.tamper_hook = corrupt
+    overlay.seed(directory, seed_members=[MEMBERS[0]])
+    overlay.start()
+    sim.run(until=20.0)
+    # Members either hold nothing or the authentic version 1 (obtained via
+    # untampered pull replies) — never the forged version 99.
+    for member in MEMBERS:
+        assert overlay.version_of(member) in (0, 1)
+    # And rejections were actually recorded somewhere.
+    assert sum(state.rejected for state in overlay.states.values()) > 0
+
+
+def test_rollout_completes_once_adversary_leaves(adversarial_overlay):
+    params, sim, network, overlay, directory = adversarial_overlay
+    network.tamper_hook = lambda s, d, m: (
+        None if m.method.startswith("overlay/") else m
+    )  # adversary blackholes all gossip
+    overlay.seed(directory, seed_members=[MEMBERS[0]])
+    overlay.start()
+    sim.run(until=10.0)
+    assert not overlay.converged_to(1)
+    network.tamper_hook = None  # adversary gives up
+    sim.run(until=60.0)
+    assert overlay.converged_to(1)

@@ -1,0 +1,121 @@
+"""Tests for server-side queueing (bounded handler concurrency)."""
+
+import random
+
+import pytest
+
+from repro.crypto import counters
+from repro.net.costmodel import ComputeCostModel
+from repro.net.latency import LatencyModel, Region
+from repro.net.node import Network, Node, metered
+from repro.net.sim import Future, Simulator
+
+
+def instant_latency():
+    means = {frozenset({a, b}): 0.0 for a in Region for b in Region}
+    means.update({frozenset({a}): 0.0 for a in Region})
+    return LatencyModel(
+        one_way_means=means,
+        jitter=0.0,
+        bandwidth_bytes_per_s=float("inf"),
+        rng=random.Random(0),
+    )
+
+
+def one_second_per_request():
+    return ComputeCostModel(exp_ms=1000.0, hash_ms=0, sig_ms=0, ver_ms=0, noise=0)
+
+
+def build(concurrency):
+    sim = Simulator()
+    net = Network(sim, instant_latency(), one_second_per_request(), seed=0)
+    client = net.register(Node("client", Region.LOCAL))
+    server = net.register(Node("server", Region.LOCAL, concurrency=concurrency))
+
+    def work(payload):
+        counters.record_exp()  # one simulated second of compute
+        return {"done": 1}
+
+    server.on("work", work)
+    return sim, net, client, server
+
+
+def launch_requests(sim, net, count):
+    futures = []
+    for _ in range(count):
+        lazy = net.rpc("client", "server", "work", {}, timeout=60.0)
+        lazy.dispatch()
+        futures.append(lazy)
+    done = Future()
+    remaining = len(futures)
+
+    def on_done(_):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.done:
+            done.set_result(None)
+
+    for future in futures:
+        future.add_callback(on_done)
+    sim.run_until(done)
+    return futures
+
+
+def test_unlimited_concurrency_fully_parallel():
+    sim, net, client, server = build(concurrency=None)
+    launch_requests(sim, net, 5)
+    assert sim.now == pytest.approx(1.0)  # all five overlapped
+    assert server.peak_queue_depth == 0
+
+
+def test_single_threaded_server_serializes():
+    sim, net, client, server = build(concurrency=1)
+    launch_requests(sim, net, 5)
+    assert sim.now == pytest.approx(5.0)  # strictly one at a time
+    assert server.peak_queue_depth == 4
+    assert server.active_handlers == 0  # all slots released
+
+
+def test_bounded_concurrency_pipeline():
+    sim, net, client, server = build(concurrency=2)
+    launch_requests(sim, net, 6)
+    assert sim.now == pytest.approx(3.0)  # 6 requests / 2 lanes
+    assert server.peak_queue_depth == 4
+
+
+def test_queue_preserves_fifo_order():
+    sim = Simulator()
+    net = Network(sim, instant_latency(), one_second_per_request(), seed=0)
+    net.register(Node("client", Region.LOCAL))
+    server = net.register(Node("server", Region.LOCAL, concurrency=1))
+    order = []
+
+    def work(payload):
+        counters.record_exp()
+        order.append(payload["index"])
+        return {}
+
+    server.on("work", work)
+    futures = []
+    for index in range(4):
+        lazy = net.rpc("client", "server", "work", {"index": index}, timeout=60.0)
+        lazy.dispatch()
+        futures.append(lazy)
+    done = Future()
+    remaining = len(futures)
+
+    def on_done(_):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.done:
+            done.set_result(None)
+
+    for future in futures:
+        future.add_callback(on_done)
+    sim.run_until(done)
+    assert order == [0, 1, 2, 3]
+
+
+def test_invalid_concurrency_rejected():
+    with pytest.raises(ValueError):
+        Node("x", Region.LOCAL, concurrency=0)

@@ -1,0 +1,143 @@
+"""Concurrency races over the simulated network.
+
+The serialization point of the whole design is the witness: whatever two
+merchants, two clients or two in-flight protocol runs do concurrently, at
+most one transcript per coin ever gets a witness signature (unless the
+witness is faulty — and then the deposit protocol settles it). These tests
+launch genuinely concurrent protocol runs on the event loop and check the
+serialization holds at every interleaving the seeds produce.
+"""
+
+import pytest
+
+from repro.core.exceptions import (
+    CommitmentError,
+    CommitmentOutstandingError,
+    DoubleSpendError,
+    EcashError,
+)
+from repro.core.system import EcashSystem
+from repro.net.costmodel import instant_profile
+from repro.net.node import metered
+from repro.net.services import NetworkDeployment
+from repro.net.sim import Future
+
+
+def gather(sim, futures):
+    """Run until all futures resolve; return (value_or_exception, ...)."""
+    done = Future()
+    remaining = len(futures)
+
+    def on_done(_):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.done:
+            done.set_result(None)
+
+    for future in futures:
+        future.add_callback(on_done)
+    sim.run_until(done)
+    results = []
+    for future in futures:
+        try:
+            results.append(("ok", future.result()))
+        except EcashError as error:
+            results.append(("refused", error))
+    return results
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_concurrent_double_spend_race(params, seed):
+    """The same coin is spent at two merchants at the same instant.
+
+    Exactly one payment may succeed; the other must be refused by the
+    witness's commitment discipline (one outstanding commitment per coin)
+    or by double-spend detection — never by silently succeeding twice.
+    """
+    system = EcashSystem(params=params, seed=seed)
+    deployment = NetworkDeployment(system, cost_model=instant_profile(), seed=seed)
+    deployment.add_client("racer")
+    stored = deployment.run(
+        deployment.withdrawal_process("racer", system.standard_info(25, now=0))
+    )
+    witness_id = stored.coin.witness_id
+    targets = [m for m in system.merchant_ids if m != witness_id][:2]
+
+    futures = [
+        deployment.sim.spawn(
+            metered(
+                deployment.payment_process("racer", stored, merchant_id),
+                deployment.network.cost_model,
+                deployment.network.rng,
+            )
+        )
+        for merchant_id in targets
+    ]
+    results = gather(deployment.sim, futures)
+
+    successes = [r for status, r in results if status == "ok"]
+    refusals = [r for status, r in results if status == "refused"]
+    assert len(successes) == 1, f"expected exactly one success, got {results}"
+    assert len(refusals) == 1
+    assert isinstance(
+        refusals[0], (CommitmentOutstandingError, CommitmentError, DoubleSpendError)
+    )
+    # Settlement stays sound: only one merchant can deposit the coin.
+    paid = successes[0].merchant_id
+    deployment.run(deployment.deposit_process(paid))
+    assert system.broker.merchant_balance(paid) == 25
+    assert system.ledger.conserved()
+
+
+def test_concurrent_distinct_coins_no_interference(params):
+    """Races only exist per coin: distinct coins in flight never clash."""
+    system = EcashSystem(params=params, seed=9)
+    deployment = NetworkDeployment(system, cost_model=instant_profile(), seed=9)
+    launches = []
+    for index in range(4):
+        client_name = f"client-{index}"
+        deployment.add_client(client_name)
+        stored = deployment.run(
+            deployment.withdrawal_process(client_name, system.standard_info(10, now=0))
+        )
+        merchant_id = [m for m in system.merchant_ids if m != stored.coin.witness_id][
+            index % (len(system.merchant_ids) - 1)
+        ]
+        launches.append((client_name, stored, merchant_id))
+
+    futures = [
+        deployment.sim.spawn(
+            metered(
+                deployment.payment_process(client_name, stored, merchant_id),
+                deployment.network.cost_model,
+                deployment.network.rng,
+            )
+        )
+        for client_name, stored, merchant_id in launches
+    ]
+    results = gather(deployment.sim, futures)
+    assert all(status == "ok" for status, _ in results)
+
+
+def test_commitment_discipline_prevents_parallel_commitments(params):
+    """Step 2's rule in action: while one commitment is outstanding, a
+    second client presenting the same (stolen) coin cannot obtain one."""
+    system = EcashSystem(params=params, seed=12)
+    client = system.new_client()
+    from repro.core.protocols import run_withdrawal
+
+    stored = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    witness = system.witness_of(stored)
+    shops = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+
+    request_a, _ = client.prepare_commitment_request(stored, shops[0], now=10)
+    witness.request_commitment(request_a, now=10)
+
+    # A second spend attempt (same coin, other merchant) inside the window.
+    thief = system.new_client()
+    from repro.core.client import StoredCoin
+
+    stolen = StoredCoin(coin=stored.coin, secrets=stored.secrets)
+    request_b, _ = thief.prepare_commitment_request(stolen, shops[1], now=30)
+    with pytest.raises(CommitmentOutstandingError):
+        witness.request_commitment(request_b, now=30)

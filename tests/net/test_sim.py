@@ -1,0 +1,222 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.sim import Future, LazyFuture, Simulator, SimTimeoutError, Sleep
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, lambda: log.append("late"))
+    sim.schedule(1.0, lambda: log.append("early"))
+    sim.schedule(1.0, lambda: log.append("early-second"))  # FIFO within a tick
+    sim.run()
+    assert log == ["early", "early-second", "late"]
+    assert sim.now == 2.0
+
+
+def test_schedule_with_args():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.5, log.append, "value")
+    sim.run()
+    assert log == ["value"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1, lambda: None)
+    with pytest.raises(ValueError):
+        Sleep(-0.1)
+
+
+def test_process_sleep():
+    sim = Simulator()
+
+    def process():
+        yield Sleep(1.5)
+        yield Sleep(0.5)
+        return sim.now
+
+    assert sim.run_process(process()) == 2.0
+
+
+def test_process_waits_on_future():
+    sim = Simulator()
+    future = Future()
+    sim.schedule(3.0, future.set_result, "payload")
+
+    def process():
+        value = yield future
+        return (sim.now, value)
+
+    assert sim.run_process(process()) == (3.0, "payload")
+
+
+def test_future_exception_raises_in_process():
+    sim = Simulator()
+    future = Future()
+    sim.schedule(1.0, future.set_exception, RuntimeError("boom"))
+
+    def process():
+        try:
+            yield future
+        except RuntimeError as error:
+            return f"caught {error}"
+
+    assert sim.run_process(process()) == "caught boom"
+
+
+def test_nested_generators():
+    sim = Simulator()
+
+    def inner(duration):
+        yield Sleep(duration)
+        return duration * 2
+
+    def outer():
+        first = yield inner(1.0)
+        second = yield inner(2.0)
+        return first + second
+
+    assert sim.run_process(outer()) == 6.0
+    assert sim.now == 3.0
+
+
+def test_nested_generator_exception_propagates():
+    sim = Simulator()
+
+    def inner():
+        yield Sleep(1.0)
+        raise ValueError("inner failure")
+
+    def outer():
+        try:
+            yield inner()
+        except ValueError:
+            return "recovered"
+
+    assert sim.run_process(outer()) == "recovered"
+
+
+def test_process_failure_surfaces():
+    sim = Simulator()
+
+    def process():
+        yield Sleep(0.1)
+        raise KeyError("missing")
+
+    with pytest.raises(KeyError):
+        sim.run_process(process())
+
+
+def test_run_process_stops_at_completion():
+    """Pending unrelated events must not advance the clock past completion."""
+    sim = Simulator()
+    sim.schedule(100.0, lambda: None)
+
+    def process():
+        yield Sleep(1.0)
+        return "done"
+
+    assert sim.run_process(process()) == "done"
+    assert sim.now == 1.0
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+
+    def process():
+        yield Future()  # nobody ever resolves this
+
+    with pytest.raises(RuntimeError):
+        sim.run_process(process())
+
+
+def test_timeout_fires():
+    sim = Simulator()
+    slow = Future()
+    guarded = sim.timeout(slow, deadline=2.0)
+
+    def process():
+        value = yield guarded
+        return value
+
+    with pytest.raises(SimTimeoutError):
+        sim.run_process(process())
+
+
+def test_timeout_passes_through_fast_result():
+    sim = Simulator()
+    fast = Future()
+    sim.schedule(0.5, fast.set_result, 42)
+    guarded = sim.timeout(fast, deadline=2.0)
+
+    def process():
+        return (yield guarded)
+
+    assert sim.run_process(process()) == 42
+
+
+def test_future_single_resolution():
+    future = Future()
+    future.set_result(1)
+    with pytest.raises(RuntimeError):
+        future.set_result(2)
+    with pytest.raises(RuntimeError):
+        future.set_exception(ValueError())
+    assert future.result() == 1
+
+
+def test_future_result_before_resolution():
+    with pytest.raises(RuntimeError):
+        Future().result()
+
+
+def test_lazy_future_dispatches_on_yield():
+    sim = Simulator()
+    log = []
+    lazy = LazyFuture()
+    lazy.on_dispatch(lambda: log.append(sim.now))
+    sim.schedule(0.0, lambda: None)
+
+    def process():
+        yield Sleep(5.0)
+        sim.schedule(1.0, lazy.set_result, "ok")
+        value = yield lazy
+        return value
+
+    assert sim.run_process(process()) == "ok"
+    assert log == [5.0]  # dispatched at yield time, after the sleep
+
+
+def test_lazy_dispatch_idempotent():
+    count = []
+    lazy = LazyFuture()
+    lazy.on_dispatch(lambda: count.append(1))
+    lazy.dispatch()
+    lazy.dispatch()
+    assert count == [1]
+
+
+def test_until_bound():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(2))
+    sim.run(until=2.0)
+    assert log == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert log == [1, 2]
+
+
+def test_unsupported_yield_type():
+    sim = Simulator()
+
+    def process():
+        yield 42
+
+    with pytest.raises(TypeError):
+        sim.run_process(process())
