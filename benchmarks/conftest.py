@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
+
+from repro import obs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -21,3 +24,25 @@ def record(results_dir: Path, name: str, text: str) -> None:
     (results_dir / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+@pytest.fixture(autouse=True)
+def benchmark_metrics(request: pytest.FixtureRequest):
+    """Collect telemetry around each benchmark, snapshot it to results/.
+
+    Every benchmark runs with the obs facade enabled and a clean registry;
+    afterwards the combined metrics + span snapshot lands in
+    ``benchmarks/results/<test_name>.metrics.json`` so a run's telemetry
+    can be diffed across commits alongside the rendered tables.
+    """
+    obs.reset()
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    yield
+    snapshot = obs.export_json()
+    if not was_enabled:
+        obs.disable()
+    obs.reset()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    (RESULTS_DIR / f"{safe}.metrics.json").write_text(snapshot + "\n")

@@ -3,12 +3,14 @@
 Usage::
 
     python -m repro demo                 # full coin lifecycle
+    python -m repro demo --metrics       # ... plus the telemetry snapshot
     python -m repro attack               # double-spend attempt, refused
     python -m repro table1               # regenerate Table 1
     python -m repro table2 --trials 20   # regenerate Table 2 (simulated)
     python -m repro rounds               # message rounds per protocol
     python -m repro trace                # Figure 1 message flow
     python -m repro wallet <file>        # inspect a wallet JSON file
+    python -m repro metrics              # instrumented run, telemetry dump
 """
 
 from __future__ import annotations
@@ -17,13 +19,74 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.core.exceptions import DoubleSpendError
+
+
+def _print_metrics() -> None:
+    """Print the collected telemetry snapshot (console format)."""
+    print()
+    print(obs.export_console())
+
+
+def _exercise_network_telemetry(seed: int) -> None:
+    """Drive the gossip overlay and Chord DHT so network telemetry exists.
+
+    Runs a small anti-entropy convergence (overlay message counters) and a
+    batch of replicated DHT puts/lookups (hop-count histograms) on the fast
+    test group; the protocol demo itself never touches the P2P layer, so
+    this is what populates the overlay/hop sections of the snapshot.
+    """
+    import random
+
+    from repro.core.params import test_params
+    from repro.core.witness_ranges import build_table
+    from repro.crypto.schnorr import SchnorrKeyPair
+    from repro.net.chord import ChordRing, chord_id
+    from repro.net.costmodel import instant_profile
+    from repro.net.latency import Region, uniform_mesh
+    from repro.net.node import Network, Node
+    from repro.net.overlay import GossipOverlay, publish_directory
+    from repro.net.sim import Simulator
+
+    params = test_params()
+    rng = random.Random(seed)
+    members = [f"shop-{index:02d}" for index in range(8)]
+    sim = Simulator()
+    network = Network(
+        sim,
+        uniform_mesh([Region.LOCAL], one_way=0.01, seed=seed),
+        instant_profile(),
+        seed=seed,
+    )
+    for member in members:
+        network.register(Node(member, Region.LOCAL))
+    broker_key = SchnorrKeyPair.generate(params.group, rng)
+    table = build_table(params, broker_key, 1, {m: 1.0 for m in members}, rng=rng)
+    keys = {
+        member: SchnorrKeyPair.generate(params.group, rng).public for member in members
+    }
+    directory = publish_directory(params, broker_key, 1, table, keys, rng)
+    overlay = GossipOverlay(
+        params, network, broker_key.public, members, interval=1.0, fanout=2, seed=seed
+    )
+    overlay.seed(directory, seed_members=members[:2])
+    overlay.start()
+    sim.run(until=30.0)
+
+    ring = ChordRing([f"peer-{index:02d}" for index in range(32)])
+    for index in range(24):
+        key = chord_id(f"spent-coin-{index}")
+        ring.put(key, f"transcript-{index}")
+        ring.get(key)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.protocols import run_deposit, run_payment, run_withdrawal
     from repro.core.system import EcashSystem
 
+    if args.metrics:
+        obs.enable()
     system = EcashSystem(seed=args.seed)
     client = system.new_client()
     info = system.standard_info(args.denomination, now=0)
@@ -38,6 +101,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{merchant_id} balance = {system.broker.merchant_balance(merchant_id)} cents; "
         f"ledger conserved = {system.ledger.conserved()}"
     )
+    if args.metrics:
+        _exercise_network_telemetry(args.seed)
+        _print_metrics()
     return 0
 
 
@@ -45,6 +111,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.core.protocols import run_payment, run_withdrawal
     from repro.core.system import EcashSystem
 
+    if args.metrics:
+        obs.enable()
     system = EcashSystem(seed=args.seed)
     attacker = system.new_client()
     stored = run_withdrawal(attacker, system.broker, system.standard_info(25, now=0))
@@ -61,6 +129,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"spend #2 at {shops[1]}: refused in real time")
         print(f"  proof verifies: {refusal.proof.verify(system.params, stored.coin)}")
         print(f"  extracted x == attacker's secret: {refusal.proof.x == stored.secrets.x}")
+    if args.metrics:
+        _print_metrics()
     return 0
 
 
@@ -76,9 +146,52 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.analysis.payment_bench import run_payment_trials
     from repro.core.params import default_params, test_params
 
+    if args.metrics:
+        obs.enable()
     params = test_params() if args.fast else default_params()
     result = run_payment_trials(trials=args.trials, params=params, seed=args.seed)
     print(result.render())
+    if args.metrics:
+        _print_metrics()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.core.protocols import run_deposit, run_payment, run_withdrawal
+    from repro.core.system import EcashSystem
+
+    obs.enable()
+    system = EcashSystem(seed=args.seed)
+    client = system.new_client()
+
+    # Honest lifecycle: withdraw, pay, deposit.
+    stored = run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    run_payment(client, stored, system.merchant(merchant_id), system.witness_of(stored), now=10)
+    run_deposit(system.merchant(merchant_id), system.broker, now=100)
+
+    # Double-spend attempt: exercises the detection counter.
+    attacker = system.new_client()
+    cheat = run_withdrawal(attacker, system.broker, system.standard_info(25, now=0))
+    shops = [m for m in system.merchant_ids if m != cheat.coin.witness_id]
+    witness = system.witness_of(cheat)
+    run_payment(attacker, cheat, system.merchant(shops[0]), witness, now=10)
+    attacker.wallet.add(cheat)
+    try:
+        run_payment(attacker, cheat, system.merchant(shops[1]), witness, now=500)
+        return 1  # pragma: no cover - detection failure would be a bug
+    except DoubleSpendError:
+        pass
+
+    # Network layer: gossip convergence + DHT lookups.
+    _exercise_network_telemetry(args.seed)
+
+    if args.format == "json":
+        print(obs.export_json())
+    elif args.format == "prom":
+        print(obs.export_prometheus())
+    else:
+        print(obs.export_console())
     return 0
 
 
@@ -157,9 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="run the full coin lifecycle")
     demo.add_argument("--denomination", type=int, default=25, help="coin value in cents")
+    demo.add_argument(
+        "--metrics", action="store_true", help="print the telemetry snapshot after"
+    )
     demo.set_defaults(func=_cmd_demo)
 
     attack = subparsers.add_parser("attack", help="attempt a double-spend")
+    attack.add_argument(
+        "--metrics", action="store_true", help="print the telemetry snapshot after"
+    )
     attack.set_defaults(func=_cmd_attack)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (op counts)")
@@ -170,7 +289,21 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument(
         "--fast", action="store_true", help="use the 512-bit test group"
     )
+    table2.add_argument(
+        "--metrics", action="store_true", help="print the telemetry snapshot after"
+    )
     table2.set_defaults(func=_cmd_table2)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run an instrumented workload, dump the telemetry snapshot"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["console", "json", "prom"],
+        default="console",
+        help="snapshot output format",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     rounds = subparsers.add_parser("rounds", help="message rounds per protocol")
     rounds.set_defaults(func=_cmd_rounds)

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro import obs
 from repro.core.bank import Ledger
 from repro.core.coin import BareCoin, Coin
 from repro.core.exceptions import (
@@ -231,6 +232,7 @@ class Broker:
         if paid_by is None:
             self.ledger.mint(payer, info.denomination, memo="coin purchase")
         self.ledger.transfer(payer, self.account, info.denomination, memo="coin purchase")
+        obs.counter_inc("broker_withdrawals_total")
         challenge, session = self._signer.start(info.hash_parts())
         ticket_id = next(self._ticket_ids)
         self._tickets[ticket_id] = _WithdrawalTicket(info=info, session=session, paid_by=payer)
@@ -339,8 +341,10 @@ class Broker:
             self._deposits[coin.bare] = _DepositRecord(signed=signed, deposited_at=now)
             witness.coins_witnessed += 1
             self._credit(merchant_id, coin.denomination, source=self.account)
+            obs.counter_inc("broker_deposits_total", outcome=DepositOutcome.CREDITED.value)
             return DepositResult(outcome=DepositOutcome.CREDITED, amount=coin.denomination)
         if previous.signed.transcript.merchant_id == merchant_id:
+            obs.counter_inc("broker_double_deposits_refused_total")
             raise DoubleDepositError(
                 f"merchant {merchant_id!r} already deposited this coin"
             )
@@ -348,6 +352,11 @@ class Broker:
         # witness signatures, so the witness signed twice. The second
         # merchant is still paid, from the witness's security deposit.
         witness.incidents += 1
+        obs.counter_inc("witness_faults_detected_total")
+        obs.counter_inc(
+            "broker_deposits_total",
+            outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT.value,
+        )
         proof = (previous.signed, signed)
         self.witness_fault_log.append((coin.witness_id, *proof))
         self._credit(
@@ -432,7 +441,9 @@ class Broker:
 
         refusal = self._find_prior_use(old_bare, d_star, response)
         if refusal is not None:
+            obs.counter_inc("broker_renewals_refused_total")
             raise RenewalRefusedError(refusal)
+        obs.counter_inc("broker_renewals_total")
 
         self._renewals[old_bare] = _RenewalRecord(
             bare=old_bare, challenge=d_star, response=response, renewed_at=now

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.core.coin import BareCoin, Coin
 from repro.core.exceptions import CommitmentError, ExpiredCoinError, WrongWitnessError
 from repro.core.info import CoinInfo
@@ -255,6 +256,7 @@ class Client:
             coin=Coin(bare=bare, witness_entry=entry), secrets=session.secrets
         )
         self.wallet.add(stored)
+        obs.counter_inc("client_coins_withdrawn_total")
         return stored
 
     # ------------------------------------------------------------------
@@ -327,6 +329,7 @@ class Client:
         """Remove a successfully spent coin from the wallet."""
         if stored in self.wallet.coins:
             self.wallet.remove(stored)
+            obs.counter_inc("client_coins_spent_total")
 
     # ------------------------------------------------------------------
     # Renewal (Algorithm 4, client side)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.coin import Coin
 from repro.core.exceptions import DoubleSpendError, InvalidPaymentError
 from repro.core.params import SystemParams
@@ -110,6 +111,7 @@ class Merchant:
         verify_payment_response(self.params, transcript)
         if coin.bare in self._seen_bare_coins:
             raise InvalidPaymentError("merchant already accepted a payment with this coin")
+        obs.counter_inc("merchant_payments_verified_total")
 
     def accept_signed_transcript(self, signed: SignedTranscript, now: int) -> None:
         """Verify the witness's signature (1 ``Ver``) and store for deposit.
@@ -138,6 +140,7 @@ class Merchant:
         if not proof.verify(self.params, coin):
             raise InvalidPaymentError("witness returned an invalid double-spend proof")
         self.refused_double_spends.append(proof)
+        obs.counter_inc("merchant_double_spend_refusals_total")
         raise DoubleSpendError(proof)
 
     def pending_deposits(self) -> list[SignedTranscript]:

@@ -9,6 +9,7 @@ over the discrete-event network for the latency experiments.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.broker import Broker, DepositResult
 from repro.core.client import Client, StoredCoin
 from repro.core.exceptions import DoubleSpendError
@@ -33,10 +34,12 @@ def run_withdrawal(
     Returns:
         The stored coin (also added to the client's wallet).
     """
-    ticket_id, challenge = broker.begin_withdrawal(info, paid_by=paid_by)
-    session = client.begin_withdrawal(info, challenge)
-    response = broker.complete_withdrawal(ticket_id, session.e)
-    return client.finish_withdrawal(session, response, broker.tables[info.list_version])
+    with obs.span("protocol.withdrawal"):
+        obs.counter_inc("protocol_runs_total", protocol="withdrawal")
+        ticket_id, challenge = broker.begin_withdrawal(info, paid_by=paid_by)
+        session = client.begin_withdrawal(info, challenge)
+        response = broker.complete_withdrawal(ticket_id, session.e)
+        return client.finish_withdrawal(session, response, broker.tables[info.list_version])
 
 
 def run_batch_withdrawal(
@@ -54,18 +57,20 @@ def run_batch_withdrawal(
     Returns:
         The stored coins, in ``infos`` order.
     """
-    ticket_id, challenges = broker.begin_batch_withdrawal(infos, paid_by=paid_by)
-    sessions = [
-        client.begin_withdrawal(info, challenge)
-        for info, challenge in zip(infos, challenges)
-    ]
-    responses = broker.complete_batch_withdrawal(
-        ticket_id, [session.e for session in sessions]
-    )
-    return [
-        client.finish_withdrawal(session, response, broker.tables[info.list_version])
-        for info, session, response in zip(infos, sessions, responses)
-    ]
+    with obs.span("protocol.batch_withdrawal", coins=len(infos)):
+        obs.counter_inc("protocol_runs_total", protocol="batch_withdrawal")
+        ticket_id, challenges = broker.begin_batch_withdrawal(infos, paid_by=paid_by)
+        sessions = [
+            client.begin_withdrawal(info, challenge)
+            for info, challenge in zip(infos, challenges)
+        ]
+        responses = broker.complete_batch_withdrawal(
+            ticket_id, [session.e for session in sessions]
+        )
+        return [
+            client.finish_withdrawal(session, response, broker.tables[info.list_version])
+            for info, session, response in zip(infos, sessions, responses)
+        ]
 
 
 def run_payment(
@@ -85,21 +90,25 @@ def run_payment(
             merchant validated the proof before refusing (step 6).
         CommitmentError / InvalidPaymentError / ...: per failed check.
     """
-    request, pending = client.prepare_commitment_request(stored, merchant.merchant_id, now)
-    commitment = witness.request_commitment(request, now)
-    transcript = client.build_payment(pending, commitment, witness.public_key, now)
-    payment = PaymentRequest(transcript=transcript, commitment=commitment)
-    merchant.verify_payment_request(payment, now)
-    try:
-        signed = witness.sign_transcript(transcript, now)
-    except DoubleSpendError as refusal:
-        # Step 6: the merchant validates the extraction before refusing the
-        # client, so a lazy witness cannot fabricate refusals.
-        merchant.handle_double_spend_proof(refusal.proof, transcript.coin)
-        raise  # pragma: no cover - handle_double_spend_proof always raises
-    merchant.accept_signed_transcript(signed, now)
-    client.mark_spent(stored)
-    return signed
+    with obs.span("protocol.payment", merchant=merchant.merchant_id):
+        obs.counter_inc("protocol_runs_total", protocol="payment")
+        request, pending = client.prepare_commitment_request(stored, merchant.merchant_id, now)
+        with obs.span("protocol.payment.commitment"):
+            commitment = witness.request_commitment(request, now)
+        transcript = client.build_payment(pending, commitment, witness.public_key, now)
+        payment = PaymentRequest(transcript=transcript, commitment=commitment)
+        merchant.verify_payment_request(payment, now)
+        try:
+            with obs.span("protocol.payment.witness_sign"):
+                signed = witness.sign_transcript(transcript, now)
+        except DoubleSpendError as refusal:
+            # Step 6: the merchant validates the extraction before refusing the
+            # client, so a lazy witness cannot fabricate refusals.
+            merchant.handle_double_spend_proof(refusal.proof, transcript.coin)
+            raise  # pragma: no cover - handle_double_spend_proof always raises
+        merchant.accept_signed_transcript(signed, now)
+        client.mark_spent(stored)
+        return signed
 
 
 def run_purchase(
@@ -124,12 +133,14 @@ def run_purchase(
         ValueError: the wallet cannot pay the amount exactly.
         KeyError: a selected coin's witness is not in ``witnesses``.
     """
-    selected = client.wallet.select_coins(amount, now)
-    signed: list[SignedTranscript] = []
-    for stored in selected:
-        witness = witnesses[stored.coin.witness_id]
-        signed.append(run_payment(client, stored, merchant, witness, now))
-    return signed
+    with obs.span("protocol.purchase", amount=amount):
+        obs.counter_inc("protocol_runs_total", protocol="purchase")
+        selected = client.wallet.select_coins(amount, now)
+        signed: list[SignedTranscript] = []
+        for stored in selected:
+            witness = witnesses[stored.coin.witness_id]
+            signed.append(run_payment(client, stored, merchant, witness, now))
+        return signed
 
 
 def run_deposit(merchant: Merchant, broker: Broker, now: int) -> list[DepositResult]:
@@ -137,12 +148,14 @@ def run_deposit(merchant: Merchant, broker: Broker, now: int) -> list[DepositRes
 
     One message round per transcript (merchant -> broker).
     """
-    results = []
-    for signed in merchant.pending_deposits():
-        result = broker.deposit(merchant.merchant_id, signed, now)
-        merchant.mark_deposited(signed)
-        results.append(result)
-    return results
+    with obs.span("protocol.deposit", merchant=merchant.merchant_id):
+        obs.counter_inc("protocol_runs_total", protocol="deposit")
+        results = []
+        for signed in merchant.pending_deposits():
+            result = broker.deposit(merchant.merchant_id, signed, now)
+            merchant.mark_deposited(signed)
+            results.append(result)
+        return results
 
 
 def run_renewal(
@@ -160,24 +173,26 @@ def run_renewal(
     Raises:
         RenewalRefusedError: the coin was already cashed or renewed.
     """
-    ticket_id, challenge = broker.begin_renewal(new_info)
-    session = client.begin_withdrawal(new_info, challenge)
-    proof_timestamp, proof_salt, r1_star, r2_star = client.renewal_proof(stored, now)
-    response = broker.complete_renewal(
-        ticket_id,
-        session.e,
-        stored.coin.bare,
-        proof_timestamp,
-        proof_salt,
-        r1_star,
-        r2_star,
-        now,
-    )
-    fresh = client.finish_withdrawal(
-        session, response, broker.tables[new_info.list_version]
-    )
-    client.mark_spent(stored)
-    return fresh
+    with obs.span("protocol.renewal"):
+        obs.counter_inc("protocol_runs_total", protocol="renewal")
+        ticket_id, challenge = broker.begin_renewal(new_info)
+        session = client.begin_withdrawal(new_info, challenge)
+        proof_timestamp, proof_salt, r1_star, r2_star = client.renewal_proof(stored, now)
+        response = broker.complete_renewal(
+            ticket_id,
+            session.e,
+            stored.coin.bare,
+            proof_timestamp,
+            proof_salt,
+            r1_star,
+            r2_star,
+            now,
+        )
+        fresh = client.finish_withdrawal(
+            session, response, broker.tables[new_info.list_version]
+        )
+        client.mark_spent(stored)
+        return fresh
 
 
 __all__ = [

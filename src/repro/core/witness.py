@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.exceptions import (
     CommitmentError,
     CommitmentOutstandingError,
@@ -122,10 +123,12 @@ class WitnessService:
         if existing is not None and now < existing.commitment.expires_at:
             if existing.commitment.nonce == request.nonce:
                 return existing.commitment
+            obs.counter_inc("witness_commitment_conflicts_total")
             raise CommitmentOutstandingError(
                 f"commitment on coin {request.coin_hash:#x} outstanding until "
                 f"{existing.commitment.expires_at}"
             )
+        obs.counter_inc("witness_commitments_total")
         v = self._committed_value(request.coin_hash)
         v_hash = self.params.hashes.h(*_flatten_v(v))
         expires_at = now + self.commitment_lifetime
@@ -200,6 +203,7 @@ class WitnessService:
         # "only two exponentiations" (checking the fresh extraction).
         spent = self._spent.get(digest)
         if spent is not None and not self.faulty:
+            obs.counter_inc("double_spend_detected")
             raise DoubleSpendError(self._double_spend_proof(digest, spent, transcript))
 
         coin.ensure_valid_signature(self.params, self.broker_blind_public)
@@ -225,6 +229,7 @@ class WitnessService:
             )
         signature = self.keypair.sign(*transcript.hash_parts(), rng=self.rng)
         self.signed_count += 1
+        obs.counter_inc("witness_transcripts_signed_total")
         del self._commitments[digest]
         return SignedTranscript(transcript=transcript, witness_signature=signature)
 

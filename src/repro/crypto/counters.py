@@ -11,6 +11,11 @@ exactly as the paper's accounting does).
 
 Party implementations wrap their protocol steps in ``with counter:`` so each
 operation is attributed to the right row of the table.
+
+Independently of the Table 1 accounting, every ``record_*`` call also feeds
+the :mod:`repro.obs` telemetry counter ``crypto_ops_total{op=...}`` — raw
+totals, unaffected by :func:`suppressed`, so runtime dashboards see every
+exponentiation even when the paper's accounting folds it into a ``Sig``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import contextlib
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator
+
+from repro import obs
 
 _ACTIVE: ContextVar["OpCounter | None"] = ContextVar("active_op_counter", default=None)
 _SUPPRESSED: ContextVar[bool] = ContextVar("op_counter_suppressed", default=False)
@@ -102,6 +109,7 @@ def record_exp(n: int = 1) -> None:
     counter = current_counter()
     if counter is not None:
         counter.exp += n
+    obs.counter_inc("crypto_ops_total", n, op="exp")
 
 
 def record_hash(n: int = 1) -> None:
@@ -109,6 +117,7 @@ def record_hash(n: int = 1) -> None:
     counter = current_counter()
     if counter is not None:
         counter.hash += n
+    obs.counter_inc("crypto_ops_total", n, op="hash")
 
 
 def record_sig(n: int = 1) -> None:
@@ -116,6 +125,7 @@ def record_sig(n: int = 1) -> None:
     counter = current_counter()
     if counter is not None:
         counter.sig += n
+    obs.counter_inc("crypto_ops_total", n, op="sig")
 
 
 def record_ver(n: int = 1) -> None:
@@ -123,3 +133,4 @@ def record_ver(n: int = 1) -> None:
     counter = current_counter()
     if counter is not None:
         counter.ver += n
+    obs.counter_inc("crypto_ops_total", n, op="ver")

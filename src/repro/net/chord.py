@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro import obs
+
 #: Width of Chord identifiers.
 ID_BITS = 64
 ID_SPACE = 1 << ID_BITS
@@ -142,6 +144,8 @@ class ChordRing:
         for _ in range(4 * ID_BITS):  # generous loop bound; routing always converges
             successor = self._live_successor(current)
             if in_interval(key, current.node_id, successor.node_id, inclusive_high=True):
+                obs.counter_inc("chord_lookups_total")
+                obs.observe("chord_lookup_hops", hops + 1)
                 return LookupResult(owner=successor, hops=hops + 1, path=tuple(path))
             nxt = self._closest_preceding(current, key)
             if nxt is current:
@@ -190,10 +194,12 @@ class ChordRing:
             if node.up:
                 node.put_local(key, value)
                 written += 1
+        obs.counter_inc("chord_puts_total")
         return written
 
     def get(self, key: int) -> list[object]:
         """Query all replicas and merge results (honest-majority style)."""
+        obs.counter_inc("chord_gets_total")
         found: list[object] = []
         for node in self.replica_set(key):
             if node.up:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Generator
 
+from repro import obs
 from repro.core.exceptions import EcashError, ServiceUnavailableError
 from repro.crypto.counters import OpCounter
 from repro.net.costmodel import ComputeCostModel
@@ -240,6 +241,9 @@ class Network:
                 return  # adversary ate the message; the timeout fires
             request = tampered
         dst.meter.record_received(size)
+        obs.counter_inc("net_messages_total", kind="request")
+        obs.counter_inc("net_bytes_total", size, kind="request")
+        obs.observe("net_message_bytes", size)
         self.trace.record(
             TraceEntry(
                 time=self.sim.now,
@@ -259,6 +263,8 @@ class Network:
             # Server saturated: the request waits for a free handler slot.
             dst._backlog.append((src, handler, request, result))
             dst.peak_queue_depth = max(dst.peak_queue_depth, len(dst._backlog))
+            obs.counter_inc("net_requests_queued_total")
+            obs.observe("net_backlog_depth", len(dst._backlog))
             return
         self._start_handler(dst, src, handler, request, result)
 
@@ -361,6 +367,9 @@ class Network:
             if not src.up or result.done:
                 return
             src.meter.record_received(size)
+            obs.counter_inc("net_messages_total", kind=kind)
+            obs.counter_inc("net_bytes_total", size, kind=kind)
+            obs.observe("net_message_bytes", size)
             self.trace.record(
                 TraceEntry(
                     time=self.sim.now,

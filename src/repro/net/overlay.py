@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Generator
 
+from repro import obs
 from repro.core.params import SystemParams
 from repro.core.witness_ranges import SignedWitnessEntry, WitnessAssignmentTable
 from repro.crypto.hashing import HashInput
@@ -198,12 +199,14 @@ class GossipOverlay:
             source, peer, "overlay/version", {"version": state.version}, timeout=5.0
         )
         self.messages_exchanged += 1
+        obs.counter_inc("overlay_messages_total", kind="version")
         peer_version = _as_int(reply["version"])
         if peer_version > state.version:
             pulled = yield self.network.rpc(
                 source, peer, "overlay/pull", {}, timeout=5.0
             )
             self.messages_exchanged += 1
+            obs.counter_inc("overlay_messages_total", kind="pull")
             directory = _directory_from_payload(self.params, pulled)
             self._consider(state, directory)
         elif peer_version < state.version and state.directory is not None:
@@ -215,6 +218,7 @@ class GossipOverlay:
                 timeout=5.0,
             )
             self.messages_exchanged += 1
+            obs.counter_inc("overlay_messages_total", kind="push")
 
     # ------------------------------------------------------------------
     # Handlers and installation policy
@@ -248,12 +252,14 @@ class GossipOverlay:
             return
         if not directory.verify(self.params, self.broker_sign_public):
             state.rejected += 1
+            obs.counter_inc("overlay_rejections_total")
             return
         self._install(state, directory)
 
     def _install(self, state: GossipState, directory: Directory) -> None:
         state.directory = directory
         state.installs += 1
+        obs.counter_inc("overlay_installs_total")
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
+from repro import obs
 from repro.core.client import Client, StoredCoin
 from repro.core.coin import BareCoin
 from repro.core.exceptions import DoubleSpendError, ServiceUnavailableError
@@ -115,6 +116,19 @@ class NetworkDeployment:
         """The protocol clock: whole simulated seconds."""
         return int(self.sim.now)
 
+    def _traced(
+        self, name: str, process: Generator[Any, Any, Any], **attributes: object
+    ) -> Generator[Any, Any, Any]:
+        """Run a protocol process inside a span on the *simulator* clock.
+
+        The span opens when the process first executes and closes when it
+        returns (or raises), so its duration is the protocol's simulated
+        wall time, not host time.
+        """
+        with obs.span(name, clock=lambda: self.sim.now, **attributes):
+            result = yield from process
+        return result
+
     # ------------------------------------------------------------------
     # Client-side protocol processes
     # ------------------------------------------------------------------
@@ -122,6 +136,11 @@ class NetworkDeployment:
         self, client_name: str, info: CoinInfo
     ) -> Generator[Any, Any, StoredCoin]:
         """Algorithm 1 over the network (two rounds to the broker)."""
+        return self._traced("net.withdrawal", self._withdrawal_steps(client_name, info))
+
+    def _withdrawal_steps(
+        self, client_name: str, info: CoinInfo
+    ) -> Generator[Any, Any, StoredCoin]:
         client = self.clients[client_name]
         opened = flatten(
             (yield self.network.rpc(
@@ -155,6 +174,15 @@ class NetworkDeployment:
         The communication saving the paper's step 0 promises — compare
         against running :meth:`withdrawal_process` once per coin.
         """
+        return self._traced(
+            "net.batch_withdrawal",
+            self._batch_withdrawal_steps(client_name, infos),
+            coins=len(infos),
+        )
+
+    def _batch_withdrawal_steps(
+        self, client_name: str, infos: list[CoinInfo]
+    ) -> Generator[Any, Any, list[StoredCoin]]:
         client = self.clients[client_name]
         opened = flatten(
             (yield self.network.rpc(
@@ -210,6 +238,18 @@ class NetworkDeployment:
             DoubleSpendError: refused with a verified extraction proof.
             EcashError subclasses: per failed check, raised remotely.
         """
+        return self._traced(
+            "net.payment",
+            self._payment_steps(client_name, stored, merchant_id),
+            merchant=merchant_id,
+        )
+
+    def _payment_steps(
+        self,
+        client_name: str,
+        stored: StoredCoin,
+        merchant_id: str,
+    ) -> Generator[Any, Any, PaymentReceipt]:
         client = self.clients[client_name]
         client_node = self.network.node(client_name)
         start_time = self.sim.now
@@ -251,6 +291,11 @@ class NetworkDeployment:
 
     def deposit_process(self, merchant_id: str) -> Generator[Any, Any, list[dict[str, Any]]]:
         """Algorithm 3 over the network (one message per transcript)."""
+        return self._traced(
+            "net.deposit", self._deposit_steps(merchant_id), merchant=merchant_id
+        )
+
+    def _deposit_steps(self, merchant_id: str) -> Generator[Any, Any, list[dict[str, Any]]]:
         merchant = self.system.merchant(merchant_id)
         results: list[dict[str, Any]] = []
         for signed in merchant.pending_deposits():
@@ -268,6 +313,13 @@ class NetworkDeployment:
         self, client_name: str, stored: StoredCoin, new_info: CoinInfo
     ) -> Generator[Any, Any, StoredCoin]:
         """Algorithm 4 over the network (two rounds to the broker)."""
+        return self._traced(
+            "net.renewal", self._renewal_steps(client_name, stored, new_info)
+        )
+
+    def _renewal_steps(
+        self, client_name: str, stored: StoredCoin, new_info: CoinInfo
+    ) -> Generator[Any, Any, StoredCoin]:
         client = self.clients[client_name]
         opened = flatten(
             (yield self.network.rpc(

@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
+from repro import obs
+
 ProcessGen = Generator[Any, Any, Any]
 
 
@@ -222,6 +224,14 @@ class Simulator:
         """Start a process; returns a future for its return value."""
         process = Process(self, generator)
         self.schedule(0.0, process._step)
+        if obs.is_enabled():
+            obs.counter_inc("sim_processes_total")
+            started = self.now
+            process.future.add_callback(
+                lambda _future: obs.observe(
+                    "sim_process_duration_seconds", self.now - started
+                )
+            )
         return process.future
 
     def run(self, until: float | None = None) -> float:
@@ -234,10 +244,12 @@ class Simulator:
             if until is not None and self._heap[0].time > until:
                 self.now = until
                 return self.now
+            obs.observe("sim_event_queue_depth", len(self._heap))
             event = heapq.heappop(self._heap)
             self.now = event.time
             event.action()
             self.events_processed += 1
+            obs.counter_inc("sim_events_total")
         return self.now
 
     def run_process(self, generator: ProcessGen, until: float | None = None) -> Any:
@@ -264,10 +276,12 @@ class Simulator:
             if until is not None and self._heap[0].time > until:
                 self.now = until
                 return
+            obs.observe("sim_event_queue_depth", len(self._heap))
             event = heapq.heappop(self._heap)
             self.now = event.time
             event.action()
             self.events_processed += 1
+            obs.counter_inc("sim_events_total")
 
     def timeout(self, future: Future, deadline: float) -> Future:
         """Wrap a future with a timeout.

@@ -1,0 +1,118 @@
+"""Streaming histograms: quantiles without storing every sample.
+
+Observations land in exponentially sized buckets (a fixed geometric grid,
+growth factor ``2**0.25``), so a histogram costs O(1) memory per distinct
+magnitude and ``quantile()`` answers p50/p95/p99 by interpolating inside
+the bucket where the requested rank falls. The relative error of any
+quantile is bounded by the bucket width (under 10%), which is plenty for
+latency and hop-count telemetry while never holding sample arrays.
+
+Exact ``count``/``sum``/``min``/``max`` are tracked alongside, so means
+are exact even though quantiles are approximate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Geometric bucket growth factor; quantile relative error < growth - 1.
+GROWTH = 2.0 ** 0.25
+_LOG_GROWTH = math.log(GROWTH)
+
+
+def bucket_index(value: float) -> int:
+    """Map a positive value onto the geometric bucket grid.
+
+    Bucket ``i`` covers ``(GROWTH**(i-1), GROWTH**i]``; values at or below
+    zero share a single underflow bucket (see :class:`StreamingHistogram`).
+    """
+    return math.ceil(math.log(value) / _LOG_GROWTH - 1e-9)
+
+
+class StreamingHistogram:
+    """A fixed-memory histogram with approximate quantiles.
+
+    Thread-safe: every mutation happens under an internal lock. Negative
+    and zero observations are legal (they land in one underflow bucket and
+    are reported exactly through ``min``).
+    """
+
+    __slots__ = ("_lock", "_buckets", "_underflow", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            if value <= 0.0:
+                self._underflow += 1
+            else:
+                index = bucket_index(value)
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile, ``q`` in [0, 1].
+
+        Returns 0.0 on an empty histogram. The answer is clamped to the
+        exact observed ``[min, max]`` envelope.
+
+        Raises:
+            ValueError: ``q`` outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cumulative = self._underflow
+            if rank <= cumulative:
+                return self.minimum
+            for index in sorted(self._buckets):
+                in_bucket = self._buckets[index]
+                if rank <= cumulative + in_bucket:
+                    low = GROWTH ** (index - 1)
+                    high = GROWTH ** index
+                    fraction = (rank - cumulative) / in_bucket
+                    estimate = low + (high - low) * fraction
+                    return min(max(estimate, self.minimum), self.maximum)
+                cumulative += in_bucket
+            return self.maximum
+
+    def summary(self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """A plain-dict digest: count, sum, mean, min, max and quantiles."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        digest: dict[str, float] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for q in quantiles:
+            digest[f"p{q * 100:g}"] = self.quantile(q)
+        return digest
+
+
+__all__ = ["GROWTH", "StreamingHistogram", "bucket_index"]

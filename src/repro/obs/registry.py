@@ -1,0 +1,142 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` holds every metric of a run. Metrics are
+created on first use and cached by ``(name, labels)``, so instrumentation
+sites just say ``registry.counter("deposits_total", outcome="credited")``
+and get the same object every time. All three metric kinds are safe to
+update from multiple threads.
+
+The registry itself never checks an enabled/disabled switch — that lives
+in the :mod:`repro.obs` facade so that disabled instrumentation costs one
+flag test and nothing here ever runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.histogram import StreamingHistogram
+
+#: Label sets are carried as sorted ``(key, value)`` tuples.
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def label_key(name: str, labels: dict[str, object]) -> str:
+    """Render ``name{k=v,...}`` with sorted labels (bare name if none)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative).
+
+        Raises:
+            ValueError: negative amount (counters only go up).
+        """
+        if amount < 0:
+            raise ValueError("counters cannot decrease")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, balances)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+
+class MetricsRegistry:
+    """A concurrent, lazily populated collection of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, StreamingHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Metric accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> StreamingHistogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        return self._get(self._histograms, StreamingHistogram, name, labels)
+
+    def _get(self, table, factory, name: str, labels: dict[str, object]):
+        key = label_key(name, labels)
+        metric = table.get(key)
+        if metric is None:
+            with self._lock:
+                metric = table.get(key)
+                if metric is None:
+                    metric = factory()
+                    table[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """A JSON-ready dump: every metric's current state by kind."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: counter.value for key, counter in sorted(counters.items())},
+            "gauges": {key: gauge.value for key, gauge in sorted(gauges.items())},
+            "histograms": {
+                key: histogram.summary() for key, histogram in sorted(histograms.items())
+            },
+        }
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Read a counter without creating it (0.0 when absent)."""
+        metric = self._counters.get(label_key(name, labels))
+        return metric.value if metric is not None else 0.0
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh run starts from an empty registry)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "label_key"]

@@ -1,0 +1,196 @@
+"""Span-based protocol tracing.
+
+A *span* covers one named stretch of work (``protocol.payment``,
+``net.withdrawal``). Spans nest: entering a span while another is open
+records the parent/child edge, so a full coin lifecycle shows up as a
+withdrawal → payment → deposit tree with the witness-sign leg inside the
+payment. Timestamps come from an injectable clock — wall clock by default,
+or the discrete-event simulator's clock for networked runs, so simulated
+traces carry simulated time.
+
+Parent tracking uses a :class:`contextvars.ContextVar`; interleaved
+generator processes on one event loop share that context, so concurrent
+simulated spans may attribute a parent loosely — durations and counts stay
+exact, which is what the telemetry consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable
+
+Clock = Callable[[], float]
+
+_CURRENT: ContextVar[tuple[int, int] | None] = ContextVar("obs_current_span", default=None)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float
+    attributes: dict[str, object] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock units between start and end."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready rendering of the span."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+
+class ActiveSpan:
+    """Context manager for one in-flight span (returned by ``Tracer.span``)."""
+
+    __slots__ = ("_tracer", "_clock", "_token", "name", "trace_id", "span_id",
+                 "parent_id", "start", "attributes")
+
+    def __init__(self, tracer: "Tracer", name: str, clock: Clock,
+                 attributes: dict[str, object]) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self._token = None
+        self.name = name
+        self.trace_id = 0
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.start = 0.0
+        self.attributes = attributes
+
+    def set(self, key: str, value: object) -> "ActiveSpan":
+        """Attach an attribute to the span; returns self for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def __enter__(self) -> "ActiveSpan":
+        parent = _CURRENT.get()
+        self.span_id = self._tracer._next_id()
+        if parent is None:
+            self.trace_id, self.parent_id = self.span_id, None
+        else:
+            self.trace_id, self.parent_id = parent[0], parent[1]
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        self.start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._clock()
+        _CURRENT.reset(self._token)
+        self._tracer._finish(
+            SpanRecord(
+                name=self.name,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start=self.start,
+                end=end,
+                attributes=self.attributes,
+                error=type(exc).__name__ if exc is not None else None,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects finished spans and aggregates their durations.
+
+    Args:
+        clock: default timestamp source (``time.perf_counter``).
+        registry: optional :class:`~repro.obs.registry.MetricsRegistry`;
+            when set, every finished span also lands in the
+            ``span_duration_seconds{span=...}`` histogram there.
+        max_spans: retention cap on individual span records; durations
+            keep aggregating past the cap, but the per-span list stops
+            growing (bounded memory on long runs).
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter, registry=None,
+                 max_spans: int = 10_000) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.finished: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def span(self, name: str, clock: Clock | None = None, **attributes: object) -> ActiveSpan:
+        """Open a span; use as ``with tracer.span("protocol.payment"):``."""
+        return ActiveSpan(self, name, clock if clock is not None else self.clock, attributes)
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self.finished) < self.max_spans:
+                self.finished.append(record)
+            else:
+                self.dropped += 1
+        if self.registry is not None:
+            self.registry.histogram("span_duration_seconds", span=record.name).observe(
+                record.duration
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def durations_by_name(self) -> dict[str, list[float]]:
+        """Span durations grouped by span name (retained records only)."""
+        grouped: dict[str, list[float]] = {}
+        with self._lock:
+            records = list(self.finished)
+        for record in records:
+            grouped.setdefault(record.name, []).append(record.duration)
+        return grouped
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        """Finished direct children of the given span."""
+        with self._lock:
+            return [record for record in self.finished if record.parent_id == span_id]
+
+    def summary(self) -> dict[str, object]:
+        """JSON-ready digest: per-name counts and duration aggregates."""
+        names: dict[str, dict[str, float]] = {}
+        for name, durations in sorted(self.durations_by_name().items()):
+            ordered = sorted(durations)
+            names[name] = {
+                "count": len(ordered),
+                "total": sum(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "min": ordered[0],
+                "max": ordered[-1],
+                "p95": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
+            }
+        return {"span_count": len(self.finished), "dropped": self.dropped, "by_name": names}
+
+    def reset(self) -> None:
+        """Forget every finished span."""
+        with self._lock:
+            self.finished.clear()
+            self.dropped = 0
+
+
+__all__ = ["ActiveSpan", "SpanRecord", "Tracer"]

@@ -1,0 +1,21 @@
+"""Shared fixtures: keep the global telemetry facade clean between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the process-wide registry/tracer and restore the enabled flag."""
+    was_enabled = obs.is_enabled()
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

@@ -1,0 +1,78 @@
+"""Tests for the JSON, Prometheus and console exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import combined_snapshot, render_console, to_json, to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("deposits_total", outcome="credited").inc(3)
+    registry.counter("events_total").inc(10)
+    registry.gauge("queue_depth").set(4)
+    for value in (0.1, 0.2, 0.3):
+        registry.histogram("latency_seconds").observe(value)
+    return registry
+
+
+def test_json_round_trips():
+    registry = populated_registry()
+    tracer = Tracer(clock=lambda: 0.0)
+    with tracer.span("step"):
+        pass
+    document = json.loads(to_json(registry, tracer))
+    assert document["metrics"]["counters"]["deposits_total{outcome=credited}"] == 3.0
+    assert document["metrics"]["gauges"]["queue_depth"] == 4.0
+    assert document["metrics"]["histograms"]["latency_seconds"]["count"] == 3
+    assert document["spans"]["by_name"]["step"]["count"] == 1
+
+
+def test_combined_snapshot_without_tracer():
+    snapshot = combined_snapshot(populated_registry())
+    assert "spans" not in snapshot
+    assert snapshot["metrics"]["counters"]["events_total"] == 10.0
+
+
+def test_prometheus_format():
+    text = to_prometheus(populated_registry())
+    assert "# TYPE deposits_total counter" in text
+    assert 'deposits_total{outcome="credited"} 3' in text
+    assert "# TYPE queue_depth gauge" in text
+    assert "queue_depth 4" in text
+    assert "# TYPE latency_seconds summary" in text
+    assert 'latency_seconds{quantile="0.5"}' in text
+    assert "latency_seconds_sum" in text
+    assert "latency_seconds_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_merges_quantile_into_existing_labels():
+    registry = MetricsRegistry()
+    registry.histogram("hops", ring="main").observe(2.0)
+    text = to_prometheus(registry)
+    assert 'hops{ring="main",quantile="0.5"}' in text
+    assert 'hops_count{ring="main"} 1' in text
+
+
+def test_console_sections():
+    registry = populated_registry()
+    tracer = Tracer(clock=lambda: 0.0)
+    with tracer.span("step"):
+        pass
+    text = render_console(registry, tracer)
+    assert text.startswith("== Observability snapshot ==")
+    assert "-- Spans (1 recorded) --" in text
+    assert "-- Counters --" in text
+    assert "-- Gauges --" in text
+    assert "-- Histograms --" in text
+    assert "deposits_total{outcome=credited}" in text
+
+
+def test_console_renders_empty_histogram():
+    registry = MetricsRegistry()
+    registry.histogram("untouched")
+    assert "(empty)" in render_console(registry)

@@ -1,0 +1,21 @@
+"""Prometheus output declares each metric name's TYPE exactly once."""
+
+from __future__ import annotations
+
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def test_type_line_once_per_name_across_label_sets():
+    registry = MetricsRegistry()
+    registry.counter("ops_total", op="exp").inc()
+    registry.counter("ops_total", op="hash").inc()
+    registry.histogram("dur", span="a").observe(1.0)
+    registry.histogram("dur", span="b").observe(2.0)
+    text = to_prometheus(registry)
+    assert text.count("# TYPE ops_total counter") == 1
+    assert text.count("# TYPE dur summary") == 1
+    assert 'ops_total{op="exp"} 1' in text
+    assert 'ops_total{op="hash"} 1' in text
+    assert 'dur_count{span="a"} 1' in text
+    assert 'dur_count{span="b"} 1' in text

@@ -1,0 +1,82 @@
+"""Tests for the streaming histogram: quantile accuracy, edge samples."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.histogram import StreamingHistogram, bucket_index
+
+
+def test_bucket_index_monotone():
+    values = [0.001, 0.01, 0.5, 1.0, 7.3, 100.0, 1e6]
+    indices = [bucket_index(value) for value in values]
+    assert indices == sorted(indices)
+
+
+def test_empty_summary():
+    digest = StreamingHistogram().summary()
+    assert digest["count"] == 0
+    assert digest["sum"] == 0.0
+
+
+def test_exact_count_sum_min_max():
+    histogram = StreamingHistogram()
+    for value in (3.0, 1.0, 4.0, 1.5):
+        histogram.observe(value)
+    digest = histogram.summary()
+    assert digest["count"] == 4
+    assert digest["sum"] == pytest.approx(9.5)
+    assert digest["min"] == 1.0
+    assert digest["max"] == 4.0
+    assert histogram.mean == pytest.approx(9.5 / 4)
+
+
+def test_quantiles_within_bucket_error():
+    histogram = StreamingHistogram()
+    for value in range(1, 1001):
+        histogram.observe(float(value))
+    # Exponential buckets with growth 2**0.25 keep relative error < 10%.
+    assert histogram.quantile(0.5) == pytest.approx(500, rel=0.10)
+    assert histogram.quantile(0.95) == pytest.approx(950, rel=0.10)
+    assert histogram.quantile(0.99) == pytest.approx(990, rel=0.10)
+
+
+def test_quantiles_clamped_to_observed_range():
+    histogram = StreamingHistogram()
+    histogram.observe(42.0)
+    assert histogram.quantile(0.0) == 42.0
+    assert histogram.quantile(1.0) == 42.0
+
+
+def test_shuffled_input_gives_same_quantiles():
+    ordered = StreamingHistogram()
+    shuffled = StreamingHistogram()
+    values = [float(value) for value in range(1, 501)]
+    for value in values:
+        ordered.observe(value)
+    random.Random(7).shuffle(values)
+    for value in values:
+        shuffled.observe(value)
+    assert ordered.quantile(0.5) == shuffled.quantile(0.5)
+    assert ordered.quantile(0.99) == shuffled.quantile(0.99)
+
+
+def test_nonpositive_samples_use_underflow_bucket():
+    histogram = StreamingHistogram()
+    histogram.observe(0.0)
+    histogram.observe(-5.0)
+    digest = histogram.summary()
+    assert digest["count"] == 2
+    assert digest["min"] == -5.0
+    assert digest["max"] == 0.0
+
+
+def test_summary_carries_requested_quantiles():
+    histogram = StreamingHistogram()
+    for value in range(100):
+        histogram.observe(float(value) + 1)
+    digest = histogram.summary()
+    assert set(digest) >= {"count", "sum", "mean", "min", "max", "p50", "p95", "p99"}
+    assert digest["p50"] <= digest["p95"] <= digest["p99"]

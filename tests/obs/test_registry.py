@@ -1,0 +1,79 @@
+"""Tests for the metrics registry: counters, gauges, label identity."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, label_key
+
+
+def test_label_key_sorted_and_bare():
+    assert label_key("hits", {}) == "hits"
+    assert label_key("hits", {"b": 2, "a": 1}) == "hits{a=1,b=2}"
+
+
+def test_counter_identity_by_name_and_labels():
+    registry = MetricsRegistry()
+    first = registry.counter("deposits", outcome="credited")
+    again = registry.counter("deposits", outcome="credited")
+    other = registry.counter("deposits", outcome="refused")
+    assert first is again
+    assert first is not other
+
+
+def test_counter_inc_and_read_back():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.counter("hits").inc(2.5)
+    assert registry.counter_value("hits") == pytest.approx(3.5)
+    assert registry.counter_value("never-touched") == 0.0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == pytest.approx(13.0)
+
+
+def test_snapshot_shape_and_sorting():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc()
+    registry.counter("alpha").inc()
+    registry.gauge("depth").set(7)
+    registry.histogram("lat").observe(1.0)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["alpha", "zeta"]
+    assert snap["gauges"]["depth"] == 7.0
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_reset_drops_everything():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.reset()
+    assert registry.counter_value("hits") == 0.0
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    registry = MetricsRegistry()
+
+    def worker():
+        for _ in range(1000):
+            registry.counter("shared").inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter_value("shared") == 8000.0

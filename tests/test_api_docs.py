@@ -16,7 +16,14 @@ def test_generator_runs_and_covers_all_packages():
     )
     assert "wrote" in result.stdout
     text = (ROOT / "docs" / "API.md").read_text()
-    for package in ("repro.core", "repro.crypto", "repro.net", "repro.baselines", "repro.analysis"):
+    for package in (
+        "repro.core",
+        "repro.crypto",
+        "repro.net",
+        "repro.baselines",
+        "repro.analysis",
+        "repro.obs",
+    ):
         assert f"## Package `{package}`" in text
     # Spot-check that headline API members are present and documented.
     assert "class `Broker`" in text
