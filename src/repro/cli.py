@@ -11,6 +11,7 @@ Usage::
     python -m repro trace                # Figure 1 message flow
     python -m repro wallet <file>        # inspect a wallet JSON file
     python -m repro metrics              # instrumented run, telemetry dump
+    python -m repro chaos --quick        # fault-injection suite, 3 seeds
 """
 
 from __future__ import annotations
@@ -248,6 +249,37 @@ def _cmd_wallet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIOS, render_report, run_suite
+
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    names = args.scenario or None
+    if names:
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    if args.metrics:
+        obs.enable()
+    seed_count = 3 if args.quick else args.seeds
+    seeds = range(args.seed, args.seed + seed_count)
+    results = run_suite(names, seeds)
+    report = render_report(results)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"(written to {args.out})")
+    else:
+        print(report, end="")
+    if args.metrics:
+        _print_metrics()
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -314,6 +346,29 @@ def build_parser() -> argparse.ArgumentParser:
     wallet = subparsers.add_parser("wallet", help="inspect a wallet file")
     wallet.add_argument("path", help="path to a wallet JSON file")
     wallet.set_defaults(func=_cmd_wallet)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the seeded fault-injection scenario suite, check invariants",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true", help="3 seeds per scenario (CI smoke)"
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=20, help="seeds per scenario (default 20)"
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable)",
+    )
+    chaos.add_argument("--list", action="store_true", help="list scenario names")
+    chaos.add_argument("--out", help="write the report to a file instead of stdout")
+    chaos.add_argument(
+        "--metrics", action="store_true", help="print the telemetry snapshot after"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     report = subparsers.add_parser(
         "report", help="run every harness, write a Markdown reproduction report"

@@ -89,3 +89,12 @@ class ProtocolViolationError(EcashError):
 
 class ServiceUnavailableError(EcashError):
     """A remote party is offline or timed out (network layer)."""
+
+
+class ChordLookupError(ServiceUnavailableError):
+    """A Chord lookup could not reach a live owner for the key.
+
+    Raised when the ring has no live node to route to (or, defensively,
+    when iterative routing fails to converge) — the DHT-availability
+    failure mode the paper's Section 2 baselines suffer from.
+    """

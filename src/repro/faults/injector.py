@@ -1,0 +1,261 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a network.
+
+The injector installs itself as the network's ``fault_filter`` (the
+first-class generalization of the older ``tamper_hook``): every request
+reaching its destination is matched against the plan's rules and, when a
+rule fires, the message is dropped, delayed, duplicated, reordered or
+corrupted. Crash windows are scheduled on the simulator as
+``node.set_up`` transitions. Every decision draws from one RNG seeded by
+the plan, so a given (plan, deployment, workload) triple replays
+identically — the property the chaos suite's byte-identical reports rest
+on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+from repro.faults.plan import CrashWindow, FaultKind, FaultPlan, FaultRule
+from repro.net.node import Network, Node
+from repro.net.transport import Message
+
+#: How long a reorder-held message waits before being released anyway,
+#: when no later message comes along to overtake it.
+DEFAULT_REORDER_HOLD = 1.0
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One fault the injector actually applied."""
+
+    time: float
+    kind: str
+    source: str
+    destination: str
+    method: str
+
+    def render(self) -> str:
+        """Fixed-format line for the chaos report."""
+        return (
+            f"t={self.time:10.3f} fault {self.kind:<9} "
+            f"{self.source}->{self.destination} {self.method}"
+        )
+
+
+class FaultInjector:
+    """Applies a fault plan to a :class:`~repro.net.node.Network`.
+
+    Args:
+        plan: the fault schedule to execute.
+        observer: optional callback receiving one formatted line per
+            injected fault (the chaos scenarios feed these into their
+            event logs).
+    """
+
+    def __init__(
+        self, plan: FaultPlan, observer: Callable[[str], None] | None = None
+    ) -> None:
+        self.plan = plan
+        self.rng = random.Random(f"fault-injector:{plan.seed}")
+        self.observer = observer
+        self.events: list[InjectionEvent] = []
+        self.network: Network | None = None
+        self._fired: dict[int, int] = {}
+        self._held: dict[tuple[str, str], list[tuple[Node, Node, Message, int, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, network: Network) -> "FaultInjector":
+        """Attach to the network and schedule the plan's crash windows.
+
+        Raises:
+            RuntimeError: the network already has a fault filter.
+        """
+        if network.fault_filter is not None:
+            raise RuntimeError("network already has a fault injector installed")
+        self.network = network
+        network.fault_filter = self._filter
+        for crash in self.plan.crashes:
+            self._schedule_crash(network, crash)
+        return self
+
+    def uninstall(self) -> None:
+        """Detach from the network (held messages are released immediately)."""
+        if self.network is None:
+            return
+        for link in list(self._held):
+            self._release_held(link)
+        self.network.fault_filter = None
+        self.network = None
+
+    def _schedule_crash(self, network: Network, crash: CrashWindow) -> None:
+        def down() -> None:
+            network.node(crash.node).set_up(False)
+            self._record("crash", crash.node, crash.node, "<node>")
+
+        network.sim.schedule(crash.at, down)
+        if crash.duration is not None:
+
+            def up() -> None:
+                network.node(crash.node).set_up(True)
+                self._record("restart", crash.node, crash.node, "<node>")
+
+            network.sim.schedule(crash.at + crash.duration, up)
+
+    # ------------------------------------------------------------------
+    # The filter (called by Network._deliver for every request)
+    # ------------------------------------------------------------------
+    def _filter(
+        self,
+        network: Network,
+        src: Node,
+        dst: Node,
+        request: Message,
+        size: int,
+        result: Any,
+    ) -> Message | None:
+        now = network.sim.now
+        link = (src.name, dst.name)
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches(src.name, dst.name, request.method, now):
+                continue
+            if (
+                rule.max_injections is not None
+                and self._fired.get(index, 0) >= rule.max_injections
+            ):
+                continue
+            if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                continue
+            self._fired[index] = self._fired.get(index, 0) + 1
+            self._record(rule.kind.value, src.name, dst.name, request.method)
+            if rule.kind is FaultKind.DROP:
+                self._release_held(link)
+                return None
+            if rule.kind is FaultKind.DELAY:
+                extra = self._sample_delay(rule)
+                network.sim.schedule(
+                    extra, network.deliver_now, src, dst, request, size, result
+                )
+                self._release_held(link)
+                return None
+            if rule.kind is FaultKind.DUPLICATE:
+                # The replica enters the destination right after the
+                # original (same instant, later event-heap sequence).
+                network.sim.schedule(
+                    0.0, network.deliver_now, src, dst, request, size, result
+                )
+            elif rule.kind is FaultKind.CORRUPT:
+                request = corrupt_message(request, self.rng)
+            elif rule.kind is FaultKind.REORDER:
+                hold = rule.delay if rule.delay > 0 else DEFAULT_REORDER_HOLD
+                self._hold(network, link, (src, dst, request, size, result), hold)
+                return None
+        # Any message that passes through overtakes a reorder-held one:
+        # the held message is released right behind it.
+        self._schedule_release_after_current(network, link)
+        return request
+
+    # ------------------------------------------------------------------
+    # Reorder bookkeeping
+    # ------------------------------------------------------------------
+    def _hold(
+        self,
+        network: Network,
+        link: tuple[str, str],
+        pending: tuple[Node, Node, Message, int, Any],
+        hold: float,
+    ) -> None:
+        self._held.setdefault(link, []).append(pending)
+
+        def flush() -> None:
+            self._release_held(link)
+
+        network.sim.schedule(hold, flush)
+
+    def _schedule_release_after_current(
+        self, network: Network, link: tuple[str, str]
+    ) -> None:
+        if self._held.get(link):
+            network.sim.schedule(0.0, self._release_held, link)
+
+    def _release_held(self, link: tuple[str, str]) -> None:
+        pending = self._held.pop(link, [])
+        if not pending or self.network is None:
+            return
+        for src, dst, request, size, result in pending:
+            self.network.deliver_now(src, dst, request, size, result)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sample_delay(self, rule: FaultRule) -> float:
+        if rule.jitter <= 0:
+            return rule.delay
+        return max(0.0, rule.delay + rule.jitter * (2.0 * self.rng.random() - 1.0))
+
+    def _record(self, kind: str, source: str, destination: str, method: str) -> None:
+        time = self.network.sim.now if self.network is not None else 0.0
+        event = InjectionEvent(
+            time=time, kind=kind, source=source, destination=destination, method=method
+        )
+        self.events.append(event)
+        obs.counter_inc("fault_injected_total", kind=kind)
+        if self.observer is not None:
+            self.observer(event.render())
+
+
+def corrupt_message(message: Message, rng: random.Random) -> Message:
+    """Deterministically corrupt one payload field of a message.
+
+    Integer-valued leaves are preferred (a bumped group element breaks a
+    signature or NIZK without breaking wire parsing); when the payload has
+    none, a string leaf is mangled instead. The target leaf is chosen by
+    ``rng`` over the sorted leaf paths, so a seeded run always corrupts
+    the same field.
+    """
+    paths = _leaf_paths(message.payload)
+    int_paths = [path for path, value in paths if isinstance(value, int)]
+    str_paths = [path for path, value in paths if isinstance(value, str)]
+    pool = int_paths if int_paths else str_paths
+    if not pool:
+        return message
+    target = pool[rng.randrange(len(pool))]
+    payload = _copy_payload(message.payload)
+    node: Any = payload
+    for part in target[:-1]:
+        node = node[part]
+    value = node[target[-1]]
+    node[target[-1]] = value + 1 if isinstance(value, int) else value + "?"
+    return Message(method=message.method, payload=payload)
+
+
+def _leaf_paths(
+    payload: dict[str, Any], prefix: tuple[str, ...] = ()
+) -> list[tuple[tuple[str, ...], Any]]:
+    out: list[tuple[tuple[str, ...], Any]] = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, dict):
+            out.extend(_leaf_paths(value, prefix + (key,)))
+        else:
+            out.append((prefix + (key,), value))
+    return out
+
+
+def _copy_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    return {
+        key: _copy_payload(value) if isinstance(value, dict) else value
+        for key, value in payload.items()
+    }
+
+
+__all__ = [
+    "DEFAULT_REORDER_HOLD",
+    "FaultInjector",
+    "InjectionEvent",
+    "corrupt_message",
+]

@@ -1,0 +1,161 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the *schedule* of chaos for one run: a list of
+:class:`FaultRule` message faults (drop, delay, duplicate, reorder,
+corrupt) scoped to links/methods/time windows, plus :class:`CrashWindow`
+node outages. Plans are pure data — the
+:class:`~repro.faults.injector.FaultInjector` executes them against a
+:class:`~repro.net.node.Network` — and every random decision is driven by
+the plan's seed, so the same plan on the same deployment produces the
+same run, event for event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """The message-fault repertoire."""
+
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One message-fault rule.
+
+    A rule matches a request in flight by source/destination node name and
+    method (``None`` matches anything; a trailing ``*`` in ``method``
+    prefix-matches), within an optional simulated-time window, and fires
+    with the given probability until its injection budget is exhausted.
+
+    Args:
+        kind: what to do to a matched message.
+        source: sending node name (``None`` = any).
+        destination: receiving node name (``None`` = any).
+        method: RPC method, exact or ``prefix*`` (``None`` = any).
+        probability: chance a matched message is actually faulted.
+        delay: extra in-flight seconds (``DELAY``) or hold window
+            (``REORDER``); ignored by the other kinds.
+        jitter: half-width of the uniform jitter added to ``delay``.
+        max_injections: stop firing after this many injections
+            (``None`` = unlimited).
+        start: rule active from this simulated time.
+        stop: rule inactive from this simulated time (``None`` = forever).
+    """
+
+    kind: FaultKind
+    source: str | None = None
+    destination: str | None = None
+    method: str | None = None
+    probability: float = 1.0
+    delay: float = 0.0
+    jitter: float = 0.0
+    max_injections: int | None = None
+    start: float = 0.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if self.max_injections is not None and self.max_injections < 1:
+            raise ValueError("max_injections must be at least 1 (or None)")
+
+    def matches(self, source: str, destination: str, method: str, now: float) -> bool:
+        """Whether this rule applies to a message on ``source -> destination``."""
+        if now < self.start or (self.stop is not None and now >= self.stop):
+            return False
+        if self.source is not None and self.source != source:
+            return False
+        if self.destination is not None and self.destination != destination:
+            return False
+        if self.method is not None:
+            if self.method.endswith("*"):
+                if not method.startswith(self.method[:-1]):
+                    return False
+            elif self.method != method:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """A scheduled node outage: down ``at`` seconds after the plan is
+    installed, back up ``duration`` seconds after that.
+
+    A ``duration`` of ``None`` means the node never restarts.
+    """
+
+    node: str
+    at: float
+    duration: float | None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("crash duration must be positive (or None)")
+
+
+@dataclass
+class FaultPlan:
+    """A composable schedule of message faults and node crashes.
+
+    Build one fluently::
+
+        plan = (
+            FaultPlan(seed=7)
+            .drop(destination="alice-books", method="witness/*", probability=0.5)
+            .delay(method="pay", delay=2.0, jitter=0.5)
+            .crash("bob-news", at=10.0, duration=30.0)
+        )
+
+    Args:
+        seed: drives every probabilistic decision the injector makes for
+            this plan (fire-or-not, jitter, corruption target choice).
+    """
+
+    seed: int = 0
+    rules: list[FaultRule] = field(default_factory=list)
+    crashes: list[CrashWindow] = field(default_factory=list)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        """Append a pre-built rule; returns self for chaining."""
+        self.rules.append(rule)
+        return self
+
+    def drop(self, **kwargs: object) -> "FaultPlan":
+        """Add a message-drop rule (see :class:`FaultRule` for kwargs)."""
+        return self.add(FaultRule(kind=FaultKind.DROP, **kwargs))  # type: ignore[arg-type]
+
+    def delay(self, **kwargs: object) -> "FaultPlan":
+        """Add a message-delay rule (``delay`` / ``jitter`` seconds)."""
+        return self.add(FaultRule(kind=FaultKind.DELAY, **kwargs))  # type: ignore[arg-type]
+
+    def duplicate(self, **kwargs: object) -> "FaultPlan":
+        """Add a message-duplication rule (the replica arrives right after)."""
+        return self.add(FaultRule(kind=FaultKind.DUPLICATE, **kwargs))  # type: ignore[arg-type]
+
+    def reorder(self, **kwargs: object) -> "FaultPlan":
+        """Add a reorder rule: hold a message until the next one passes it."""
+        return self.add(FaultRule(kind=FaultKind.REORDER, **kwargs))  # type: ignore[arg-type]
+
+    def corrupt(self, **kwargs: object) -> "FaultPlan":
+        """Add a payload-corruption rule (one field deterministically bumped)."""
+        return self.add(FaultRule(kind=FaultKind.CORRUPT, **kwargs))  # type: ignore[arg-type]
+
+    def crash(self, node: str, at: float, duration: float | None) -> "FaultPlan":
+        """Schedule a node crash/restart window; returns self for chaining."""
+        self.crashes.append(CrashWindow(node=node, at=at, duration=duration))
+        return self
+
+
+__all__ = ["CrashWindow", "FaultKind", "FaultPlan", "FaultRule"]

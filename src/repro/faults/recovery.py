@@ -1,0 +1,114 @@
+"""Recovery primitives: deterministic backoff and circuit breaking.
+
+The paper's availability story (Section 4) assumes clients *retry around*
+faulty witnesses — renewing the coin at the broker and paying again. These
+helpers make that retry loop production-shaped without losing determinism:
+:class:`BackoffPolicy` spaces attempts exponentially with seeded jitter
+(so simulated retries never thunder and seeded runs replay exactly), and
+:class:`CircuitBreaker` stops a client from burning full RPC timeouts on a
+witness that has already failed repeatedly.
+
+Nothing here imports the network layer, so ``repro.net`` modules can use
+these primitives without an import cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``min(base * factor**attempt, max_delay)``, scaled by a uniform jitter
+    factor in ``[1 - jitter, 1 + jitter]`` drawn from the caller's RNG —
+    the caller owns the seed, so a replayed run backs off identically.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The pause before retry ``attempt`` (0-based), in seconds."""
+        raw = min(self.base * self.factor**attempt, self.max_delay)
+        if self.jitter > 0 and rng is not None:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+@dataclass
+class CircuitBreaker:
+    """A per-peer circuit breaker over an external clock.
+
+    Closed (normal) until ``failure_threshold`` consecutive failures open
+    it; while open, :meth:`allows` returns ``False`` until
+    ``reset_timeout`` seconds pass, after which one probe is allowed
+    (half-open). A success closes the circuit, another failure re-opens
+    it for a fresh timeout. The clock is whatever the caller passes to
+    :meth:`allows` / :meth:`record_failure` — the deployment passes
+    simulated time.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 60.0
+    failures: int = 0
+    opened_at: float | None = None
+    _probing: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.reset_timeout < 0:
+            raise ValueError("reset timeout must be non-negative")
+
+    @property
+    def open(self) -> bool:
+        """True while the circuit is open (requests should be skipped)."""
+        return self.opened_at is not None
+
+    def allows(self, now: float) -> bool:
+        """Whether a request may be attempted at ``now``.
+
+        While open, returns ``False`` until the reset timeout elapses;
+        the first call after that is the half-open probe and returns
+        ``True``.
+        """
+        if self.opened_at is None:
+            return True
+        if now - self.opened_at >= self.reset_timeout:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Note a successful call: the circuit closes and counters reset."""
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self, now: float) -> None:
+        """Note a failed call; may open (or re-open) the circuit."""
+        if self._probing:
+            # The half-open probe failed: re-open for a fresh timeout.
+            self._probing = False
+            self.opened_at = now
+            return
+        self.failures += 1
+        if self.opened_at is None and self.failures >= self.failure_threshold:
+            self.opened_at = now
+
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]

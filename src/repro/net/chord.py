@@ -20,6 +20,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.core.exceptions import ChordLookupError
 
 #: Width of Chord identifiers.
 ID_BITS = 64
@@ -136,8 +137,14 @@ class ChordRing:
 
         Down nodes are skipped via successor lists (a hop each), matching
         Chord's failure handling.
+
+        Raises:
+            ChordLookupError: no live node can own the key (the whole ring
+                is down), or routing failed to converge.
         """
         key %= ID_SPACE
+        if not any(node.up for node in self.nodes):
+            raise ChordLookupError("chord lookup failed: no live nodes in the ring")
         current = start if start is not None else self.nodes[0]
         hops = 0
         path = [current.name]
@@ -153,7 +160,7 @@ class ChordRing:
             current = nxt
             hops += 1
             path.append(current.name)
-        raise RuntimeError("chord lookup failed to converge")  # pragma: no cover
+        raise ChordLookupError("chord lookup failed to converge")  # pragma: no cover
 
     def _live_successor(self, node: ChordNode) -> ChordNode:
         for successor in node.successors:
@@ -238,6 +245,7 @@ __all__ = [
     "ID_SPACE",
     "chord_id",
     "in_interval",
+    "ChordLookupError",
     "ChordNode",
     "ChordRing",
     "LookupResult",

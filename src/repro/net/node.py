@@ -153,6 +153,15 @@ class Network:
         #: a different :class:`Message` delivers the tampered version.
         #: Used by the adversarial (man-in-the-middle) tests.
         self.tamper_hook: Callable[[str, str, Message], Message | None] | None = None
+        #: Optional richer fault filter (installed by
+        #: :class:`repro.faults.injector.FaultInjector`): called as
+        #: ``filter(network, src, dst, message, size, result) -> Message | None``
+        #: for every request reaching its destination. Returning a message
+        #: continues delivery (possibly corrupted); returning ``None``
+        #: means the filter consumed the delivery itself — dropped it, or
+        #: re-scheduled it via :meth:`deliver_now` (delay / duplicate /
+        #: reorder faults).
+        self.fault_filter: Callable[..., Message | None] | None = None
 
     def register(self, node: Node) -> Node:
         """Attach a node to this network.
@@ -240,6 +249,25 @@ class Network:
             if tampered is None:
                 return  # adversary ate the message; the timeout fires
             request = tampered
+        if self.fault_filter is not None:
+            filtered = self.fault_filter(self, src, dst, request, size, result)
+            if filtered is None:
+                return  # the filter dropped or re-scheduled the delivery
+            request = filtered
+        self.deliver_now(src, dst, request, size, result)
+
+    def deliver_now(
+        self, src: Node, dst: Node, request: Message, size: int, result: Future
+    ) -> None:
+        """Hand a request to its destination, bypassing the fault filter.
+
+        Fault injectors use this to re-inject deliveries they held back
+        (delayed, duplicated or reordered messages) without being
+        filtered a second time. The destination's liveness is re-checked:
+        a node that crashed while the message was held still loses it.
+        """
+        if not dst.up or result.done:
+            return  # crashed meanwhile, or the caller's timeout already fired
         dst.meter.record_received(size)
         obs.counter_inc("net_messages_total", kind="request")
         obs.counter_inc("net_bytes_total", size, kind="request")

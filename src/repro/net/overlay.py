@@ -29,13 +29,18 @@ from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro import obs
+from repro.core.exceptions import EcashError
 from repro.core.params import SystemParams
 from repro.core.witness_ranges import SignedWitnessEntry, WitnessAssignmentTable
 from repro.crypto.hashing import HashInput
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify as schnorr_verify
 from repro.crypto.serialize import text_to_int
 from repro.net.node import Network
-from repro.net.sim import Sleep
+from repro.net.sim import SimTimeoutError, Sleep
+
+#: Cap on the failure-backoff multiplier: a member that keeps failing
+#: still probes at least every ``interval * MAX_BACKOFF_FACTOR`` seconds.
+MAX_BACKOFF_FACTOR = 8.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,7 @@ class GossipState:
     directory: Directory | None = None
     installs: int = 0
     rejected: int = 0
+    peer_failures: int = 0
 
     @property
     def version(self) -> int:
@@ -182,15 +188,30 @@ class GossipOverlay:
     def _gossip_loop(self, merchant_id: str) -> Generator[Any, Any, None]:
         # Staggered start so rounds interleave instead of thundering.
         yield Sleep(self.rng.random() * self.interval)
+        state = self.states[merchant_id]
+        consecutive_failures = 0
         while True:
             if self.network.node(merchant_id).up:
+                round_failed = False
                 peers = [m for m in self.states if m != merchant_id]
                 for peer in self.rng.sample(peers, min(self.fanout, len(peers))):
                     try:
                         yield from self._exchange(merchant_id, peer)
-                    except Exception:  # noqa: BLE001 - peer down/timeout: retry next round
-                        pass
-            yield Sleep(self.interval)
+                    except (SimTimeoutError, EcashError):
+                        # Peer down, RPC timed out, or the peer answered
+                        # with a protocol error: skip the exchange and let
+                        # anti-entropy catch it up later. Anything else
+                        # is a bug in *this* member and must surface.
+                        round_failed = True
+                        state.peer_failures += 1
+                        obs.counter_inc("gossip_peer_failures_total")
+                consecutive_failures = consecutive_failures + 1 if round_failed else 0
+            # Exponential backoff (capped, with deterministic jitter) when
+            # every recent round failed — a partitioned member probes less
+            # aggressively instead of hammering dead peers.
+            factor = min(2.0**consecutive_failures, MAX_BACKOFF_FACTOR)
+            jitter = 1.0 + 0.1 * (2.0 * self.rng.random() - 1.0)
+            yield Sleep(self.interval * factor * jitter)
 
     def _exchange(self, source: str, peer: str) -> Generator[Any, Any, None]:
         """One push-pull round: compare versions, ship the newer directory."""
@@ -265,6 +286,12 @@ class GossipOverlay:
 # ----------------------------------------------------------------------
 # Wire marshalling
 # ----------------------------------------------------------------------
+
+def directory_to_payload(directory: Directory) -> dict[str, Any]:
+    """Public wire form of a directory (used by push/pull and the chaos
+    suite's stale-table-broker actor)."""
+    return _directory_to_payload(directory)
+
 
 def _directory_to_payload(directory: Directory) -> dict[str, Any]:
     payload: dict[str, Any] = {
@@ -348,5 +375,6 @@ __all__ = [
     "GossipOverlay",
     "GossipState",
     "directory_signed_parts",
+    "directory_to_payload",
     "publish_directory",
 ]

@@ -16,10 +16,12 @@ trace.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro import obs
+from repro.faults.recovery import BackoffPolicy, CircuitBreaker
 from repro.core.client import Client, StoredCoin
 from repro.core.coin import BareCoin
 from repro.core.exceptions import DoubleSpendError, ServiceUnavailableError
@@ -101,6 +103,13 @@ class NetworkDeployment:
             )
             self._register_merchant_handlers(node, merchant_id)
         self.clients: dict[str, Client] = {}
+        #: Default retry spacing for :meth:`robust_payment_process`.
+        self.backoff_policy = BackoffPolicy()
+        #: One circuit breaker per witness, shared by every client of this
+        #: deployment (a witness that times out for one client is likely
+        #: down for all of them).
+        self.witness_breakers: dict[str, CircuitBreaker] = {}
+        self._recovery_rng = random.Random(f"recovery:{seed}")
 
     # ------------------------------------------------------------------
     # Topology
@@ -356,12 +365,22 @@ class NetworkDeployment:
         client.mark_spent(stored)
         return fresh
 
+    def witness_breaker(self, witness_id: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one witness."""
+        breaker = self.witness_breakers.get(witness_id)
+        if breaker is None:
+            breaker = self.witness_breakers[witness_id] = CircuitBreaker()
+        return breaker
+
     def robust_payment_process(
         self,
         client_name: str,
         stored: StoredCoin,
         merchant_id: str,
         max_attempts: int = 3,
+        soft_extension: int = 3600,
+        hard_extension: int = 7200,
+        backoff: BackoffPolicy | None = None,
     ) -> Generator[Any, Any, PaymentReceipt]:
         """Payment with the paper's witness-outage fallback built in.
 
@@ -372,33 +391,79 @@ class NetworkDeployment:
         exists to enable: *"This approach allows clients ... to recover
         from faulty witnesses."*
 
+        Retries are spaced by exponential backoff with deterministic
+        seeded jitter, and each witness sits behind a shared per-witness
+        circuit breaker: once a witness has failed repeatedly, further
+        attempts skip straight to renewal instead of burning a full RPC
+        timeout against a host that is known to be down.
+
+        Args:
+            max_attempts: payment attempts before giving up.
+            soft_extension: seconds added to ``now`` for the renewed
+                coin's soft expiry (the chaos scenarios shrink this to
+                exercise expiry edges).
+            hard_extension: seconds added to ``now`` for the renewed
+                coin's hard expiry.
+            backoff: retry-spacing policy (defaults to the deployment's
+                :attr:`backoff_policy`).
+
         Raises:
             ServiceUnavailableError: every attempt exhausted (witnesses and
                 broker both unreachable).
             DoubleSpendError / other EcashError: non-availability refusals
                 propagate immediately — retrying cannot fix those.
         """
-        from repro.net.sim import SimTimeoutError
+        from repro.net.sim import SimTimeoutError, Sleep
 
+        policy = backoff if backoff is not None else self.backoff_policy
         current = stored
         last_error: Exception | None = None
-        for _ in range(max_attempts):
-            try:
-                receipt = yield from self.payment_process(
-                    client_name, current, merchant_id
+        started = self.sim.now
+        for attempt in range(max_attempts):
+            witness_id = current.coin.witness_id
+            breaker = self.witness_breaker(witness_id)
+            if breaker.allows(self.sim.now):
+                try:
+                    receipt = yield from self.payment_process(
+                        client_name, current, merchant_id
+                    )
+                    breaker.record_success()
+                    if attempt > 0:
+                        obs.observe(
+                            "payment_recovery_seconds", self.sim.now - started
+                        )
+                        obs.counter_inc("payment_failovers_total", outcome="recovered")
+                    return receipt
+                except (SimTimeoutError, ServiceUnavailableError) as error:
+                    last_error = error
+                    was_open = breaker.open
+                    breaker.record_failure(self.sim.now)
+                    if breaker.open and not was_open:
+                        obs.counter_inc("circuit_breaker_opened_total", witness=witness_id)
+            else:
+                obs.counter_inc("circuit_breaker_skips_total", witness=witness_id)
+                last_error = ServiceUnavailableError(
+                    f"witness {witness_id!r} circuit is open; renewing instead"
                 )
-                return receipt
-            except (SimTimeoutError, ServiceUnavailableError) as error:
-                last_error = error
-                new_info = CoinInfo(
-                    denomination=current.coin.denomination,
-                    list_version=self.system.broker.current_table.version,
-                    soft_expiry=max(current.coin.info.soft_expiry, self.now() + 3600),
-                    hard_expiry=max(current.coin.info.hard_expiry, self.now() + 7200),
-                )
-                current = yield from self.renewal_process(
-                    client_name, current, new_info
-                )
+            if attempt == max_attempts - 1:
+                break  # out of attempts: renewing again would be wasted work
+            pause = policy.delay(attempt, self._recovery_rng)
+            if pause > 0:
+                yield Sleep(pause)
+            new_info = CoinInfo(
+                denomination=current.coin.denomination,
+                list_version=self.system.broker.current_table.version,
+                soft_expiry=max(
+                    current.coin.info.soft_expiry, self.now() + soft_extension
+                ),
+                hard_expiry=max(
+                    current.coin.info.hard_expiry, self.now() + hard_extension
+                ),
+            )
+            current = yield from self.renewal_process(
+                client_name, current, new_info
+            )
+        obs.counter_inc("payment_failovers_total", outcome="exhausted")
         raise ServiceUnavailableError(
             f"payment failed after {max_attempts} attempts: {last_error}"
         )

@@ -1,0 +1,78 @@
+"""Tests for the scripted Byzantine actors over the simulated network."""
+
+import random
+
+import pytest
+
+from repro.core.system import EcashSystem
+from repro.faults.byzantine import (
+    double_deposit_process,
+    double_spend_process,
+    equivocating_witness,
+    forged_directory,
+)
+from repro.net.costmodel import instant_profile
+from repro.net.services import NetworkDeployment
+
+
+@pytest.fixture()
+def deployment(params):
+    system = EcashSystem(params=params, seed=23)
+    dep = NetworkDeployment(system, cost_model=instant_profile(), seed=23)
+    dep.add_client("client-0")
+    return system, dep
+
+
+def withdraw(system, dep):
+    info = system.standard_info(25, now=dep.now())
+    return dep.run(dep.withdrawal_process("client-0", info))
+
+
+def test_equivocating_witness_flips_flag(deployment):
+    system, dep = deployment
+    witness = equivocating_witness(system, system.merchant_ids[0])
+    assert witness.faulty
+    assert system.witness(system.merchant_ids[0]) is witness
+
+
+def test_double_spend_refused_by_honest_witness(deployment):
+    system, dep = deployment
+    stored = withdraw(system, dep)
+    others = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    outcomes, proof = dep.run(
+        double_spend_process(dep, "client-0", stored, (others[0], others[1]))
+    )
+    assert outcomes == ["accepted", "refused-double-spend"]
+    assert proof is not None
+    assert proof.verify(system.params, stored.coin)
+
+
+def test_double_spend_accepted_by_faulty_witness(deployment):
+    system, dep = deployment
+    stored = withdraw(system, dep)
+    equivocating_witness(system, stored.coin.witness_id)
+    others = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+    outcomes, proof = dep.run(
+        double_spend_process(dep, "client-0", stored, (others[0], others[1]))
+    )
+    assert outcomes == ["accepted", "accepted"]
+    assert proof is None  # nothing refused in real time: deposit must catch it
+
+
+def test_double_deposit_refused(deployment):
+    system, dep = deployment
+    stored = withdraw(system, dep)
+    merchant_id = next(m for m in system.merchant_ids if m != stored.coin.witness_id)
+    dep.run(dep.payment_process("client-0", stored, merchant_id))
+    signed = system.merchant(merchant_id).pending_deposits()[0]
+    outcomes = dep.run(double_deposit_process(dep, merchant_id, signed))
+    assert outcomes == ["credited", "refused-DoubleDepositError"]
+
+
+def test_forged_directory_does_not_verify(deployment, params):
+    system, dep = deployment
+    keys = {mid: system.merchant(mid).public_key for mid in system.merchant_ids}
+    forged = forged_directory(
+        params, 9, system.broker.current_table, keys, random.Random(5)
+    )
+    assert not forged.verify(params, system.broker.sign_public)

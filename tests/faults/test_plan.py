@@ -1,0 +1,75 @@
+"""Tests for fault plans: rule matching, validation, fluent builders."""
+
+import pytest
+
+from repro.faults.plan import CrashWindow, FaultKind, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_wildcard_rule_matches_everything(self):
+        rule = FaultRule(kind=FaultKind.DROP)
+        assert rule.matches("a", "b", "any/method", 0.0)
+        assert rule.matches("x", "y", "other", 1e9)
+
+    def test_exact_scoping(self):
+        rule = FaultRule(
+            kind=FaultKind.DELAY, source="a", destination="b", method="pay"
+        )
+        assert rule.matches("a", "b", "pay", 0.0)
+        assert not rule.matches("c", "b", "pay", 0.0)
+        assert not rule.matches("a", "c", "pay", 0.0)
+        assert not rule.matches("a", "b", "deposit", 0.0)
+
+    def test_method_prefix_match(self):
+        rule = FaultRule(kind=FaultKind.DROP, method="witness/*")
+        assert rule.matches("a", "b", "witness/commit", 0.0)
+        assert rule.matches("a", "b", "witness/sign", 0.0)
+        assert not rule.matches("a", "b", "pay", 0.0)
+
+    def test_time_window(self):
+        rule = FaultRule(kind=FaultKind.DROP, start=10.0, stop=20.0)
+        assert not rule.matches("a", "b", "m", 9.9)
+        assert rule.matches("a", "b", "m", 10.0)
+        assert rule.matches("a", "b", "m", 19.9)
+        assert not rule.matches("a", "b", "m", 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind=FaultKind.DROP, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(kind=FaultKind.DELAY, delay=-1.0)
+        with pytest.raises(ValueError):
+            FaultRule(kind=FaultKind.DELAY, jitter=-0.1)
+        with pytest.raises(ValueError):
+            FaultRule(kind=FaultKind.DROP, max_injections=0)
+
+
+class TestCrashWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashWindow(node="n", at=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            CrashWindow(node="n", at=0.0, duration=0.0)
+        assert CrashWindow(node="n", at=0.0, duration=None).duration is None
+
+
+class TestFaultPlan:
+    def test_fluent_builders_accumulate(self):
+        plan = (
+            FaultPlan(seed=7)
+            .drop(method="witness/*", probability=0.5)
+            .delay(delay=2.0, jitter=0.5)
+            .duplicate(method="deposit")
+            .reorder(method="deposit")
+            .corrupt(method="pay", max_injections=1)
+            .crash("bob-news", at=10.0, duration=30.0)
+        )
+        assert [rule.kind for rule in plan.rules] == [
+            FaultKind.DROP,
+            FaultKind.DELAY,
+            FaultKind.DUPLICATE,
+            FaultKind.REORDER,
+            FaultKind.CORRUPT,
+        ]
+        assert plan.crashes == [CrashWindow(node="bob-news", at=10.0, duration=30.0)]
+        assert plan.seed == 7

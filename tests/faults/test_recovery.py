@@ -1,0 +1,71 @@
+"""Tests for backoff and circuit-breaker recovery primitives."""
+
+import random
+
+import pytest
+
+from repro.faults.recovery import BackoffPolicy, CircuitBreaker
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, max_delay=5.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_no_rng_means_no_jitter(self):
+        policy = BackoffPolicy(base=1.0, jitter=0.5)
+        assert policy.delay(0) == 1.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, jitter=0.2)
+        delays = [policy.delay(0, random.Random(42)) for _ in range(5)]
+        assert delays == [policy.delay(0, random.Random(42)) for _ in range(5)]
+        for delay in delays:
+            assert 0.8 <= delay <= 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert not breaker.open and breaker.allows(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.open and not breaker.allows(1.0)
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allows(9.9)
+        assert breaker.allows(10.0)  # the half-open probe
+        breaker.record_success()
+        assert not breaker.open and breaker.allows(10.1)
+
+    def test_failed_probe_reopens_for_fresh_timeout(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allows(10.0)
+        breaker.record_failure(10.0)  # the probe failed
+        assert not breaker.allows(19.9)
+        assert breaker.allows(20.0)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(1.0)
+        assert not breaker.open
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)

@@ -5,7 +5,8 @@ import random
 
 import pytest
 
-from repro.net.chord import ChordRing, LookupResult, chord_id, in_interval
+from repro.core.exceptions import EcashError, ServiceUnavailableError
+from repro.net.chord import ChordLookupError, ChordRing, LookupResult, chord_id, in_interval
 from repro.net.churn import ChurnModel, k_of_n_availability
 
 
@@ -159,3 +160,28 @@ class TestChordRing:
         assert result.owner.name == "solo"
         ring.put(1, "x")
         assert ring.get(1) == ["x"]
+
+
+class TestChordLookupFailure:
+    def test_all_nodes_dead_raises_typed_error(self):
+        ring = ChordRing([f"d{i}" for i in range(8)])
+        for node in ring.nodes:
+            node.up = False
+        with pytest.raises(ChordLookupError):
+            ring.lookup(chord_id("orphan-key"))
+
+    def test_lookup_survives_dead_successor_lists(self):
+        """Every listed successor of the start node down: the ring-scan
+        fallback still finds a live owner instead of raising."""
+        ring = ChordRing([f"s{i}" for i in range(12)], successor_list_size=2)
+        start = ring.nodes[0]
+        for successor in start.successors:
+            successor.up = False
+        result = ring.lookup(chord_id("resilient-key"), start=start)
+        assert result.owner.up
+
+    def test_typed_error_is_service_unavailable(self):
+        """ChordLookupError slots into the repo's error hierarchy, so
+        callers already handling availability failures catch it."""
+        assert issubclass(ChordLookupError, ServiceUnavailableError)
+        assert issubclass(ChordLookupError, EcashError)

@@ -152,3 +152,24 @@ def test_malformed_payload_returns_none(params, overlay_setup):
     sim, network, broker_key, table, keys, directory, overlay = overlay_setup
     assert _directory_from_payload(params, {"version": 0}) is None
     assert _directory_from_payload(params, {"garbage": "x"}) is None
+
+
+def test_gossip_counts_peer_failures_and_backs_off(params, overlay_setup):
+    """A member whose peer is down records the failure (state counter and
+    obs metric) instead of crashing its anti-entropy loop."""
+    from repro import obs
+
+    sim, network, broker_key, table, keys, directory, overlay = overlay_setup
+    overlay.seed(directory, seed_members=MEMBERS[:2])
+    network.node(MEMBERS[-1]).set_up(False)
+    obs.reset()
+    with obs.enabled():
+        overlay.start()
+        sim.run(until=60.0)
+        failures = obs.registry().counter_value("gossip_peer_failures_total")
+    obs.reset()
+    total = sum(overlay.states[m].peer_failures for m in MEMBERS)
+    assert total > 0  # somebody gossiped at the dead member and timed out
+    assert failures == total
+    # The live membership still converged around the outage.
+    assert overlay.converged_to(1)

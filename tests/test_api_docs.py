@@ -23,6 +23,7 @@ def test_generator_runs_and_covers_all_packages():
         "repro.baselines",
         "repro.analysis",
         "repro.obs",
+        "repro.faults",
     ):
         assert f"## Package `{package}`" in text
     # Spot-check that headline API members are present and documented.
