@@ -12,6 +12,7 @@ Usage::
     python -m repro wallet <file>        # inspect a wallet JSON file
     python -m repro metrics              # instrumented run, telemetry dump
     python -m repro chaos --quick        # fault-injection suite, 3 seeds
+    python -m repro bench --quick        # perf engine before/after numbers
 """
 
 from __future__ import annotations
@@ -187,6 +188,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     # Network layer: gossip convergence + DHT lookups.
     _exercise_network_telemetry(args.seed)
 
+    # Publish the perf engine's cache/table sizes as gauges.
+    from repro import perf
+
+    perf.export_metrics()
+
     if args.format == "json":
         print(obs.export_json())
     elif args.format == "prom":
@@ -280,6 +286,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import bench
+
+    mode = "quick" if args.quick else "full"
+    results = bench.run_bench(quick=args.quick, seed=args.seed)
+    print(json.dumps({mode: results}, indent=2, sort_keys=True))
+    if args.check:
+        from pathlib import Path
+
+        baseline_file = Path(args.out)
+        if not baseline_file.exists():
+            print(f"no baseline at {args.out}; writing one", file=sys.stderr)
+            bench.write_results(results, args.out, mode)
+            return 0
+        baseline = json.loads(baseline_file.read_text()).get(mode, {})
+        failures = bench.check_regression(results, baseline, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    bench.write_results(results, args.out, mode)
+    print(f"(written to {args.out})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -369,6 +401,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true", help="print the telemetry snapshot after"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="measure naive-vs-perf throughput, write/check BENCH_payment.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="512-bit test group (CI smoke)"
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_payment.json",
+        help="results/baseline file (default BENCH_payment.json)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedups against the baseline instead of overwriting it",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.7,
+        help="minimum fraction of the baseline speedup that must hold (default 0.7)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     report = subparsers.add_parser(
         "report", help="run every harness, write a Markdown reproduction report"

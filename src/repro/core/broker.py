@@ -20,11 +20,12 @@ import random
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro import obs
+from repro import obs, perf
 from repro.core.bank import Ledger
 from repro.core.coin import BareCoin, Coin
 from repro.core.exceptions import (
     DoubleDepositError,
+    EcashError,
     ExpiredCoinError,
     InvalidCoinError,
     InvalidPaymentError,
@@ -36,6 +37,7 @@ from repro.core.info import CoinInfo
 from repro.core.params import SystemParams
 from repro.core.transcripts import DoubleSpendProof, SignedTranscript
 from repro.core.witness_ranges import WitnessAssignmentTable, build_table
+from repro.crypto import counters
 from repro.crypto.blind import PartiallyBlindSigner, SignerChallenge, SignerResponse, SignerSession
 from repro.crypto.representation import RepresentationResponse, extract_representations
 from repro.crypto.schnorr import SchnorrKeyPair, verify as schnorr_verify
@@ -179,6 +181,9 @@ class Broker:
             security_deposit=security_deposit,
         )
         self.merchants[merchant_id] = account
+        # Registered keys verify a witness signature per deposited coin;
+        # make them fixed-base candidates for the perf engine.
+        perf.register_fixed_base(public_key, self.params.group.p, self.params.group.q)
         return account
 
     def publish_witness_table(self, weights: Mapping[str, float]) -> WitnessAssignmentTable:
@@ -317,7 +322,113 @@ class Broker:
             InvalidPaymentError: failed verification (step 1).
             DoubleDepositError: the same merchant re-deposited the coin.
         """
-        depositor = self._require_merchant(merchant_id)
+        self._verify_deposit_structure(merchant_id, signed, now)
+        from repro.core.transcripts import verify_payment_response
+
+        verify_payment_response(self.params, signed.transcript)
+        return self._settle_deposit(merchant_id, signed, now)
+
+    def deposit_batch(
+        self, merchant_id: str, items: list[SignedTranscript], now: int
+    ) -> list[DepositResult | EcashError]:
+        """Clear many transcripts from one merchant in a single pipeline.
+
+        With the perf engine on, the per-item representation checks
+        ``A_i B_i^{d_i} == g1^{r1_i} g2^{r2_i}`` collapse into one
+        small-random-exponent linear combination evaluated as a single
+        multi-exponentiation (:func:`repro.perf.batch.verify_batch`); if
+        the combined check fails, the broker falls back to per-item
+        verification to name the culprits. Each item still records the
+        same logical operations as an individual :meth:`deposit` (6
+        ``Exp`` + 4 ``Hash`` + 1 ``Ver`` on the happy path), and with the
+        engine off the method is exactly a loop over :meth:`deposit`.
+
+        Settlement is sequential in input order, so an in-batch repeat of
+        the same coin behaves identically to two separate deposits.
+
+        Returns:
+            Per item, in order: a :class:`DepositResult`, or the
+            :class:`~repro.core.exceptions.EcashError` that item raised.
+        """
+        items = list(items)
+        obs.observe("perf_batch_deposit_size", len(items))
+        results: list[DepositResult | EcashError | None] = [None] * len(items)
+        if not perf.is_enabled():
+            for index, signed in enumerate(items):
+                try:
+                    results[index] = self.deposit(merchant_id, signed, now)
+                except EcashError as exc:
+                    results[index] = exc
+            return results  # type: ignore[return-value]
+
+        group = self.params.group
+        checked: list[tuple[int, SignedTranscript, perf.RepresentationCheck]] = []
+        for index, signed in enumerate(items):
+            try:
+                self._verify_deposit_structure(merchant_id, signed, now)
+            except EcashError as exc:
+                results[index] = exc
+                continue
+            transcript = signed.transcript
+            d = transcript.challenge(self.params)
+            # The representation check is 3 logical Exp per transcript
+            # regardless of how the physical batch evaluates it.
+            counters.record_exp(3)
+            checked.append(
+                (
+                    index,
+                    signed,
+                    perf.RepresentationCheck(
+                        commitment_a=transcript.coin.bare.commitment_a,
+                        commitment_b=transcript.coin.bare.commitment_b,
+                        challenge=d,
+                        r1=transcript.response.r1,
+                        r2=transcript.response.r2,
+                    ),
+                )
+            )
+        if checked and not perf.verify_batch(
+            group.p, group.q, group.g1, group.g2, [c for _, _, c in checked], rng=self.rng
+        ):
+            # At least one bad (or non-subgroup) item: fall back to naive
+            # per-item checks to identify it. Logical costs are already
+            # recorded, so the rescue pass runs suppressed.
+            from repro.crypto.representation import verify_response
+
+            survivors: list[tuple[int, SignedTranscript, perf.RepresentationCheck]] = []
+            for index, signed, check in checked:
+                with counters.suppressed():
+                    valid = verify_response(
+                        group,
+                        check.commitment_a,
+                        check.commitment_b,
+                        check.challenge,
+                        signed.transcript.response,
+                    )
+                if valid:
+                    survivors.append((index, signed, check))
+                else:
+                    results[index] = InvalidPaymentError(
+                        "representation proof A*B^d == g1^r1*g2^r2 failed"
+                    )
+            checked = survivors
+        for index, signed, _ in checked:
+            try:
+                results[index] = self._settle_deposit(merchant_id, signed, now)
+            except EcashError as exc:
+                results[index] = exc
+        return results  # type: ignore[return-value]
+
+    def _verify_deposit_structure(
+        self, merchant_id: str, signed: SignedTranscript, now: int
+    ) -> None:
+        """Algorithm 3 step 1 minus the representation check.
+
+        Raises the same exceptions, in the same order, as the front half
+        of :meth:`deposit` always has; shared by the single and batched
+        pipelines.
+        """
+        self._require_merchant(merchant_id)
         transcript = signed.transcript
         coin = transcript.coin
         if transcript.merchant_id != merchant_id:
@@ -332,10 +443,13 @@ class Broker:
         witness = self._require_merchant(coin.witness_id)
         if not signed.verify_witness_signature(self.params, witness.public_key):
             raise InvalidPaymentError("witness signature on transcript failed to verify")
-        from repro.core.transcripts import verify_payment_response
 
-        verify_payment_response(self.params, transcript)
-
+    def _settle_deposit(
+        self, merchant_id: str, signed: SignedTranscript, now: int
+    ) -> DepositResult:
+        """Algorithm 3 step 2: dedup against the transcript database and pay."""
+        coin = signed.transcript.coin
+        witness = self._require_merchant(coin.witness_id)
         previous = self._deposits.get(coin.bare)
         if previous is None:
             self._deposits[coin.bare] = _DepositRecord(signed=signed, deposited_at=now)

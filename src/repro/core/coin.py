@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.core.exceptions import ExpiredCoinError, InvalidCoinError
 from repro.core.info import CoinInfo
 from repro.core.params import SystemParams
@@ -66,14 +67,25 @@ class BareCoin:
 
         Checks ``omega + delta == H(g^rho y^omega || g^sigma z^delta || z
         || A || B)`` with ``z = F(info)``: 4 ``Exp`` + 2 ``Hash``.
+
+        A coin's signature is immutable, yet it is re-checked at every hop
+        (merchant, witness, broker, auditors), so the verdict is memoized
+        on the serialized coin + verifier key; cache hits replay the
+        logical 4 ``Exp`` + 2 ``Hash`` so Table 1 accounting is unchanged.
         """
-        return blind.verify(
-            params.group,
-            params.hashes,
-            broker_blind_public,
-            self.info.hash_parts(),
-            self.message_parts(),
-            self.signature,
+        return perf.verify_memo(
+            "coin-signature",
+            ("coin", params.group.p, broker_blind_public, *self.hash_parts()),
+            lambda: blind.verify(
+                params.group,
+                params.hashes,
+                broker_blind_public,
+                self.info.hash_parts(),
+                self.message_parts(),
+                self.signature,
+            ),
+            exp=4,
+            hash=2,
         )
 
     def to_wire(self) -> dict[str, object]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.core.coin import Coin
 from repro.core.exceptions import CommitmentError, InvalidPaymentError
 from repro.core.params import SystemParams
@@ -82,8 +83,26 @@ class WitnessCommitment:
         )
 
     def verify(self, params: SystemParams, witness_public: int) -> bool:
-        """Verify the witness's signature (one ``Ver``)."""
-        return schnorr_verify(params.group, witness_public, self.signature, *self.signed_parts())
+        """Verify the witness's signature (one ``Ver``).
+
+        Memoized — the merchant checks the commitment in step 3 and the
+        broker re-checks it in disputes; a cache hit replays the ``Ver``.
+        """
+        return perf.verify_memo(
+            "witness-commitment",
+            (
+                "commitment",
+                params.group.p,
+                witness_public,
+                *self.signed_parts(),
+                self.signature.e,
+                self.signature.s,
+            ),
+            lambda: schnorr_verify(
+                params.group, witness_public, self.signature, *self.signed_parts()
+            ),
+            ver=1,
+        )
 
     def to_wire(self) -> dict[str, object]:
         """Serialize for URI transfer."""
@@ -181,12 +200,28 @@ class SignedTranscript:
     witness_signature: SchnorrSignature
 
     def verify_witness_signature(self, params: SystemParams, witness_public: int) -> bool:
-        """Verify ``Sig_{M_C}(payment transcript)`` (one ``Ver``)."""
-        return schnorr_verify(
-            params.group,
-            witness_public,
-            self.witness_signature,
-            *self.transcript.hash_parts(),
+        """Verify ``Sig_{M_C}(payment transcript)`` (one ``Ver``).
+
+        Memoized — the merchant verifies at payment time and the broker
+        again at deposit; a cache hit replays the logical ``Ver``.
+        """
+        return perf.verify_memo(
+            "signed-transcript",
+            (
+                "signed-transcript",
+                params.group.p,
+                witness_public,
+                *self.transcript.hash_parts(),
+                self.witness_signature.e,
+                self.witness_signature.s,
+            ),
+            lambda: schnorr_verify(
+                params.group,
+                witness_public,
+                self.witness_signature,
+                *self.transcript.hash_parts(),
+            ),
+            ver=1,
         )
 
     def to_wire(self) -> dict[str, object]:

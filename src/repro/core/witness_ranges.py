@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro import perf
 from repro.core.exceptions import WrongWitnessError
 from repro.core.params import SystemParams
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify as schnorr_verify
@@ -66,9 +67,26 @@ class SignedWitnessEntry:
         return ("witness-entry", self.version, *self.range.hash_parts())
 
     def verify(self, params: SystemParams, broker_sign_public: int) -> bool:
-        """Verify the broker's signature on this entry (one ``Ver``)."""
-        return schnorr_verify(
-            params.group, broker_sign_public, self.signature, *self.signed_parts()
+        """Verify the broker's signature on this entry (one ``Ver``).
+
+        The same entry travels with every coin assigned to its merchant
+        and is re-checked by every verifier, so the verdict is memoized;
+        a cache hit replays the logical ``Ver`` event.
+        """
+        return perf.verify_memo(
+            "witness-entry",
+            (
+                "witness-entry",
+                params.group.p,
+                broker_sign_public,
+                *self.signed_parts(),
+                self.signature.e,
+                self.signature.s,
+            ),
+            lambda: schnorr_verify(
+                params.group, broker_sign_public, self.signature, *self.signed_parts()
+            ),
+            ver=1,
         )
 
     def to_wire(self) -> dict[str, object]:

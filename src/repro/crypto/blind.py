@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro import perf
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.hashing import HashInput, HashSuite
 
@@ -111,7 +112,13 @@ class PartiallyBlindSigner:
         import repro.crypto.counters as counters
 
         with counters.suppressed():
-            self.public = pow(group.g, self._secret, group.p)
+            if perf.is_enabled():
+                self.public = perf.fpow(group.g, self._secret, group.p, group.q)
+            else:
+                self.public = pow(group.g, self._secret, group.p)
+        # ``y`` is the base of ``y^omega`` in every coin verification in
+        # the system — the single most profitable fixed base after ``g``.
+        perf.register_fixed_base(self.public, group.p, group.q)
 
     def start(self, info_parts: tuple[HashInput, ...]) -> tuple[SignerChallenge, SignerSession]:
         """Step 1: produce ``(a, b)`` for a withdrawal with public ``info``.

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.crypto import counters
 from repro.crypto.numbers import inverse_mod, is_probable_prime, random_scalar
 
@@ -42,10 +43,16 @@ class SchnorrGroup:
     def validate(self) -> None:
         """Check the group parameters for consistency.
 
+        The result is memoized on the instance: a group that has passed
+        once is not re-subjected to the three Miller-Rabin runs and three
+        subgroup checks on later calls.
+
         Raises:
             ValueError: if ``p``/``q`` are not prime, ``q`` does not divide
                 ``p - 1``, or any generator does not have order ``q``.
         """
+        if self._validated:
+            return
         if not is_probable_prime(self.p):
             raise ValueError("p is not prime")
         if not is_probable_prime(self.q):
@@ -55,17 +62,36 @@ class SchnorrGroup:
         for name, gen in (("g", self.g), ("g1", self.g1), ("g2", self.g2)):
             if gen in (0, 1) or pow(gen, self.q, self.p) != 1:
                 raise ValueError(f"{name} does not generate the order-q subgroup")
+        # A validated group's generators are the hottest fixed bases in the
+        # whole system; mark them for the perf engine's comb tables.
+        for gen in (self.g, self.g1, self.g2):
+            perf.register(gen, self.p, self.q)
+        object.__setattr__(self, "_validated", True)
 
     # ------------------------------------------------------------------
     # Group operations
     # ------------------------------------------------------------------
     def exp(self, base: int, exponent: int) -> int:
-        """Return ``base^exponent mod p`` and record one ``Exp`` event."""
+        """Return ``base^exponent mod p`` and record one ``Exp`` event.
+
+        With the perf engine enabled, fixed bases (the generators and
+        registered public keys) are served from precomputed comb tables;
+        the result is bit-identical to the naive square-and-multiply.
+        """
         counters.record_exp()
+        if perf.is_enabled():
+            return perf.fpow(base, exponent, self.p, self.q)
         return pow(base, exponent % self.q, self.p)
 
     def mul(self, *elements: int) -> int:
-        """Return the product of group elements modulo ``p``."""
+        """Return the product of group elements modulo ``p``.
+
+        Raises:
+            ValueError: when called with no arguments — an accidental
+                empty product (silently ``1``) masks caller bugs.
+        """
+        if not elements:
+            raise ValueError("mul() needs at least one group element (empty product bug?)")
         out = 1
         for element in elements:
             out = (out * element) % self.p
@@ -112,10 +138,20 @@ class SchnorrGroup:
 
         This is the ubiquitous two-base commitment shape
         (``A = g1^x1 g2^x2``, ``g^rho y^omega`` ...). The paper's Table 1
-        counts it as two exponentiations, so no multi-exponentiation
-        shortcut is taken.
+        counts it as two exponentiations and the *logical* accounting
+        always reports exactly that — but with the perf engine enabled the
+        physical computation is one simultaneous multi-exponentiation
+        (fixed-base tables where available, shared squarings otherwise).
         """
-        return self.mul(self.exp(base_a, exp_a), self.exp(base_b, exp_b))
+        counters.record_exp(2)
+        if perf.is_enabled():
+            return perf.multi_exp(
+                self.p, self.q, ((base_a, exp_a), (base_b, exp_b))
+            )
+        return (
+            pow(base_a, exp_a % self.q, self.p)
+            * pow(base_b, exp_b % self.q, self.p)
+        ) % self.p
 
     def element_bytes(self) -> int:
         """Serialized size of one group element in bytes."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro import perf
 from repro.crypto import counters
 from repro.crypto.group import SchnorrGroup
 
@@ -82,9 +83,25 @@ class HashSuite:
         ``(p-1)/q`` to force it into the subgroup; the counter-indexed
         retry loop handles the (cryptographically negligible) chance of
         hitting the identity.
+
+        The cofactor exponentiation works on an ``(p-1)/q``-bit exponent —
+        by far the costliest single operation in a coin verification — and
+        ``F`` is deterministic, so the result is memoized per
+        ``(p, q, data)`` when the perf engine is on. The logical ``Hash``
+        event is recorded on every call either way.
         """
         counters.record_hash()
         data = encode_for_hash(*parts)
+        element = perf.verify_memo(
+            "hash-F", ("F", self.group.p, self.group.q, data), lambda: self._hash_to_group(data)
+        )
+        # ``z = F(info)`` recurs as an exponentiation base in every
+        # signature over coins sharing the same public info, so it is a
+        # prime fixed-base candidate.
+        perf.register_fixed_base(element, self.group.p, self.group.q)
+        return element
+
+    def _hash_to_group(self, data: bytes) -> int:
         cofactor = (self.group.p - 1) // self.group.q
         with counters.suppressed():
             for attempt in range(256):

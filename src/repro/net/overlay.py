@@ -28,11 +28,11 @@ import random
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro import obs
+from repro import obs, perf
 from repro.core.exceptions import EcashError
 from repro.core.params import SystemParams
 from repro.core.witness_ranges import SignedWitnessEntry, WitnessAssignmentTable
-from repro.crypto.hashing import HashInput
+from repro.crypto.hashing import HashInput, encode_for_hash
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify as schnorr_verify
 from repro.crypto.serialize import text_to_int
 from repro.net.node import Network
@@ -57,9 +57,26 @@ class Directory:
         return directory_signed_parts(self.version, self.table, self.merchant_keys)
 
     def verify(self, params: SystemParams, broker_sign_public: int) -> bool:
-        """Check the broker's signature over the whole directory."""
-        return schnorr_verify(
-            params.group, broker_sign_public, self.signature, *self.signed_parts()
+        """Check the broker's signature over the whole directory.
+
+        Every overlay member re-verifies the same directory version on
+        every gossip install, so the verdict is memoized on a digest of
+        the signed material; cache hits replay the logical ``Ver``.
+        """
+        return perf.verify_memo(
+            "overlay-directory",
+            (
+                "directory",
+                params.group.p,
+                broker_sign_public,
+                encode_for_hash(*self.signed_parts()),
+                self.signature.e,
+                self.signature.s,
+            ),
+            lambda: schnorr_verify(
+                params.group, broker_sign_public, self.signature, *self.signed_parts()
+            ),
+            ver=1,
         )
 
 

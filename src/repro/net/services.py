@@ -318,6 +318,65 @@ class NetworkDeployment:
             results.append(reply)
         return results
 
+    def batch_deposit_process(
+        self, merchant_id: str
+    ) -> Generator[Any, Any, list[dict[str, Any]]]:
+        """Algorithm 3 over the network, batched: one RPC for all pending.
+
+        All of the merchant's pending transcripts travel in a single
+        ``deposit/batch`` message and the broker clears them through
+        :meth:`repro.core.broker.Broker.deposit_batch` (one combined
+        representation check instead of one per transcript). Transcripts
+        the broker rejected stay pending; accepted ones are marked
+        deposited.
+        """
+        return self._traced(
+            "net.batch_deposit",
+            self._batch_deposit_steps(merchant_id),
+            merchant=merchant_id,
+        )
+
+    def _batch_deposit_steps(
+        self, merchant_id: str
+    ) -> Generator[Any, Any, list[dict[str, Any]]]:
+        merchant = self.system.merchant(merchant_id)
+        pending = list(merchant.pending_deposits())
+        if not pending:
+            return []
+        reply = flatten(
+            (yield self.network.rpc(
+                merchant_id,
+                BROKER_NODE,
+                "deposit/batch",
+                {
+                    "merchant_id": merchant_id,
+                    "batch": {
+                        f"t{index}": signed.to_wire()
+                        for index, signed in enumerate(pending)
+                    },
+                },
+            ))
+        )
+        results: list[dict[str, Any]] = []
+        for index, signed in enumerate(pending):
+            outcome = reply.get(f"r{index}.outcome")
+            if outcome is not None:
+                merchant.mark_deposited(signed)
+                results.append(
+                    {
+                        "outcome": str(outcome),
+                        "amount": _as_int(reply[f"r{index}.amount"]),
+                    }
+                )
+            else:
+                results.append(
+                    {
+                        "error": str(reply.get(f"r{index}.error", "unknown")),
+                        "kind": str(reply.get(f"r{index}.kind", "EcashError")),
+                    }
+                )
+        return results
+
     def renewal_process(
         self, client_name: str, stored: StoredCoin, new_info: CoinInfo
     ) -> Generator[Any, Any, StoredCoin]:
@@ -549,6 +608,36 @@ class NetworkDeployment:
             result = broker.deposit(str(payload["merchant_id"]), signed, self.now())
             return {"outcome": result.outcome.value, "amount": result.amount}
 
+        def deposit_batch(payload: dict[str, Any]) -> dict[str, Any]:
+            flat = flatten(payload)
+            indices = sorted(
+                {
+                    int(key.split(".", 2)[1][1:])
+                    for key in flat
+                    if key.startswith("batch.t")
+                }
+            )
+            signed_items = [
+                SignedTranscript.from_wire(_strip(flat, f"batch.t{index}."))
+                for index in indices
+            ]
+            results = broker.deposit_batch(
+                str(payload["merchant_id"]), signed_items, self.now()
+            )
+            out: dict[str, Any] = {}
+            for index, result in zip(indices, results):
+                if isinstance(result, Exception):
+                    out[f"r{index}"] = {
+                        "kind": type(result).__name__,
+                        "error": str(result),
+                    }
+                else:
+                    out[f"r{index}"] = {
+                        "outcome": result.outcome.value,
+                        "amount": result.amount,
+                    }
+            return out
+
         def withdraw_batch_begin(payload: dict[str, Any]) -> dict[str, Any]:
             flat = flatten(payload)
             indices = sorted(
@@ -582,6 +671,7 @@ class NetworkDeployment:
         self.broker_node.on("renew/begin", renew_begin)
         self.broker_node.on("renew/complete", renew_complete)
         self.broker_node.on("deposit", deposit)
+        self.broker_node.on("deposit/batch", deposit_batch)
 
     def _register_merchant_handlers(self, node: Node, merchant_id: str) -> None:
         merchant = self.system.merchant(merchant_id)

@@ -1,0 +1,182 @@
+"""repro.perf — the physical-cost engine behind the logical crypto layer.
+
+The paper's protocols are *specified* in logical operations (Table 1
+counts exponentiations, hashes, signatures); this package makes the
+physical execution of those operations fast without changing a single
+logical count or protocol value:
+
+* :mod:`~repro.perf.fixed_base` — comb/window precomputation so
+  exponentiations over the fixed bases ``g``, ``g1``, ``g2`` and
+  registered public keys cost ~20 modular multiplications;
+* :mod:`~repro.perf.multiexp` — Shamir/Straus simultaneous
+  multi-exponentiation for the product-of-powers verification equations;
+* :mod:`~repro.perf.cache` — bounded memoization of hot re-verified
+  artifacts (coin signatures, witness-range entries, commitments,
+  gossip directories);
+* :mod:`~repro.perf.batch` — small-random-exponent linear-combination
+  batch verification for the broker's bulk deposit pipeline;
+* :mod:`~repro.perf.bench` — the before/after microbenchmark harness
+  behind ``python -m repro bench`` and ``BENCH_payment.json``.
+
+The engine is ON by default and switched off with ``REPRO_PERF=off`` (or
+:func:`set_enabled` / the :func:`disabled` context manager), restoring
+the naive square-and-multiply paths byte for byte. Crucially, the
+Table 1 accounting is *independent* of the switch: instrumented call
+sites record logical operation counts before dispatching to either
+implementation, and cache hits replay the logical counts of the work
+they skip.
+
+Layering: this package depends only on :mod:`repro.obs` (plus a lazy,
+call-time import of :mod:`repro.crypto.counters` inside
+:func:`verify_memo`); the crypto and core layers depend on it, never the
+reverse.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Callable, Iterator
+
+from repro import obs
+from repro.perf import cache as _cache_module
+from repro.perf import fixed_base as _fixed_base_module
+from repro.perf.batch import RepresentationCheck, is_subgroup_member, verify_batch
+from repro.perf.cache import MemoCache, cache, memoized
+from repro.perf.fixed_base import FixedBaseTable, fpow, register, table_for
+from repro.perf.multiexp import multi_exp
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_PERF", "").strip().lower() not in {
+        "off",
+        "0",
+        "false",
+        "no",
+    }
+
+
+_enabled = _env_enabled()
+
+
+def is_enabled() -> bool:
+    """Whether the perf engine currently serves the fast paths."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Switch the perf engine on or off (process-wide)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextlib.contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the naive paths, restoring the prior state after."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+@contextlib.contextmanager
+def forced(value: bool) -> Iterator[None]:
+    """Run a block with the engine forced on or off."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def register_fixed_base(base: int, p: int, q: int) -> None:
+    """Mark a base (a generator or long-lived public key) for tabulation.
+
+    A no-op while the engine is disabled; registration is cheap and the
+    table is only built once the base has been used enough to amortize.
+    """
+    if _enabled:
+        register(base, p, q)
+
+
+def verify_memo(
+    name: str,
+    key: object,
+    compute: Callable[[], object],
+    exp: int = 0,
+    hash: int = 0,
+    sig: int = 0,
+    ver: int = 0,
+) -> object:
+    """Memoize a verification, replaying its logical op counts on a hit.
+
+    With the engine disabled this is exactly ``compute()``. With it
+    enabled, a miss computes (the computation records its own operations
+    as usual) and a hit records the declared logical ``Exp``/``Hash``/
+    ``Sig``/``Ver`` counts instead — so the paper's Table 1 accounting is
+    identical whether or not the cache fires.
+    """
+    if not _enabled:
+        return compute()
+
+    def on_hit() -> None:
+        from repro.crypto import counters  # call-time import: see layering note
+
+        if exp:
+            counters.record_exp(exp)
+        if hash:
+            counters.record_hash(hash)
+        if sig:
+            counters.record_sig(sig)
+        if ver:
+            counters.record_ver(ver)
+
+    return memoized(name, key, compute, on_hit=on_hit)
+
+
+def cache_stats() -> dict[str, int]:
+    """Entry counts per verification cache plus the fixed-base table count."""
+    stats = _cache_module.stats()
+    stats["fixed-base-tables"] = _fixed_base_module.table_count()
+    return stats
+
+
+def export_metrics() -> None:
+    """Publish cache sizes as :mod:`repro.obs` gauges (metrics snapshots)."""
+    for name, size in cache_stats().items():
+        obs.gauge_set("perf_cache_size", size, cache=name)
+
+
+def reset() -> None:
+    """Drop every table and cache (tests and benchmarks)."""
+    _cache_module.reset()
+    _fixed_base_module.reset()
+
+
+__all__ = [
+    "FixedBaseTable",
+    "MemoCache",
+    "RepresentationCheck",
+    "cache",
+    "cache_stats",
+    "disabled",
+    "export_metrics",
+    "forced",
+    "fpow",
+    "is_enabled",
+    "is_subgroup_member",
+    "memoized",
+    "multi_exp",
+    "register",
+    "register_fixed_base",
+    "reset",
+    "set_enabled",
+    "table_for",
+    "verify_batch",
+    "verify_memo",
+]

@@ -57,7 +57,23 @@ def test_mul_and_inv(group):
     element = group.exp(group.g, 7)
     assert group.mul(element, group.inv(element)) == 1
     assert group.mul(element, 1) == element
-    assert group.mul() == 1
+
+
+def test_mul_rejects_empty_product(group):
+    with pytest.raises(ValueError):
+        group.mul()
+
+
+def test_validate_memoizes_success(group):
+    group.validate()
+    assert group._validated
+    # A second validation must be a no-op (no Miller-Rabin re-runs); the
+    # memo must not leak onto corrupted copies.
+    group.validate()
+    bad = SchnorrGroup(p=group.p, q=group.q, g=1, g1=group.g1, g2=group.g2)
+    with pytest.raises(ValueError):
+        bad.validate()
+    assert not bad._validated
 
 
 def test_scalar_inverse(group):

@@ -1,0 +1,74 @@
+"""Simultaneous multi-exponentiation equals the product of plain pows."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import test_params as make_test_params
+from repro.perf import fixed_base
+from repro.perf.multiexp import multi_exp
+
+
+@pytest.fixture(scope="module")
+def group():
+    return make_test_params().group
+
+
+def _naive(p, q, pairs):
+    out = 1
+    for base, exponent in pairs:
+        out = out * pow(base, exponent % q, p) % p
+    return out
+
+
+def test_empty_product_raises(group):
+    with pytest.raises(ValueError):
+        multi_exp(group.p, group.q, ())
+
+
+def test_single_pair(group):
+    pairs = ((group.g, 987654321),)
+    assert multi_exp(group.p, group.q, pairs) == _naive(group.p, group.q, pairs)
+
+
+@pytest.mark.parametrize("n_pairs", [2, 3, 5])
+def test_random_products(group, n_pairs):
+    rng = random.Random(1000 + n_pairs)
+    bases = (group.g, group.g1, group.g2, pow(group.g, 31337, group.p), pow(group.g1, 7, group.p))
+    for _ in range(10):
+        pairs = tuple(
+            (bases[rng.randrange(len(bases))], rng.randrange(group.q)) for _ in range(n_pairs)
+        )
+        assert multi_exp(group.p, group.q, pairs) == _naive(group.p, group.q, pairs)
+
+
+def test_edge_exponents(group):
+    pairs = (
+        (group.g, 0),
+        (group.g1, group.q - 1),
+        (group.g2, group.q),
+        (group.g, 5 * group.q + 3),
+    )
+    assert multi_exp(group.p, group.q, pairs) == _naive(group.p, group.q, pairs)
+
+
+def test_uses_fixed_base_tables_when_available(group):
+    """Tabled and untabled evaluation must agree bit for bit."""
+    pairs = ((group.g, 123456789), (group.g1, 987654321))
+    cold = multi_exp(group.p, group.q, pairs)
+    for base in (group.g, group.g1):
+        fixed_base.register(base, group.p, group.q)
+        for _ in range(fixed_base.BUILD_THRESHOLD):
+            fixed_base.touch(base, group.p)
+    assert fixed_base.table_count() == 2
+    assert multi_exp(group.p, group.q, pairs) == cold
+
+
+def test_multi_exp_promotes_candidates(group):
+    """Bases seen only inside multi-exp equations still earn tables."""
+    fixed_base.register(group.g2, group.p, group.q)
+    for _ in range(fixed_base.BUILD_THRESHOLD):
+        multi_exp(group.p, group.q, ((group.g2, 42), (group.g, 7)))
+    assert fixed_base.table_for(group.g2, group.p) is not None

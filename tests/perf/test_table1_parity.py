@@ -1,0 +1,33 @@
+"""Table 1 logical operation counts are invariant under the perf engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.analysis.opcount import measure_table1
+
+
+def _measured(rows):
+    return {(row.protocol, row.party): row.measured for row in rows}
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+def test_table1_matches_paper_either_way(enabled):
+    with perf.forced(enabled):
+        rows = measure_table1()
+    for row in rows:
+        assert row.matches, (
+            f"perf={'on' if enabled else 'off'} {row.protocol}/{row.party}: "
+            f"measured {row.measured}, paper {row.paper}"
+        )
+
+
+def test_counts_identical_across_engine_states_and_warm_caches():
+    with perf.forced(False):
+        naive = _measured(measure_table1())
+    with perf.forced(True):
+        cold = _measured(measure_table1())
+        warm = _measured(measure_table1())  # caches primed by the cold run
+    assert cold == naive
+    assert warm == naive
