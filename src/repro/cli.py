@@ -292,7 +292,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
     mode = "quick" if args.quick else "full"
-    results = bench.run_bench(quick=args.quick, seed=args.seed)
+    results = bench.run_bench(quick=args.quick, seed=args.seed, workers=args.workers)
     print(json.dumps({mode: results}, indent=2, sort_keys=True))
     if args.check:
         from pathlib import Path
@@ -424,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.7,
         help="minimum fraction of the baseline speedup that must hold (default 0.7)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also benchmark the process-pool engine at 1/2/4..N workers "
+        "(adds a 'parallel' section to the results)",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 import itertools
 import random
+import secrets
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -259,13 +260,19 @@ class Broker:
     # they are unlinkable.")
     # ------------------------------------------------------------------
     def begin_batch_withdrawal(
-        self, infos: list[CoinInfo], paid_by: str | None = None
+        self,
+        infos: list[CoinInfo],
+        paid_by: str | None = None,
+        pool: "perf.CryptoPool | None" = None,
     ) -> tuple[int, list[SignerChallenge]]:
         """Open one ticket covering independent signing sessions per coin.
 
         One payment covers the whole batch; every coin still gets its own
         fresh signer nonces (independence is what makes the batch
-        unlinkable).
+        unlinkable). When the parallel engine is available, the per-coin
+        step-1 work (3 ``Exp`` + 1 ``Hash`` each) fans out across pool
+        workers; the secret session nonces come back to — and only ever
+        live in — this process.
 
         Raises:
             ValueError: empty batch or unpublished list version.
@@ -283,10 +290,35 @@ class Broker:
         challenges: list[SignerChallenge] = []
         ticket_id = next(self._ticket_ids)
         batch: list[_WithdrawalTicket] = []
-        for info in infos:
-            challenge, session = self._signer.start(info.hash_parts())
-            challenges.append(challenge)
-            batch.append(_WithdrawalTicket(info=info, session=session, paid_by=payer))
+        pool = pool if pool is not None else perf.shared_pool()
+        if pool is not None and pool.active() and len(infos) > 1:
+            from repro.perf.parallel import replay_ops
+
+            signed = pool.sign_withdrawals(
+                self.params,
+                self._signer.secret,
+                [info.hash_parts() for info in infos],
+                seed=self._draw_seed(),
+            )
+            for info, challenge_out in zip(infos, signed):
+                replay_ops(challenge_out.ops)
+                challenges.append(
+                    SignerChallenge(a=challenge_out.a, b=challenge_out.b)
+                )
+                session = SignerSession(
+                    u=challenge_out.u,
+                    s=challenge_out.s,
+                    d=challenge_out.d,
+                    z=challenge_out.z,
+                )
+                batch.append(
+                    _WithdrawalTicket(info=info, session=session, paid_by=payer)
+                )
+        else:
+            for info in infos:
+                challenge, session = self._signer.start(info.hash_parts())
+                challenges.append(challenge)
+                batch.append(_WithdrawalTicket(info=info, session=session, paid_by=payer))
         self._batch_tickets[ticket_id] = batch
         return ticket_id, challenges
 
@@ -329,7 +361,11 @@ class Broker:
         return self._settle_deposit(merchant_id, signed, now)
 
     def deposit_batch(
-        self, merchant_id: str, items: list[SignedTranscript], now: int
+        self,
+        merchant_id: str,
+        items: list[SignedTranscript],
+        now: int,
+        pool: "perf.CryptoPool | None" = None,
     ) -> list[DepositResult | EcashError]:
         """Clear many transcripts from one merchant in a single pipeline.
 
@@ -343,8 +379,15 @@ class Broker:
         ``Exp`` + 4 ``Hash`` + 1 ``Ver`` on the happy path), and with the
         engine off the method is exactly a loop over :meth:`deposit`.
 
-        Settlement is sequential in input order, so an in-batch repeat of
-        the same coin behaves identically to two separate deposits.
+        When the parallel engine is available (``pool`` given, or the
+        shared :func:`repro.perf.shared_pool` on a multi-core host with
+        ``REPRO_PARALLEL`` on), the verification work fans out across
+        worker processes in chunks — identical checks, identical
+        accept/reject outcomes and culprit naming, with each item's
+        logical operations replayed into this process's counter.
+        Settlement always happens here, sequentially in input order, so
+        an in-batch repeat of the same coin behaves identically to two
+        separate deposits.
 
         Returns:
             Per item, in order: a :class:`DepositResult`, or the
@@ -357,6 +400,31 @@ class Broker:
             for index, signed in enumerate(items):
                 try:
                     results[index] = self.deposit(merchant_id, signed, now)
+                except EcashError as exc:
+                    results[index] = exc
+            return results  # type: ignore[return-value]
+
+        pool = pool if pool is not None else perf.shared_pool()
+        if pool is not None and pool.active() and len(items) > 1:
+            outcomes = pool.run_deposit_checks(
+                self.params,
+                self._signer.secret,
+                {m_id: acct.public_key for m_id, acct in self.merchants.items()},
+                self.tables,
+                merchant_id,
+                items,
+                now,
+                seed=self._draw_seed(),
+            )
+            from repro.perf.parallel import replay_ops
+
+            for index, outcome in enumerate(outcomes):
+                replay_ops(outcome.ops)
+                if outcome.error is not None:
+                    results[index] = outcome.error
+                    continue
+                try:
+                    results[index] = self._settle_deposit(merchant_id, items[index], now)
                 except EcashError as exc:
                     results[index] = exc
             return results  # type: ignore[return-value]
@@ -645,6 +713,12 @@ class Broker:
         expected = table.witness_for(digest)
         if expected.merchant_id != coin.witness_id or expected.range != coin.witness_entry.range:
             raise WrongWitnessError("coin's attached witness entry does not match the table")
+
+    def _draw_seed(self) -> int:
+        """64-bit seed for a pooled batch — deterministic under a seeded RNG."""
+        if self.rng is not None:
+            return self.rng.getrandbits(64)
+        return secrets.randbits(64)
 
     def _credit(self, merchant_id: str, amount: int, source: str) -> None:
         self.ledger.transfer(source, f"revenue:{merchant_id}", amount, memo="coin deposit")

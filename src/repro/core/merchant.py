@@ -11,11 +11,12 @@ later cashes at the broker (Algorithm 3).
 from __future__ import annotations
 
 import random
+import secrets
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import obs, perf
 from repro.core.coin import Coin
-from repro.core.exceptions import DoubleSpendError, InvalidPaymentError
+from repro.core.exceptions import DoubleSpendError, EcashError, InvalidPaymentError
 from repro.core.params import SystemParams
 from repro.core.transcripts import (
     DoubleSpendProof,
@@ -142,6 +143,147 @@ class Merchant:
         self.refused_double_spends.append(proof)
         obs.counter_inc("merchant_double_spend_refusals_total")
         raise DoubleSpendError(proof)
+
+    def verify_payment_bulk(
+        self,
+        items: list[SignedTranscript],
+        now: int,
+        pool: "perf.CryptoPool | None" = None,
+    ) -> list[EcashError | None]:
+        """Audit-grade public verification of many signed transcripts.
+
+        Per item: broker signature on the coin (4 ``Exp`` 2 ``Hash``),
+        spendability, witness-range entry (1 ``Hash`` 1 ``Ver``), witness
+        signature on the transcript (1 ``Ver``) and the representation
+        NIZK (1 ``Hash`` + 3 ``Exp``). Unlike
+        :meth:`verify_payment_request` this does not bind the transcripts
+        to *this* merchant — it is the bulk re-check a depositor, auditor
+        or arbiter runs over a pile of third-party transcripts.
+
+        With the perf engine on, the NIZKs collapse into BGR batch
+        equations (per pool chunk when the parallel engine fans out, one
+        batch otherwise) with exact per-item fallback naming culprits;
+        accept/reject outcomes and logical-op accounting are identical on
+        every path.
+
+        Returns:
+            Per item, in order: ``None`` on success, else the
+            :class:`~repro.core.exceptions.EcashError` it raised.
+        """
+        items = list(items)
+        results: list[EcashError | None] = [None] * len(items)
+        if not perf.is_enabled():
+            from repro.core.transcripts import verify_payment_response
+
+            for index, signed in enumerate(items):
+                try:
+                    self._verify_transcript_structure(signed, now)
+                    verify_payment_response(self.params, signed.transcript)
+                except EcashError as exc:
+                    results[index] = exc
+            return results
+
+        pool = pool if pool is not None else perf.shared_pool()
+        if pool is not None and pool.active() and len(items) > 1:
+            from repro.perf.parallel import replay_ops
+
+            outcomes = pool.run_payment_checks(
+                self.params,
+                self.broker_blind_public,
+                self.broker_sign_public,
+                dict(self.witness_keys),
+                items,
+                now,
+                seed=self._draw_seed(),
+            )
+            for index, outcome in enumerate(outcomes):
+                replay_ops(outcome.ops)
+                results[index] = outcome.error
+            return results
+
+        from repro.crypto import counters
+        from repro.crypto.representation import verify_response
+
+        group = self.params.group
+        checked: list[tuple[int, SignedTranscript, perf.RepresentationCheck]] = []
+        for index, signed in enumerate(items):
+            try:
+                self._verify_transcript_structure(signed, now)
+            except EcashError as exc:
+                results[index] = exc
+                continue
+            transcript = signed.transcript
+            d = transcript.challenge(self.params)
+            counters.record_exp(3)
+            checked.append(
+                (
+                    index,
+                    signed,
+                    perf.RepresentationCheck(
+                        commitment_a=transcript.coin.bare.commitment_a,
+                        commitment_b=transcript.coin.bare.commitment_b,
+                        challenge=d,
+                        r1=transcript.response.r1,
+                        r2=transcript.response.r2,
+                    ),
+                )
+            )
+        if checked and not perf.verify_batch(
+            group.p, group.q, group.g1, group.g2, [c for _, _, c in checked], rng=self.rng
+        ):
+            for index, signed, check in checked:
+                with counters.suppressed():
+                    valid = verify_response(
+                        group,
+                        check.commitment_a,
+                        check.commitment_b,
+                        check.challenge,
+                        signed.transcript.response,
+                    )
+                if not valid:
+                    results[index] = InvalidPaymentError(
+                        "representation proof A*B^d == g1^r1*g2^r2 failed"
+                    )
+        return results
+
+    def _verify_transcript_structure(self, signed: SignedTranscript, now: int) -> None:
+        """The non-NIZK checks of :meth:`verify_payment_bulk` for one item.
+
+        Mirrors the per-item half of the parallel engine's payment chunk
+        (:func:`repro.perf.parallel.run_payment_chunk`) — same checks,
+        same order, same exceptions — so serial and pooled bulk
+        verification agree item for item.
+
+        Raises:
+            InvalidCoinError, ExpiredCoinError, WrongWitnessError,
+            InvalidPaymentError: per failed check.
+        """
+        transcript = signed.transcript
+        coin = transcript.coin
+        coin.ensure_valid_signature(self.params, self.broker_blind_public)
+        coin.ensure_spendable(now)
+        verify_entry_matches(
+            self.params,
+            self.broker_sign_public,
+            coin.witness_entry,
+            coin.digest(self.params),
+            coin.info.list_version,
+        )
+        witness_public = self.witness_keys.get(coin.witness_id)
+        if witness_public is None:
+            raise InvalidPaymentError(
+                f"no verification key for witness {coin.witness_id!r}"
+            )
+        if not signed.verify_witness_signature(self.params, witness_public):
+            raise InvalidPaymentError(
+                "witness signature on transcript failed to verify"
+            )
+
+    def _draw_seed(self) -> int:
+        """64-bit seed for a pooled batch — deterministic under a seeded RNG."""
+        if self.rng is not None:
+            return self.rng.getrandbits(64)
+        return secrets.randbits(64)
 
     def pending_deposits(self) -> list[SignedTranscript]:
         """Signed transcripts accepted but not yet deposited."""

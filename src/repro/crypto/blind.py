@@ -120,6 +120,16 @@ class PartiallyBlindSigner:
         # the system — the single most profitable fixed base after ``g``.
         perf.register_fixed_base(self.public, group.p, group.q)
 
+    @property
+    def secret(self) -> int:
+        """The signing key ``x`` — the holder's own secret.
+
+        Exposed so the broker can ship its key to same-host pool workers
+        (which rebuild an equivalent signer per process); it must never
+        leave the signer's trust domain.
+        """
+        return self._secret
+
     def start(self, info_parts: tuple[HashInput, ...]) -> tuple[SignerChallenge, SignerSession]:
         """Step 1: produce ``(a, b)`` for a withdrawal with public ``info``.
 

@@ -69,6 +69,36 @@ class SchnorrGroup:
         object.__setattr__(self, "_validated", True)
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle the parameters and the validation flag, nothing derived."""
+        return {
+            "p": self.p,
+            "q": self.q,
+            "g": self.g,
+            "g1": self.g1,
+            "g2": self.g2,
+            "_validated": self._validated,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        """Restore and, if validated, re-register the generators.
+
+        The perf engine's fixed-base registry is per-process; a group that
+        crosses a process boundary (pool workers) must re-announce its
+        generators there or every exponentiation in the worker would run
+        the slow path. The expensive primality/order checks are *not*
+        re-run — the flag certifies they passed in the originating
+        process.
+        """
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        if self._validated:
+            for gen in (self.g, self.g1, self.g2):
+                perf.register(gen, self.p, self.q)
+
+    # ------------------------------------------------------------------
     # Group operations
     # ------------------------------------------------------------------
     def exp(self, base: int, exponent: int) -> int:

@@ -19,6 +19,7 @@ required"*. This module implements exactly that wire format:
 from __future__ import annotations
 
 import base64
+from collections.abc import Mapping, Sequence
 from urllib.parse import parse_qsl, quote, urlencode
 
 WireValue = int | str
@@ -192,21 +193,53 @@ def wire_bytes(mapping: dict[str, object]) -> int:
     return len(encode(mapping).encode("ascii"))
 
 
-# Backwards-compatible aliases (the first release of this module used hex).
-int_to_text = int_to_text
-text_to_int = text_to_int
+def pack_batch(
+    prefix: str, items: Sequence[dict[str, object]]
+) -> dict[str, dict[str, object]]:
+    """Frame a sequence of wire mappings as ``{f"{prefix}{i}": item}``.
+
+    The batched RPCs (``withdraw/batch-begin``, ``deposit/batch``, the
+    pipelined deposit stream) all carry their per-item payloads under
+    indexed keys inside one message; this is the single place that index
+    scheme is defined. :func:`batch_indices` is its receiving half.
+    """
+    return {f"{prefix}{index}": dict(item) for index, item in enumerate(items)}
+
+
+def batch_indices(flat: Mapping[str, object], group: str, prefix: str) -> list[int]:
+    """Recover the sorted item indices of a :func:`pack_batch` group.
+
+    Args:
+        flat: a flattened (dotted-key) message mapping.
+        group: the field the batch was nested under (e.g. ``"batch"``).
+        prefix: the per-item key prefix (e.g. ``"t"``).
+
+    Returns:
+        Sorted, de-duplicated integer indices found under
+        ``{group}.{prefix}N`` keys; non-numeric tails are ignored.
+    """
+    lead = f"{group}.{prefix}"
+    found = set()
+    for key in flat:
+        if not key.startswith(lead):
+            continue
+        head = key[len(lead):].split(".", 1)[0]
+        if head.isdigit():
+            found.add(int(head))
+    return sorted(found)
+
 
 __all__ = [
     "KEY_ABBREVIATIONS",
-    "int_to_text",
-    "text_to_int",
-    "int_to_text",
-    "text_to_int",
     "abbreviate_key",
+    "batch_indices",
+    "decode",
+    "encode",
     "expand_key",
     "flatten",
-    "encode",
-    "decode",
+    "int_to_text",
+    "pack_batch",
+    "text_to_int",
     "unflatten",
     "wire_bytes",
 ]

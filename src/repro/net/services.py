@@ -36,7 +36,14 @@ from repro.core.transcripts import (
     WitnessCommitment,
 )
 from repro.crypto.blind import SignerChallenge, SignerResponse
-from repro.crypto.serialize import flatten, int_to_text, text_to_int
+from repro.crypto.serialize import (
+    batch_indices,
+    flatten,
+    int_to_text,
+    pack_batch,
+    text_to_int,
+)
+from repro.perf.pipeline import DepositPipeline
 from repro.net.costmodel import ComputeCostModel, python2006_profile
 from repro.net.latency import LatencyModel, Region, planetlab_us
 from repro.net.node import Network, Node, metered
@@ -110,6 +117,12 @@ class NetworkDeployment:
         #: down for all of them).
         self.witness_breakers: dict[str, CircuitBreaker] = {}
         self._recovery_rng = random.Random(f"recovery:{seed}")
+        #: One bounded deposit queue per streaming merchant; flushes are
+        #: driven entirely by the simulator clock (see
+        #: :meth:`start_deposit_stream`).
+        self.deposit_streams: dict[str, DepositPipeline[SignedTranscript]] = {}
+        #: Per-merchant flush outcomes, appended by every stream flush.
+        self.deposit_stream_results: dict[str, list[dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -198,7 +211,7 @@ class NetworkDeployment:
                 client_name,
                 BROKER_NODE,
                 "withdraw/batch-begin",
-                {"batch": {f"i{k}": info.to_wire() for k, info in enumerate(infos)}},
+                {"batch": pack_batch("i", [info.to_wire() for info in infos])},
             ))
         )
         ticket = _as_int(opened["ticket"])
@@ -350,10 +363,7 @@ class NetworkDeployment:
                 "deposit/batch",
                 {
                     "merchant_id": merchant_id,
-                    "batch": {
-                        f"t{index}": signed.to_wire()
-                        for index, signed in enumerate(pending)
-                    },
+                    "batch": pack_batch("t", [signed.to_wire() for signed in pending]),
                 },
             ))
         )
@@ -375,6 +385,142 @@ class NetworkDeployment:
                         "kind": str(reply.get(f"r{index}.kind", "EcashError")),
                     }
                 )
+        return results
+
+    # ------------------------------------------------------------------
+    # Pipelined deposit streaming
+    # ------------------------------------------------------------------
+    def start_deposit_stream(
+        self,
+        merchant_id: str,
+        max_batch: int = 16,
+        max_age: float | None = 5.0,
+        capacity: int = 256,
+    ) -> DepositPipeline[SignedTranscript]:
+        """Open (or return) the merchant's streaming deposit queue.
+
+        Accepted transcripts offered via :meth:`stream_deposit` accumulate
+        here and flush into ``deposit/batch`` RPCs when the queue reaches
+        ``max_batch`` items or its oldest item has waited ``max_age``
+        simulated seconds. Both watermarks are evaluated on the simulator
+        clock — there is no wall-time timer to race the fault injector.
+        """
+        pipeline = self.deposit_streams.get(merchant_id)
+        if pipeline is None:
+            pipeline = DepositPipeline(
+                max_batch=max_batch,
+                max_age=max_age,
+                capacity=capacity,
+                name=f"deposit:{merchant_id}",
+            )
+            self.deposit_streams[merchant_id] = pipeline
+            self.deposit_stream_results.setdefault(merchant_id, [])
+        return pipeline
+
+    def stream_deposit(self, merchant_id: str, signed: SignedTranscript) -> None:
+        """Offer one accepted transcript to the merchant's deposit stream.
+
+        Flushes immediately when the size watermark trips; otherwise
+        schedules a flush check at the moment the item's age watermark
+        would trip (a simulator event, so scenarios stay deterministic).
+
+        Raises:
+            KeyError: no stream opened for this merchant.
+            repro.perf.pipeline.PipelineFullError: the queue is at
+                capacity — the caller must let a flush drain it first.
+        """
+        pipeline = self.deposit_streams[merchant_id]
+        pipeline.offer(signed, self.sim.now)
+        if pipeline.ready(self.sim.now):
+            self.sim.spawn(self._stream_flush_process(merchant_id))
+            return
+        deadline = pipeline.next_deadline()
+        if deadline is not None:
+            self.sim.schedule(
+                max(deadline - self.sim.now, 0.0), self._flush_if_due, merchant_id
+            )
+
+    def flush_deposit_stream(
+        self, merchant_id: str
+    ) -> Generator[Any, Any, list[dict[str, Any]]]:
+        """Force-drain the merchant's stream (end-of-scenario settlement)."""
+        return self._traced(
+            "net.deposit_stream_flush",
+            self._stream_flush_steps(merchant_id, drain_all=True),
+            merchant=merchant_id,
+        )
+
+    def _flush_if_due(self, merchant_id: str) -> None:
+        """Simulator callback: flush when the age watermark has tripped.
+
+        Re-arms itself when the queue holds items whose deadline has not
+        tripped yet — including the rounding case where the event fires a
+        float ulp *before* the deadline it was scheduled for.
+        """
+        pipeline = self.deposit_streams.get(merchant_id)
+        if pipeline is None or not len(pipeline):
+            return
+        if pipeline.ready(self.sim.now):
+            self.sim.spawn(self._stream_flush_process(merchant_id))
+            return
+        deadline = pipeline.next_deadline()
+        if deadline is not None:
+            self.sim.schedule(
+                max(deadline - self.sim.now, 1e-9), self._flush_if_due, merchant_id
+            )
+
+    def _stream_flush_process(
+        self, merchant_id: str
+    ) -> Generator[Any, Any, list[dict[str, Any]]]:
+        return self._traced(
+            "net.deposit_stream_flush",
+            self._stream_flush_steps(merchant_id),
+            merchant=merchant_id,
+        )
+
+    def _stream_flush_steps(
+        self, merchant_id: str, drain_all: bool = False
+    ) -> Generator[Any, Any, list[dict[str, Any]]]:
+        merchant = self.system.merchant(merchant_id)
+        pipeline = self.deposit_streams[merchant_id]
+        results: list[dict[str, Any]] = []
+        while True:
+            items = pipeline.drain_all() if drain_all else pipeline.drain()
+            if not items:
+                break
+            reply = flatten(
+                (yield self.network.rpc(
+                    merchant_id,
+                    BROKER_NODE,
+                    "deposit/batch",
+                    {
+                        "merchant_id": merchant_id,
+                        "batch": pack_batch(
+                            "t", [signed.to_wire() for signed in items]
+                        ),
+                    },
+                ))
+            )
+            for index, signed in enumerate(items):
+                outcome = reply.get(f"r{index}.outcome")
+                if outcome is not None:
+                    merchant.mark_deposited(signed)
+                    results.append(
+                        {
+                            "outcome": str(outcome),
+                            "amount": _as_int(reply[f"r{index}.amount"]),
+                        }
+                    )
+                else:
+                    results.append(
+                        {
+                            "error": str(reply.get(f"r{index}.error", "unknown")),
+                            "kind": str(reply.get(f"r{index}.kind", "EcashError")),
+                        }
+                    )
+            if not drain_all and not pipeline.ready(self.sim.now):
+                break
+        self.deposit_stream_results.setdefault(merchant_id, []).extend(results)
         return results
 
     def renewal_process(
@@ -610,13 +756,7 @@ class NetworkDeployment:
 
         def deposit_batch(payload: dict[str, Any]) -> dict[str, Any]:
             flat = flatten(payload)
-            indices = sorted(
-                {
-                    int(key.split(".", 2)[1][1:])
-                    for key in flat
-                    if key.startswith("batch.t")
-                }
-            )
+            indices = batch_indices(flat, "batch", "t")
             signed_items = [
                 SignedTranscript.from_wire(_strip(flat, f"batch.t{index}."))
                 for index in indices
@@ -640,9 +780,7 @@ class NetworkDeployment:
 
         def withdraw_batch_begin(payload: dict[str, Any]) -> dict[str, Any]:
             flat = flatten(payload)
-            indices = sorted(
-                {int(key.split(".")[1][1:]) for key in flat if key.startswith("batch.i")}
-            )
+            indices = batch_indices(flat, "batch", "i")
             infos = [
                 CoinInfo.from_wire(_strip(flat, f"batch.i{index}.")) for index in indices
             ]

@@ -76,6 +76,19 @@ class FixedBaseTable:
                 block_base = block_base * block_base % p
         self._blocks = blocks
 
+    def __getstate__(self) -> tuple[int, int, int, int]:
+        """Pickle only the defining tuple; the blocks are recomputed.
+
+        The block matrix is megabytes of derived state — shipping it to
+        pool workers would dwarf the task payloads it accelerates, so
+        unpickling rebuilds it from ``(base, p, q, window)`` instead.
+        """
+        return (self.base, self.p, self.q, self.window)
+
+    def __setstate__(self, state: tuple[int, int, int, int]) -> None:
+        base, p, q, window = state
+        self.__init__(base, p, q, window)
+
     def pow(self, exponent: int) -> int:
         """Return ``base^(exponent mod q) mod p`` via table lookups."""
         e = exponent % self.q
@@ -165,6 +178,26 @@ def fpow(base: int, exponent: int, p: int, q: int) -> int:
     return pow(base, exponent % q, p)
 
 
+def build(base: int, p: int, q: int) -> FixedBaseTable:
+    """Build (or fetch) the table for ``(base, p, q)`` immediately.
+
+    Bypasses the :data:`BUILD_THRESHOLD` promotion dance — pool workers
+    call this from their initializer so the long-lived bases are warm
+    before the first chunk arrives.
+    """
+    key = (base % p, p)
+    table = _tables.get(key)
+    if table is None:
+        _candidates.pop(key, None)
+        table = FixedBaseTable(base, p, q)
+        _tables[key] = table
+        while len(_tables) > MAX_TABLES:
+            _tables.popitem(last=False)
+    else:
+        _tables.move_to_end(key)
+    return table
+
+
 def table_count() -> int:
     """Number of built tables currently held."""
     return len(_tables)
@@ -181,6 +214,7 @@ __all__ = [
     "MAX_CANDIDATES",
     "MAX_TABLES",
     "FixedBaseTable",
+    "build",
     "fpow",
     "register",
     "reset",

@@ -1,0 +1,127 @@
+"""Pipelined deposit streaming: bounded queues with size/age watermarks.
+
+Merchants in the paper deposit coins "at the end of the day"; the
+networked deployment instead *streams* them — each accepted coin enters a
+bounded queue which is flushed into one pool-backed ``deposit/batch`` RPC
+when either watermark trips: the queue holds :attr:`~DepositPipeline.max_batch`
+items (size) or its oldest item has waited :attr:`~DepositPipeline.max_age`
+ticks (age). Batching keeps the broker's BGR batch verifier fed with full
+chunks; the age watermark bounds how long a coin's settlement can lag.
+
+The pipeline itself is deliberately **passive and clock-free**: every
+method takes ``now`` explicitly and nothing here reads wall time or
+schedules callbacks. The driver — :mod:`repro.net.services` — advances it
+from the simulator clock, which is what keeps fault filters and invariant
+checks in :mod:`repro.faults` deterministic when the parallel engine is
+on: a flush can only happen at a simulated instant, never from a
+real-time timer racing the scenario.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+#: Default size watermark — matches the parallel engine's chunk size so a
+#: flush tends to fill worker tasks exactly.
+DEFAULT_MAX_BATCH = 16
+
+
+class PipelineFullError(Exception):
+    """Raised when offering to a pipeline whose bound is already reached."""
+
+
+@dataclass
+class DepositPipeline(Generic[T]):
+    """A bounded FIFO of pending deposits with flush watermarks.
+
+    Args:
+        max_batch: size watermark; :meth:`ready` trips at this depth and
+            :meth:`drain` returns at most this many items per call.
+        max_age: age watermark in clock ticks; ``None`` disables it.
+        capacity: hard bound on queued items (back-pressure).
+        name: label for the queue-depth gauge (one gauge per stream).
+    """
+
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_age: float | None = None
+    capacity: int = 256
+    name: str = "deposit"
+    _items: deque[tuple[float, T]] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.capacity < self.max_batch:
+            raise ValueError("capacity must be at least max_batch")
+        if self.max_age is not None and self.max_age < 0:
+            raise ValueError("max_age must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: T, now: float) -> int:
+        """Enqueue ``item`` at clock time ``now``; returns the new depth.
+
+        Raises:
+            PipelineFullError: the queue already holds ``capacity`` items
+                — the caller must flush (or shed) before offering more.
+        """
+        if len(self._items) >= self.capacity:
+            raise PipelineFullError(
+                f"{self.name} pipeline at capacity ({self.capacity})"
+            )
+        self._items.append((now, item))
+        depth = len(self._items)
+        obs.gauge_set("pipeline_queue_depth", depth, stream=self.name)
+        return depth
+
+    def oldest_age(self, now: float) -> float | None:
+        """Age of the head item at clock time ``now`` (``None`` if empty)."""
+        if not self._items:
+            return None
+        return now - self._items[0][0]
+
+    def ready(self, now: float) -> bool:
+        """Whether a watermark has tripped and a flush is due."""
+        if len(self._items) >= self.max_batch:
+            return True
+        if self.max_age is not None:
+            age = self.oldest_age(now)
+            if age is not None and age >= self.max_age:
+                return True
+        return False
+
+    def next_deadline(self) -> float | None:
+        """Clock time at which the head item's age watermark trips.
+
+        ``None`` when the queue is empty or the age watermark is off; the
+        driver schedules its next flush check at this instant.
+        """
+        if self.max_age is None or not self._items:
+            return None
+        return self._items[0][0] + self.max_age
+
+    def drain(self, limit: int | None = None) -> list[T]:
+        """Pop up to ``limit`` items (default ``max_batch``), oldest first."""
+        take = self.max_batch if limit is None else limit
+        out: list[T] = []
+        while self._items and len(out) < take:
+            out.append(self._items.popleft()[1])
+        obs.gauge_set("pipeline_queue_depth", len(self._items), stream=self.name)
+        if out:
+            obs.counter_inc("pipeline_flushes_total", stream=self.name)
+            obs.observe("pipeline_flush_size", len(out), stream=self.name)
+        return out
+
+    def drain_all(self) -> list[T]:
+        """Pop every queued item (end-of-scenario settlement)."""
+        return self.drain(limit=len(self._items))
+
+
+__all__ = ["DEFAULT_MAX_BATCH", "DepositPipeline", "PipelineFullError"]

@@ -1,0 +1,186 @@
+"""Offline precomputation banks for the client's online critical path.
+
+Withdrawal is the client's most expensive protocol round: 8 ``Exp`` + 2
+``Hash`` before the blinded challenge can even be sent (construct the
+coin commitments ``A``/``B``, then blind the broker's ``(a, b)``). All
+but one hash of that work is independent of the broker's fresh
+commitments: the coin secrets and ``A``/``B``, the blinding scalars
+``t1..t4``, the info hash ``z = F(info)``, and the two *blinding factors*
+
+    ``alpha_factor = g^t1 * y^t2``        ``beta_factor = g^t3 * z^t4``
+
+can all be computed ahead of time. :class:`PrecomputePool` banks these
+tuples during idle time; :meth:`repro.core.client.Client.begin_withdrawal`
+drains the bank and finishes online with two modular multiplications and
+one hash::
+
+    alpha = a * alpha_factor    beta = b * beta_factor
+    e = H(alpha, beta, z, A, B) - t2 - t4   (mod q)
+
+Table 1 accounting is preserved exactly: filling the bank runs under
+:func:`repro.crypto.counters.suppressed` (offline work), and the drain
+path *declares* the serial path's 8 ``Exp`` + 2 ``Hash`` — so the
+logical cost of a withdrawal is identical whether or not the bank fired,
+only the wall-clock moment the physical work happens moves.
+
+The pool also banks 128-bit payment salts (the only randomness the
+payment protocol's client side draws), drained by
+:meth:`~repro.core.client.Client.prepare_commitment_request`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.info import CoinInfo
+    from repro.core.params import SystemParams
+    from repro.crypto.representation import RepresentationPair
+
+#: Bank key: a coin's public ``info.hash_parts()`` tuple.
+InfoKey = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class WithdrawalPrecomp:
+    """One banked withdrawal: coin secrets plus the blinding tuple.
+
+    Everything the client needs to answer a broker challenge ``(a, b)``
+    for a coin with this ``info``, short of the one hash that binds the
+    broker's fresh commitments.
+    """
+
+    secrets: "RepresentationPair"
+    commitment_a: int
+    commitment_b: int
+    z: int
+    t1: int
+    t2: int
+    t3: int
+    t4: int
+    alpha_factor: int
+    beta_factor: int
+
+
+@dataclass
+class PrecomputePool:
+    """An offline bank of withdrawal tuples and payment salts.
+
+    Args:
+        params: system parameters.
+        broker_blind_public: the broker's blind-signature key ``y`` (the
+            base of ``alpha_factor``'s second term).
+        rng: optional deterministic randomness source (tests).
+
+    Banked entries are keyed by the coin's public ``info`` (denomination,
+    list version, expiry dates) because ``z = F(info)`` and the beta
+    blinding factor depend on it; salts are info-independent.
+    """
+
+    params: "SystemParams"
+    broker_blind_public: int
+    rng: random.Random | None = None
+    _withdrawals: dict[InfoKey, deque[WithdrawalPrecomp]] = field(
+        default_factory=dict, repr=False
+    )
+    _salts: deque[int] = field(default_factory=deque, repr=False)
+
+    # -- filling (offline) ---------------------------------------------
+
+    def fill(self, info: "CoinInfo", count: int = 1) -> int:
+        """Bank ``count`` withdrawal tuples for coins with this ``info``.
+
+        Runs the 8 ``Exp`` + 1 ``Hash`` of offline work per tuple under
+        suppressed counters — the cost is declared later, by the drain.
+        Returns the bank level for this ``info`` after filling.
+        """
+        from repro.crypto import counters
+        from repro.crypto.numbers import random_scalar
+        from repro.crypto.representation import RepresentationPair
+
+        group = self.params.group
+        key = info.hash_parts()
+        bank = self._withdrawals.setdefault(key, deque())
+        with counters.suppressed():
+            z = self.params.hashes.F(*key)
+            for _ in range(count):
+                secrets = RepresentationPair.generate(group, self.rng)
+                commitment_a, commitment_b = secrets.commitments(group)
+                t1 = random_scalar(group.q, self.rng)
+                t2 = random_scalar(group.q, self.rng)
+                t3 = random_scalar(group.q, self.rng)
+                t4 = random_scalar(group.q, self.rng)
+                alpha_factor = group.commit2(
+                    group.g, t1, self.broker_blind_public, t2
+                )
+                beta_factor = group.commit2(group.g, t3, z, t4)
+                bank.append(
+                    WithdrawalPrecomp(
+                        secrets=secrets,
+                        commitment_a=commitment_a,
+                        commitment_b=commitment_b,
+                        z=z,
+                        t1=t1,
+                        t2=t2,
+                        t3=t3,
+                        t4=t4,
+                        alpha_factor=alpha_factor,
+                        beta_factor=beta_factor,
+                    )
+                )
+        self._publish_level()
+        return len(bank)
+
+    def fill_payment_salts(self, count: int = 1) -> int:
+        """Bank ``count`` fresh 128-bit payment salts; returns the level."""
+        from repro.crypto.numbers import random_bits
+
+        for _ in range(count):
+            self._salts.append(random_bits(128, self.rng))
+        self._publish_level()
+        return len(self._salts)
+
+    # -- draining (online) ---------------------------------------------
+
+    def take(self, info: "CoinInfo") -> WithdrawalPrecomp | None:
+        """Pop a banked tuple for this ``info``, oldest first, or ``None``."""
+        bank = self._withdrawals.get(info.hash_parts())
+        if not bank:
+            return None
+        entry = bank.popleft()
+        obs.counter_inc("precompute_bank_hits_total", kind="withdrawal")
+        self._publish_level()
+        return entry
+
+    def take_payment_salt(self) -> int | None:
+        """Pop a banked payment salt, or ``None`` when the bank is dry."""
+        if not self._salts:
+            return None
+        salt = self._salts.popleft()
+        obs.counter_inc("precompute_bank_hits_total", kind="payment-salt")
+        self._publish_level()
+        return salt
+
+    # -- introspection --------------------------------------------------
+
+    def level(self, info: "CoinInfo | None" = None) -> int:
+        """Banked withdrawal tuples — for one ``info`` or in total."""
+        if info is not None:
+            return len(self._withdrawals.get(info.hash_parts(), ()))
+        return sum(len(bank) for bank in self._withdrawals.values())
+
+    def salt_level(self) -> int:
+        """Banked payment salts."""
+        return len(self._salts)
+
+    def _publish_level(self) -> None:
+        obs.gauge_set("precompute_bank_level", self.level(), kind="withdrawal")
+        obs.gauge_set("precompute_bank_level", len(self._salts), kind="payment-salt")
+
+
+__all__ = ["InfoKey", "PrecomputePool", "WithdrawalPrecomp"]

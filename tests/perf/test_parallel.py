@@ -1,0 +1,237 @@
+"""Parity suite: the pool-backed bulk paths versus the serial engine.
+
+The contract under test is exact equivalence: for any batch, any seed and
+any worker count, :meth:`Broker.deposit_batch` and
+:meth:`Merchant.verify_payment_bulk` routed through a
+:class:`~repro.perf.parallel.CryptoPool` must produce the same
+accept/reject sets, the same culprit errors and the same Table 1 logical
+op counts as the serial engine-on paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import perf
+from repro.core.broker import DepositResult
+from repro.core.exceptions import EcashError, InvalidPaymentError
+from repro.core.protocols import run_payment, run_withdrawal
+from repro.core.system import EcashSystem
+from repro.core.transcripts import SignedTranscript
+from repro.crypto.counters import OpCounter, counting
+from repro.crypto.representation import RepresentationResponse
+from repro.perf.parallel import CryptoPool, set_parallel_enabled
+
+from tests.conftest import MERCHANTS
+
+MERCHANT = "alice-books"
+NOW = 5
+
+
+@pytest.fixture(autouse=True)
+def parallel_on():
+    """Force the parallel switch on so explicit pools activate anywhere."""
+    set_parallel_enabled(True)
+    yield
+    set_parallel_enabled(True)
+
+
+@pytest.fixture(scope="module")
+def pool(params):
+    """One long-lived two-worker pool shared by the module's tests.
+
+    Reusing the executor keeps the suite fast: worker start-up (and the
+    comb-table warm-up in the initializer) happens once, as it would in a
+    real broker process.
+    """
+    with CryptoPool(max_workers=2, chunk_size=2) as shared:
+        yield shared
+
+
+def _fresh_system(params, seed: int = 777) -> EcashSystem:
+    return EcashSystem(merchant_ids=MERCHANTS, params=params, seed=seed)
+
+
+def _paid_transcripts(system: EcashSystem, count: int) -> list[SignedTranscript]:
+    client = system.new_client()
+    out: list[SignedTranscript] = []
+    while len(out) < count:
+        stored = run_withdrawal(client, system.broker, system.standard_info(50, NOW))
+        if stored.coin.witness_id == MERCHANT:
+            continue
+        out.append(
+            run_payment(
+                client, stored, system.merchant(MERCHANT), system.witness_of(stored), NOW
+            )
+        )
+    return out
+
+
+def _poison(system: EcashSystem, signed: SignedTranscript) -> SignedTranscript:
+    """Corrupt the representation response but re-sign as the witness."""
+    q = system.params.group.q
+    transcript = signed.transcript
+    bad = replace(
+        transcript,
+        response=RepresentationResponse(
+            r1=(transcript.response.r1 + 1) % q, r2=transcript.response.r2
+        ),
+    )
+    witness_key = system.witness(transcript.coin.witness_id).keypair
+    return SignedTranscript(
+        transcript=bad, witness_signature=witness_key.sign(*bad.hash_parts())
+    )
+
+
+def _shape(results: list) -> list[tuple[type, str] | str]:
+    """Comparable verdict per item: OK, or (error type, message)."""
+    out: list[tuple[type, str] | str] = []
+    for item in results:
+        if item is None or isinstance(item, DepositResult):
+            out.append("ok")
+        else:
+            out.append((type(item), str(item)))
+    return out
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_deposit_batch_pooled_matches_serial(params, pool, seed):
+    serial_system = _fresh_system(params, seed)
+    serial_items = _paid_transcripts(serial_system, 5)
+    pooled_system = _fresh_system(params, seed)
+    pooled_items = _paid_transcripts(pooled_system, 5)
+    with counting(OpCounter()) as serial_counter:
+        serial = serial_system.broker.deposit_batch(MERCHANT, serial_items, NOW)
+    with counting(OpCounter()) as pooled_counter:
+        pooled = pooled_system.broker.deposit_batch(
+            MERCHANT, pooled_items, NOW, pool=pool
+        )
+    assert _shape(pooled) == _shape(serial)
+    assert pooled_counter.snapshot() == serial_counter.snapshot()
+    assert pooled_system.broker.merchant_balance(
+        MERCHANT
+    ) == serial_system.broker.merchant_balance(MERCHANT)
+
+
+@pytest.mark.parametrize("position", range(5))
+def test_poisoned_deposit_is_named_in_every_chunk_position(params, pool, position):
+    """chunk_size=2 over 5 items puts ``position`` in every chunk slot."""
+    serial_system = _fresh_system(params)
+    serial_items = _paid_transcripts(serial_system, 5)
+    serial_items[position] = _poison(serial_system, serial_items[position])
+    pooled_system = _fresh_system(params)
+    pooled_items = _paid_transcripts(pooled_system, 5)
+    pooled_items[position] = _poison(pooled_system, pooled_items[position])
+    with counting(OpCounter()) as serial_counter:
+        serial = serial_system.broker.deposit_batch(MERCHANT, serial_items, NOW)
+    with counting(OpCounter()) as pooled_counter:
+        pooled = pooled_system.broker.deposit_batch(
+            MERCHANT, pooled_items, NOW, pool=pool
+        )
+    assert isinstance(pooled[position], InvalidPaymentError)
+    assert _shape(pooled) == _shape(serial)
+    assert pooled_counter.snapshot() == serial_counter.snapshot()
+    assert pooled_system.broker.merchant_balance(MERCHANT) == 200
+
+
+@pytest.mark.parametrize("position", range(4))
+def test_poisoned_payment_is_named_in_every_chunk_position(params, pool, position):
+    system = _fresh_system(params)
+    items = _paid_transcripts(system, 4)
+    items[position] = _poison(system, items[position])
+    merchant = system.merchant(MERCHANT)
+    with counting(OpCounter()) as serial_counter:
+        serial = merchant.verify_payment_bulk(items, NOW)
+    with counting(OpCounter()) as pooled_counter:
+        pooled = merchant.verify_payment_bulk(items, NOW, pool=pool)
+    assert _shape(pooled) == _shape(serial)
+    assert isinstance(pooled[position], InvalidPaymentError)
+    assert [item is None for item in pooled].count(True) == 3
+    assert pooled_counter.snapshot() == serial_counter.snapshot()
+
+
+def test_payment_bulk_pooled_matches_serial_and_naive(params, pool):
+    system = _fresh_system(params)
+    items = _paid_transcripts(system, 4)
+    merchant = system.merchant(MERCHANT)
+    with counting(OpCounter()) as serial_counter:
+        serial = merchant.verify_payment_bulk(items, NOW)
+    pooled = merchant.verify_payment_bulk(items, NOW, pool=pool)
+    with perf.forced(False):
+        naive = merchant.verify_payment_bulk(items, NOW)
+    assert serial == [None] * 4
+    assert _shape(pooled) == _shape(serial) == _shape(naive)
+    with counting(OpCounter()) as pooled_counter:
+        merchant.verify_payment_bulk(items, NOW, pool=pool)
+    assert pooled_counter.snapshot() == serial_counter.snapshot()
+
+
+def test_outcomes_do_not_depend_on_worker_count(params):
+    """Same chunk_size, different worker counts: identical outcomes.
+
+    The chunk partition and per-chunk BGR seeds derive only from the
+    batch seed and chunk size, so fan-out width cannot change verdicts.
+    """
+    verdicts = []
+    for workers in (1, 3):
+        system = _fresh_system(params, seed=55)
+        items = _paid_transcripts(system, 5)
+        items[2] = _poison(system, items[2])
+        with CryptoPool(max_workers=workers, chunk_size=2) as pool:
+            verdicts.append(
+                _shape(system.broker.deposit_batch(MERCHANT, items, NOW, pool=pool))
+            )
+    assert verdicts[0] == verdicts[1]
+    assert isinstance(verdicts[0][2], tuple)
+
+
+def test_parallel_off_switch_keeps_results_identical(params, pool):
+    from repro.perf.parallel import parallel_disabled
+
+    off_system = _fresh_system(params, seed=9)
+    off_items = _paid_transcripts(off_system, 4)
+    on_system = _fresh_system(params, seed=9)
+    on_items = _paid_transcripts(on_system, 4)
+    with parallel_disabled():
+        with counting(OpCounter()) as off_counter:
+            off = off_system.broker.deposit_batch(MERCHANT, off_items, NOW, pool=pool)
+    with counting(OpCounter()) as on_counter:
+        on = on_system.broker.deposit_batch(MERCHANT, on_items, NOW, pool=pool)
+    assert _shape(on) == _shape(off)
+    assert on_counter.snapshot() == off_counter.snapshot()
+
+
+def test_pooled_batch_withdrawal_yields_valid_coins(params, pool):
+    system = _fresh_system(params, seed=31)
+    client = system.new_client()
+    infos = [system.standard_info(50, NOW) for _ in range(3)]
+    with counting(OpCounter()) as counter:
+        ticket, challenges = system.broker.begin_batch_withdrawal(infos, pool=pool)
+        sessions = [
+            client.begin_withdrawal(info, challenge)
+            for info, challenge in zip(infos, challenges)
+        ]
+        responses = system.broker.complete_batch_withdrawal(
+            ticket, [session.e for session in sessions]
+        )
+        coins = [
+            client.finish_withdrawal(session, response, system.broker.tables[1])
+            for session, response in zip(sessions, responses)
+        ]
+    assert len(coins) == 3
+    # 3x the full-protocol withdrawal row of Table 1: (15, 5, 0, 1) each.
+    assert counter.snapshot() == (45, 15, 0, 3)
+    for stored in coins:
+        merchant = system.merchant(MERCHANT)
+        run_payment(client, stored, merchant, system.witness_of(stored), NOW)
+
+
+def test_chunk_helpers_cover_edges():
+    pool = CryptoPool(max_workers=2, chunk_size=3)
+    assert pool._chunks(0) == []
+    assert pool._chunks(3) == [(0, 3)]
+    assert pool._chunks(7) == [(0, 3), (3, 6), (6, 7)]
+    with pytest.raises(ValueError):
+        CryptoPool(chunk_size=0)

@@ -1,0 +1,96 @@
+"""Pickle round-trips for everything the process pool ships to workers.
+
+The parallel engine depends on group parameters, key material, comb
+tables and whole signed transcripts surviving ``pickle`` by value. These
+are regression tests for the custom ``__getstate__``/``__setstate__``
+hooks (validated groups re-register their generators; comb tables rebuild
+their block matrix instead of pickling megabytes of derived state).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro import perf
+from repro.core.protocols import run_payment, run_withdrawal
+from repro.core.system import EcashSystem
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.perf import fixed_base
+
+from tests.conftest import MERCHANTS
+
+
+def test_schnorr_group_round_trips_validated(params):
+    group = params.group
+    clone = pickle.loads(pickle.dumps(group))
+    assert clone == group
+    assert (clone.p, clone.q, clone.g, clone.g1, clone.g2) == (
+        group.p,
+        group.q,
+        group.g,
+        group.g1,
+        group.g2,
+    )
+    # The validated flag survives, so the copy never re-pays the
+    # primality and subgroup checks.
+    clone.validate()
+    assert clone.exp(clone.g, 12345) == group.exp(group.g, 12345)
+
+
+def test_unvalidated_group_does_not_gain_validation_by_pickling():
+    group = SchnorrGroup(p=23, q=11, g=2, g1=4, g2=8)
+    clone = pickle.loads(pickle.dumps(group))
+    assert clone == group
+    assert not clone._validated
+
+
+def test_keypair_round_trips_and_still_signs(params):
+    keypair = SchnorrKeyPair.generate(params.group, rng=random.Random(7))
+    clone = pickle.loads(pickle.dumps(keypair))
+    assert clone.public == keypair.public
+    signature = clone.sign("pickled", 42, rng=random.Random(9))
+    assert keypair.verify(signature, "pickled", 42)
+
+
+def test_signed_transcript_round_trips_and_verifies(params):
+    system = EcashSystem(merchant_ids=MERCHANTS, params=params, seed=60)
+    client = system.new_client()
+    stored = run_withdrawal(client, system.broker, system.standard_info(50, 0))
+    merchant_id = next(m for m in MERCHANTS if m != stored.coin.witness_id)
+    signed = run_payment(
+        client, stored, system.merchant(merchant_id), system.witness_of(stored), 0
+    )
+    clone = pickle.loads(pickle.dumps(signed))
+    assert clone == signed
+    witness_public = system.merchant(clone.transcript.coin.witness_id).public_key
+    assert clone.verify_witness_signature(params, witness_public)
+    results = system.merchant(merchant_id).verify_payment_bulk([clone], now=0)
+    assert results == [None]
+
+
+def test_fixed_base_table_rebuilds_blocks(params):
+    group = params.group
+    table = fixed_base.build(group.g, group.p, group.q)
+    blob = pickle.dumps(table)
+    # The pickle must carry the four defining ints, not the block matrix.
+    assert len(blob) < 4096
+    clone = pickle.loads(blob)
+    for exponent in (1, 2, group.q - 1, 123456789):
+        assert clone.pow(exponent) == table.pow(exponent)
+
+
+def test_params_round_trip_supports_full_protocol(params):
+    clone_params = pickle.loads(pickle.dumps(params))
+    system = EcashSystem(merchant_ids=MERCHANTS, params=clone_params, seed=61)
+    client = system.new_client()
+    stored = run_withdrawal(client, system.broker, system.standard_info(25, 0))
+    merchant_id = next(m for m in MERCHANTS if m != stored.coin.witness_id)
+    signed = run_payment(
+        client, stored, system.merchant(merchant_id), system.witness_of(stored), 0
+    )
+    result = system.broker.deposit(merchant_id, signed, now=0)
+    assert result.amount == 25

@@ -1,0 +1,71 @@
+"""The bounded deposit pipeline: watermarks, capacity, drains.
+
+The pipeline is deliberately passive — it never reads a wall clock; the
+caller supplies ``now`` (the simulator clock in deployments), which keeps
+flush behaviour deterministic under simulated time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.pipeline import DepositPipeline, PipelineFullError
+
+
+def test_size_watermark_triggers_ready():
+    pipeline = DepositPipeline(max_batch=3, max_age=10.0)
+    for index in range(2):
+        pipeline.offer(f"t{index}", now=float(index))
+        assert not pipeline.ready(now=float(index))
+    pipeline.offer("t2", now=2.0)
+    assert pipeline.ready(now=2.0)
+    assert pipeline.drain() == ["t0", "t1", "t2"]
+    assert not pipeline.ready(now=2.0)
+
+
+def test_age_watermark_triggers_ready():
+    pipeline = DepositPipeline(max_batch=100, max_age=5.0)
+    pipeline.offer("old", now=0.0)
+    assert not pipeline.ready(now=4.9)
+    assert pipeline.oldest_age(now=4.9) == pytest.approx(4.9)
+    assert pipeline.ready(now=5.0)
+    assert pipeline.next_deadline() == pytest.approx(5.0)
+
+
+def test_no_age_watermark_means_size_only():
+    pipeline = DepositPipeline(max_batch=2, max_age=None)
+    pipeline.offer("a", now=0.0)
+    assert not pipeline.ready(now=10_000.0)
+    assert pipeline.next_deadline() is None
+    pipeline.offer("b", now=10_000.0)
+    assert pipeline.ready(now=10_000.0)
+
+
+def test_capacity_bound_is_enforced():
+    pipeline = DepositPipeline(max_batch=2, capacity=3)
+    for index in range(3):
+        pipeline.offer(index, now=0.0)
+    with pytest.raises(PipelineFullError):
+        pipeline.offer(3, now=0.0)
+    assert pipeline.drain() == [0, 1]
+    pipeline.offer(3, now=1.0)  # room again after draining
+
+
+def test_drain_respects_batch_size_and_order():
+    pipeline = DepositPipeline(max_batch=2)
+    for index in range(5):
+        pipeline.offer(index, now=float(index))
+    assert pipeline.drain() == [0, 1]
+    assert pipeline.drain(limit=1) == [2]
+    assert pipeline.drain_all() == [3, 4]
+    assert pipeline.drain() == []
+    assert len(pipeline) == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DepositPipeline(max_batch=0)
+    with pytest.raises(ValueError):
+        DepositPipeline(max_batch=4, capacity=2)
+    with pytest.raises(ValueError):
+        DepositPipeline(max_age=-1.0)

@@ -1,0 +1,121 @@
+"""The client-side precompute bank: offline tuples, online drain parity.
+
+The bank front-loads the withdrawal blinding work (commitments, blinding
+factors) and the payment salts into an offline phase; the online drain
+must produce coins indistinguishable from the direct path and charge the
+paper's full withdrawal row to Table 1 regardless.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.protocols import run_payment, run_withdrawal
+from repro.core.system import EcashSystem
+from repro.crypto.counters import OpCounter, counting
+from repro.perf.precompute import PrecomputePool
+
+from tests.conftest import MERCHANTS
+
+NOW = 0
+
+
+def _system(params, seed: int = 42) -> EcashSystem:
+    return EcashSystem(merchant_ids=MERCHANTS, params=params, seed=seed)
+
+
+def _banked_client(system: EcashSystem):
+    client = system.new_client()
+    client.precompute = PrecomputePool(
+        params=system.params,
+        broker_blind_public=system.broker.blind_public,
+        rng=random.Random(2024),
+    )
+    return client
+
+
+def test_fill_and_take_per_info(params):
+    system = _system(params)
+    client = _banked_client(system)
+    info = system.standard_info(50, NOW)
+    other = system.standard_info(100, NOW)
+    assert client.precompute.level(info) == 0
+    client.precompute.fill(info, count=2)
+    assert client.precompute.level(info) == 2
+    assert client.precompute.level(other) == 0
+    assert client.precompute.take(other) is None
+    assert client.precompute.take(info) is not None
+    assert client.precompute.level(info) == 1
+
+
+def test_banked_withdrawal_matches_direct_ops_and_spends(params):
+    direct_system = _system(params, seed=7)
+    direct_client = direct_system.new_client()
+    with counting(OpCounter()) as direct_counter:
+        run_withdrawal(
+            direct_client, direct_system.broker, direct_system.standard_info(50, NOW)
+        )
+
+    banked_system = _system(params, seed=7)
+    client = _banked_client(banked_system)
+    info = banked_system.standard_info(50, NOW)
+    client.precompute.fill(info)
+    with counting(OpCounter()) as banked_counter:
+        stored = run_withdrawal(client, banked_system.broker, info)
+    # The bank shifts work offline but the *declared* Table 1 cost of the
+    # online protocol is unchanged: (15, 5, 0, 1) either way.
+    assert banked_counter.snapshot() == direct_counter.snapshot()
+    assert client.precompute.level(info) == 0
+
+    merchant_id = next(m for m in MERCHANTS if m != stored.coin.witness_id)
+    signed = run_payment(
+        client,
+        stored,
+        banked_system.merchant(merchant_id),
+        banked_system.witness_of(stored),
+        NOW,
+    )
+    assert banked_system.broker.deposit(merchant_id, signed, NOW).amount == 50
+
+
+def test_bank_drains_in_fifo_order_then_falls_back(params):
+    system = _system(params)
+    client = _banked_client(system)
+    info = system.standard_info(25, NOW)
+    client.precompute.fill(info, count=2)
+    for _ in range(3):  # third withdrawal outlives the bank
+        stored = run_withdrawal(client, system.broker, info)
+        assert stored.coin.info == info
+    assert client.precompute.level(info) == 0
+
+
+def test_payment_salt_bank(params):
+    system = _system(params)
+    client = _banked_client(system)
+    assert client.precompute.salt_level() == 0
+    client.precompute.fill_payment_salts(count=3)
+    assert client.precompute.salt_level() == 3
+    salts = {client.precompute.take_payment_salt() for _ in range(3)}
+    assert len(salts) == 3
+    assert all(salt is not None for salt in salts)
+    assert client.precompute.take_payment_salt() is None
+
+    stored = run_withdrawal(client, system.broker, system.standard_info(25, NOW))
+    client.precompute.fill_payment_salts(count=1)
+    merchant_id = next(m for m in MERCHANTS if m != stored.coin.witness_id)
+    run_payment(
+        client, stored, system.merchant(merchant_id), system.witness_of(stored), NOW
+    )
+    assert client.precompute.salt_level() == 0
+
+
+def test_fill_is_offline_for_table1(params):
+    system = _system(params)
+    client = _banked_client(system)
+    info = system.standard_info(50, NOW)
+    with counting(OpCounter()) as counter:
+        client.precompute.fill(info, count=2)
+        client.precompute.fill_payment_salts(count=4)
+    assert counter.snapshot() == (0, 0, 0, 0)

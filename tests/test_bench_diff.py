@@ -1,0 +1,78 @@
+"""Tests for the bench comparison tool (tools/bench_diff.py)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TOOL = ROOT / "tools" / "bench_diff.py"
+
+
+def _bench_file(tmp_path, name, payment_speedup, pool_speedup, host_cpus=4):
+    data = {
+        "full": {
+            "group_bits": 1024,
+            "payment_verify": {
+                "items": 16,
+                "naive_ops_per_s": 10.0,
+                "perf_ops_per_s": 10.0 * payment_speedup,
+                "speedup": payment_speedup,
+            },
+            "parallel": {
+                "host_cpus": host_cpus,
+                "levels": [1, 4],
+                "deposit_bulk": {
+                    "items": 32,
+                    "serial_ops_per_s": 50.0,
+                    "workers": {
+                        "4": {"ops_per_s": 50.0 * pool_speedup, "speedup": pool_speedup}
+                    },
+                },
+            },
+        }
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *map(str, argv)], capture_output=True, text=True
+    )
+
+
+def test_healthy_diff_exits_zero(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    current = _bench_file(tmp_path, "cur.json", 3.8, 2.8)
+    result = _run(baseline, current)
+    assert result.returncode == 0, result.stderr
+    assert "payment_verify" in result.stdout
+    assert "parallel.deposit_bulk[4w]" in result.stdout
+    assert "REGRESSION" not in result.stderr
+
+
+def test_regression_is_flagged_and_exits_nonzero(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    current = _bench_file(tmp_path, "cur.json", 4.0, 1.0)
+    result = _run(baseline, current)
+    assert result.returncode == 1
+    assert "REGRESSION full: parallel.deposit_bulk[4w]" in result.stderr
+
+
+def test_cross_host_parallel_sections_are_skipped(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0, host_cpus=8)
+    current = _bench_file(tmp_path, "cur.json", 4.0, 0.7, host_cpus=1)
+    result = _run(baseline, current)
+    assert result.returncode == 0, result.stderr
+    assert "parallel sections skipped" in result.stdout
+
+
+def test_disjoint_modes_exit_two(tmp_path):
+    a = tmp_path / "a.json"
+    a.write_text(json.dumps({"full": {}}))
+    b = tmp_path / "b.json"
+    b.write_text(json.dumps({"quick": {}}))
+    result = _run(a, b)
+    assert result.returncode == 2

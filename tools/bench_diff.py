@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_payment.json files and print per-workload deltas.
+
+Walks every mode (``full``/``quick``) present in both files, compares the
+naive-vs-perf speedup of each section and — when both runs carry a
+``parallel`` section — the pool-vs-serial speedup of every worker level,
+and prints one line per workload with the relative change. Workloads
+whose speedup dropped by more than ``--tolerance`` (default 30%) are
+flagged as regressions and make the script exit non-zero, which is how
+CI turns a bench run into a pass/fail signal.
+
+Parallel speedups are only compared when both runs report the same
+``host_cpus``: pool-vs-serial ratios scale with the physical core count,
+so a cross-host comparison says nothing about the code.
+
+Run:  python tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+
+def _speedup_rows(results: dict[str, Any]) -> Iterator[tuple[str, float]]:
+    """Yield ``(workload_name, speedup)`` for every comparable workload."""
+    for section in sorted(results):
+        values = results[section]
+        if isinstance(values, dict) and isinstance(values.get("speedup"), (int, float)):
+            yield section, float(values["speedup"])
+
+
+def _parallel_rows(results: dict[str, Any]) -> Iterator[tuple[str, float]]:
+    """Yield ``(workload[Nw], speedup)`` rows from the ``parallel`` section."""
+    parallel = results.get("parallel")
+    if not isinstance(parallel, dict):
+        return
+    for workload in sorted(parallel):
+        values = parallel[workload]
+        if not isinstance(values, dict):
+            continue
+        for level in sorted(values.get("workers", {}), key=int):
+            entry = values["workers"][level]
+            yield f"parallel.{workload}[{level}w]", float(entry["speedup"])
+
+
+def diff_modes(
+    baseline: dict[str, Any], current: dict[str, Any], tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare one mode's results; return (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    base_rows = dict(_speedup_rows(baseline))
+    cur_rows = dict(_speedup_rows(current))
+    base_par = baseline.get("parallel", {})
+    cur_par = current.get("parallel", {})
+    same_host = (
+        isinstance(base_par, dict)
+        and isinstance(cur_par, dict)
+        and base_par.get("host_cpus") == cur_par.get("host_cpus")
+    )
+    if same_host:
+        base_rows.update(_parallel_rows(baseline))
+        cur_rows.update(_parallel_rows(current))
+    elif base_par or cur_par:
+        lines.append(
+            "  (parallel sections skipped: host_cpus "
+            f"{base_par.get('host_cpus') if isinstance(base_par, dict) else '?'} vs "
+            f"{cur_par.get('host_cpus') if isinstance(cur_par, dict) else '?'})"
+        )
+    for name, base_speedup in base_rows.items():
+        cur_speedup = cur_rows.get(name)
+        if cur_speedup is None:
+            regressions.append(f"{name}: missing from current results")
+            continue
+        change = cur_speedup / base_speedup - 1.0 if base_speedup else 0.0
+        marker = ""
+        if change < -tolerance:
+            marker = "  << REGRESSION"
+            regressions.append(
+                f"{name}: speedup {cur_speedup:.2f}x is {-change:.0%} below "
+                f"baseline {base_speedup:.2f}x (tolerance {tolerance:.0%})"
+            )
+        lines.append(
+            f"  {name:<40} {base_speedup:>8.2f}x -> {cur_speedup:>8.2f}x "
+            f"({change:+.1%}){marker}"
+        )
+    for name in cur_rows:
+        if name not in base_rows:
+            lines.append(f"  {name:<40} (new, {cur_rows[name]:.2f}x)")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline BENCH json")
+    parser.add_argument("current", type=Path, help="current BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="max tolerated relative speedup drop (default 0.3 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    all_regressions: list[str] = []
+    shared_modes = [mode for mode in baseline if mode in current]
+    if not shared_modes:
+        print("no common modes between the two files", file=sys.stderr)
+        return 2
+    for mode in shared_modes:
+        print(f"[{mode}]")
+        lines, regressions = diff_modes(baseline[mode], current[mode], args.tolerance)
+        print("\n".join(lines) if lines else "  (nothing comparable)")
+        all_regressions.extend(f"{mode}: {entry}" for entry in regressions)
+    if all_regressions:
+        print()
+        for entry in all_regressions:
+            print(f"REGRESSION {entry}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
