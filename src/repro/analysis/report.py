@@ -44,7 +44,7 @@ def generate_report(
         The report text.
     """
     params = test_params() if fast else default_params()
-    started = time.time()
+    started = time.perf_counter()
     sections: list[str] = []
     sections.append("# Reproduction report\n")
     sections.append(
@@ -111,7 +111,7 @@ def generate_report(
     )
 
     sections.append(
-        f"\n_Total harness wall time: {time.time() - started:.1f}s. "
+        f"\n_Total harness wall time: {time.perf_counter() - started:.1f}s. "
         "Ablation sweeps live in `benchmarks/` "
         "(`pytest benchmarks/ --benchmark-only`)._\n"
     )

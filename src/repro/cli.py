@@ -312,6 +312,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import baseline as lint_baseline
+    from repro.lint import engine as lint_engine
+    from repro.lint import report as lint_report
+    from repro.lint.rules import all_rules
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id:16} {rule.description}")
+        return 0
+    engine = lint_engine.LintEngine()
+    try:
+        only = args.rule or None
+        if only:
+            engine.select_rules(only)  # validate ids before scanning
+    except KeyError as error:
+        print(f"unknown rule: {error.args[0]}", file=sys.stderr)
+        return 2
+    paths = args.paths or ["src"]
+    files = list(lint_engine.iter_python_files(paths))
+    findings = engine.lint(paths, only)
+
+    baseline_file = args.use_baseline or "LINT_baseline.json"
+    if args.write_baseline:
+        accepted = lint_baseline.Baseline.from_findings(findings)
+        accepted.save(baseline_file)
+        print(
+            f"wrote {baseline_file}: {sum(accepted.counts.values())} "
+            f"grandfathered finding(s)"
+        )
+        return 0
+
+    stale: list[str] = []
+    baseline = None
+    if args.use_baseline:
+        baseline = lint_baseline.Baseline.load(baseline_file)
+        findings, stale = lint_baseline.diff_against_baseline(findings, baseline)
+    render = (
+        lint_report.render_json if args.format == "json" else lint_report.render_console
+    )
+    print(render(findings, stale, baseline, checked_files=len(files)))
+    return lint_report.exit_code(findings, stale)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -434,6 +478,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(adds a 'parallel' section to the results)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the protocol-invariant static analyzer (AST rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["console", "json"],
+        default="console",
+        help="report format",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const="LINT_baseline.json",
+        default=None,
+        dest="use_baseline",
+        metavar="FILE",
+        help="suppress findings recorded in the baseline file "
+        "(default LINT_baseline.json); stale entries still fail",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: regenerate the baseline file",
+    )
+    lint.add_argument("--list-rules", action="store_true", help="list rule ids")
+    lint.set_defaults(func=_cmd_lint)
 
     report = subparsers.add_parser(
         "report", help="run every harness, write a Markdown reproduction report"

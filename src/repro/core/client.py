@@ -27,6 +27,7 @@ from repro.core.transcripts import (
 )
 from repro.core.witness_ranges import WitnessAssignmentTable
 from repro.crypto.blind import BlindSession, SignerChallenge, SignerResponse
+from repro.crypto.hashing import constant_time_eq
 from repro.crypto.numbers import random_bits
 from repro.crypto.representation import RepresentationPair, respond
 from repro.crypto.serialize import text_to_int, int_to_text
@@ -363,7 +364,9 @@ class Client:
         """
         # The digest and nonce computed in step 1 are reused, not
         # recomputed: comparing stored values costs no hash operations.
-        if commitment.coin_hash != pending.coin_hash or commitment.nonce != pending.nonce:
+        if not constant_time_eq(
+            commitment.coin_hash, pending.coin_hash
+        ) or not constant_time_eq(commitment.nonce, pending.nonce):
             raise CommitmentError("witness commitment does not match the pending payment")
         if commitment.witness_id != pending.stored.coin.witness_id:
             raise CommitmentError("commitment signed by a different witness")

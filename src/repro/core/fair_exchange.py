@@ -36,7 +36,7 @@ from repro.core.exceptions import InvalidPaymentError, ProtocolViolationError
 from repro.core.params import SystemParams
 from repro.core.transcripts import CommitmentRequest, PaymentTranscript, payment_nonce
 from repro.core.witness import WitnessService
-from repro.crypto.hashing import HashInput
+from repro.crypto.hashing import HashInput, constant_time_eq
 from repro.crypto.numbers import random_bits
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify as schnorr_verify
 
@@ -175,14 +175,14 @@ def verify_binding(
     opening: int,
 ) -> bool:
     """Check a transcript was bound to an offer (reveal-the-opening proof)."""
-    return transcript.salt == bound_salt(params, offer.digest(params), opening) and (
-        transcript.merchant_id == offer.merchant_id
-    )
+    return constant_time_eq(
+        transcript.salt, bound_salt(params, offer.digest(params), opening)
+    ) and (transcript.merchant_id == offer.merchant_id)
 
 
 def verify_delivered_key(params: SystemParams, offer: Offer, key: int) -> bool:
     """Client step 3: check the delivered ``k`` opens the offer commitment."""
-    return params.hashes.h("fx-key", key) == offer.key_commitment
+    return constant_time_eq(params.hashes.h("fx-key", key), offer.key_commitment)
 
 
 # ----------------------------------------------------------------------

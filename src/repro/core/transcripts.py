@@ -15,7 +15,7 @@ from repro import perf
 from repro.core.coin import Coin
 from repro.core.exceptions import CommitmentError, InvalidPaymentError
 from repro.core.params import SystemParams
-from repro.crypto.hashing import HashInput
+from repro.crypto.hashing import HashInput, constant_time_eq
 from repro.crypto.representation import (
     Representation,
     RepresentationPair,
@@ -269,7 +269,7 @@ class DoubleSpendProof:
         """
         if self.x is None and self.y is None:
             return False
-        if self.coin_hash != coin.digest(params):
+        if not constant_time_eq(self.coin_hash, coin.digest(params)):
             return False
         if self.x is not None and not self.x.opens(params.group, coin.bare.commitment_a):
             return False
@@ -328,9 +328,9 @@ def verify_commitment_binding(
     Raises:
         CommitmentError: on any failure.
     """
-    if commitment.coin_hash != coin.digest(params):
+    if not constant_time_eq(commitment.coin_hash, coin.digest(params)):
         raise CommitmentError("commitment covers a different coin")
-    if commitment.nonce != payment_nonce(params, salt, merchant_id):
+    if not constant_time_eq(commitment.nonce, payment_nonce(params, salt, merchant_id)):
         raise CommitmentError("nonce does not open to this merchant/salt")
     if not commitment.verify(params, witness_public):
         raise CommitmentError("witness signature on commitment failed to verify")

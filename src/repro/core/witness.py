@@ -40,7 +40,7 @@ from repro.core.transcripts import (
     payment_nonce,
 )
 from repro.core.witness_ranges import verify_entry_matches
-from repro.crypto.hashing import encode_for_hash
+from repro.crypto.hashing import constant_time_eq, encode_for_hash
 from repro.crypto.numbers import random_bits
 from repro.crypto.representation import extract_representations
 from repro.crypto.schnorr import SchnorrKeyPair
@@ -121,7 +121,7 @@ class WitnessService:
         """
         existing = self._commitments.get(request.coin_hash)
         if existing is not None and now < existing.commitment.expires_at:
-            if existing.commitment.nonce == request.nonce:
+            if constant_time_eq(existing.commitment.nonce, request.nonce):
                 return existing.commitment
             obs.counter_inc("witness_commitment_conflicts_total")
             raise CommitmentOutstandingError(
@@ -194,7 +194,7 @@ class WitnessService:
         if record is None:
             raise CommitmentError("no outstanding commitment for this coin")
         expected_nonce = payment_nonce(self.params, transcript.salt, transcript.merchant_id)
-        if record.commitment.nonce != expected_nonce:
+        if not constant_time_eq(record.commitment.nonce, expected_nonce):
             raise CommitmentError("nonce does not open to the depositing merchant")
 
         # Double-spend short-circuit (Section 7): an already-spent coin is

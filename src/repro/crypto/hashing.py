@@ -17,7 +17,9 @@ distinct tuples collide at the byte level.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass
+from typing import cast
 
 from repro import perf
 from repro.crypto import counters
@@ -63,6 +65,34 @@ def _digest(domain: bytes, data: bytes) -> bytes:
     return hashlib.sha256(domain + data).digest()
 
 
+def constant_time_eq(a: int | bytes | str, b: int | bytes | str) -> bool:
+    """Constant-time equality for digest-typed protocol values.
+
+    The protocol's digests, nonces and salts are integers (outputs of
+    ``h``/``H0``), so both sides are padded to a common byte width and
+    compared with :func:`hmac.compare_digest` — a short-circuiting
+    ``==`` would let an adversary who controls one side (a forged salt,
+    a guessed nonce) binary-search the other through timing. The width
+    itself is not secret: every compared value is already a public
+    hash-sized quantity.
+
+    Mixed types never compare equal (mirroring ``==``); negative
+    integers cannot be digests and also compare unequal.
+    """
+    if isinstance(a, str):
+        a = a.encode("utf-8")
+    if isinstance(b, str):
+        b = b.encode("utf-8")
+    if isinstance(a, int) and isinstance(b, int):
+        if a < 0 or b < 0:
+            return False
+        size = max((a.bit_length() + 7) // 8, (b.bit_length() + 7) // 8, 1)
+        return hmac.compare_digest(a.to_bytes(size, "big"), b.to_bytes(size, "big"))
+    if isinstance(a, (bytes, bytearray)) and isinstance(b, (bytes, bytearray)):
+        return hmac.compare_digest(bytes(a), bytes(b))
+    return False
+
+
 @dataclass(frozen=True)
 class HashSuite:
     """The four protocol hash functions bound to a group.
@@ -92,8 +122,11 @@ class HashSuite:
         """
         counters.record_hash()
         data = encode_for_hash(*parts)
-        element = perf.verify_memo(
-            "hash-F", ("F", self.group.p, self.group.q, data), lambda: self._hash_to_group(data)
+        element = cast(
+            int,
+            perf.verify_memo(
+                "hash-F", ("F", self.group.p, self.group.q, data), lambda: self._hash_to_group(data)
+            ),
         )
         # ``z = F(info)`` recurs as an exponentiation base in every
         # signature over coins sharing the same public info, so it is a
@@ -132,7 +165,7 @@ class HashSuite:
     def _expand(self, seed: bytes) -> int:
         """Expand a 32-byte seed to ``p.bit_length()`` pseudorandom bits."""
         needed = (self.group.p.bit_length() + 7) // 8
-        blocks = []
+        blocks: list[bytes] = []
         counter = 0
         while sum(len(b) for b in blocks) < needed:
             blocks.append(_digest(b"repro/expand/", seed + counter.to_bytes(4, "big")))

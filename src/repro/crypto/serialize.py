@@ -142,7 +142,7 @@ def encode(mapping: dict[str, object]) -> str:
     strings, which the signature checks rely on.
     """
     flat = flatten(mapping)
-    items = []
+    items: list[tuple[str, str]] = []
     for key in sorted(flat):
         value = flat[key]
         text = int_to_text(value) if isinstance(value, int) else value
@@ -219,7 +219,7 @@ def batch_indices(flat: Mapping[str, object], group: str, prefix: str) -> list[i
         ``{group}.{prefix}N`` keys; non-numeric tails are ignored.
     """
     lead = f"{group}.{prefix}"
-    found = set()
+    found: set[int] = set()
     for key in flat:
         if not key.startswith(lead):
             continue

@@ -1,0 +1,117 @@
+"""The grandfather file: known findings that do not fail the build.
+
+The baseline maps finding fingerprints (rule + path + offending source
+text, deliberately excluding the line number so unrelated edits do not
+churn it) to occurrence counts. A fresh run is compared group-wise:
+
+* fingerprints with more occurrences than baselined are **new**
+  findings and fail the build;
+* baselined fingerprints with fewer (or zero) occurrences are **stale**
+  suppressions and also fail — a fixed finding must leave the baseline
+  in the same commit, so the file never accretes dead entries.
+
+Regenerate with ``python -m repro lint src --write-baseline`` after
+deliberately accepting or fixing findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Default checked-in location, repo-root relative.
+DEFAULT_BASELINE = "LINT_baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> (count, human-readable context) of accepted findings."""
+
+    counts: Counter[str] = field(default_factory=Counter)
+    context: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Accept every given finding."""
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            baseline.counts[fingerprint] += 1
+            baseline.context.setdefault(
+                fingerprint,
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "snippet": finding.snippet,
+                },
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (an empty baseline if the file is absent)."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        data = json.loads(file.read_text())
+        baseline = cls()
+        for entry in data.get("findings", []):
+            fingerprint = str(entry["fingerprint"])
+            baseline.counts[fingerprint] = int(entry.get("count", 1))
+            baseline.context[fingerprint] = {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "snippet": str(entry.get("snippet", "")),
+            }
+        return baseline
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline file (sorted, one entry per fingerprint)."""
+        entries = [
+            {
+                "fingerprint": fingerprint,
+                "count": self.counts[fingerprint],
+                **self.context.get(fingerprint, {}),
+            }
+            for fingerprint in sorted(self.counts)
+        ]
+        payload = {"version": 1, "findings": entries}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def describe(self, fingerprint: str) -> str:
+        """Human-readable ``rule path: snippet`` for a stale entry."""
+        entry = self.context.get(fingerprint, {})
+        rule = entry.get("rule", "?")
+        path = entry.get("path", "?")
+        snippet = entry.get("snippet", "")
+        return f"{rule} {path}: {snippet}" if snippet else f"{rule} {path}"
+
+
+def diff_against_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[str]]:
+    """Split a fresh run into (new findings, stale baseline fingerprints).
+
+    Occurrence counts matter: two identical offending lines in one file
+    share a fingerprint, and baselining one does not excuse the second.
+    New findings within a group are attributed to the *last* source
+    occurrences (the earlier ones are the grandfathered ones).
+    """
+    groups: dict[str, list[Finding]] = {}
+    for finding in sorted(findings):
+        groups.setdefault(finding.fingerprint(), []).append(finding)
+    new: list[Finding] = []
+    for fingerprint, members in groups.items():
+        allowed = baseline.counts.get(fingerprint, 0)
+        if len(members) > allowed:
+            new.extend(members[allowed:])
+    stale = [
+        fingerprint
+        for fingerprint, count in sorted(baseline.counts.items())
+        if len(groups.get(fingerprint, [])) < count
+    ]
+    return sorted(new), stale

@@ -1,0 +1,171 @@
+"""Rule configuration: path scoping and the protocol lexicons.
+
+Every rule carries ``include``/``exclude`` glob lists matched (with
+:func:`fnmatch.fnmatch`, where ``*`` crosses directory separators)
+against the repo-relative posix path of each file. The default
+configuration encodes the protocol's trust map: where secrets may be
+serialized, which module owns randomness, which packages the
+determinism and broad-except rules police.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from repro.lint.findings import Severity
+
+#: Identifier/attribute names that name protocol secrets. ``x1/x2`` and
+#: ``y1/y2`` are the coin representations whose exposure de-anonymizes a
+#: client; ``k1/k2`` are representation components; the rest are the
+#: conventional names for blinding factors and signing keys.
+SECRET_LEXICON: frozenset[str] = frozenset(
+    {
+        "x1",
+        "x2",
+        "y1",
+        "y2",
+        "k1",
+        "k2",
+        "secret",
+        "secrets",
+        "_secret",
+        "account_secret",
+        "sign_secret",
+        "secret_key",
+        "private_key",
+        "blinding",
+        "blind_factor",
+    }
+)
+
+#: Names whose ``==``/``!=`` comparison is timing-sensitive: digests,
+#: commitment openings and MAC-like values an adversary can probe.
+DIGEST_LEXICON: frozenset[str] = frozenset(
+    {
+        "digest",
+        "coin_hash",
+        "key_commitment",
+        "nonce",
+        "salt",
+        "mac",
+        "auth_tag",
+        "checksum",
+    }
+)
+
+#: Functions whose return value is digest-typed even without a telling
+#: variable name on either side of the comparison.
+DIGEST_FUNCTIONS: frozenset[str] = frozenset(
+    {"digest", "hexdigest", "payment_nonce", "bound_salt"}
+)
+
+#: ``module.function`` call patterns that read the wall clock. Protocol
+#: and replay paths must take time from the sim clock (or an explicit
+#: ``now`` argument); harnesses measuring durations use
+#: ``time.perf_counter``, which is not listed and stays legal.
+WALL_CLOCK_CALLS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("time", "time"),
+        ("time", "localtime"),
+        ("time", "gmtime"),
+        ("time", "ctime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Module-level ``random.<fn>`` calls that hit the shared global RNG.
+GLOBAL_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "expovariate",
+        "betavariate",
+        "normalvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+#: ``ClassName.method`` qualified names allowed to serialize secrets to
+#: the wire. ``DoubleSpendProof.to_wire`` is the one legitimate egress:
+#: revealing the extracted representations IS the double-spend proof.
+ALLOWED_WIRE_EGRESS: frozenset[str] = frozenset({"DoubleSpendProof.to_wire"})
+
+
+@dataclass
+class RuleConfig:
+    """Where one rule applies and how loudly it reports."""
+
+    enabled: bool = True
+    severity: Severity | None = None
+    include: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule scans the given repo-relative posix path.
+
+        Matching runs against ``/``-prefixed paths so a ``*/net/*``
+        pattern covers ``net/x.py`` whether or not the repo root adds a
+        leading component.
+        """
+        if not self.enabled:
+            return False
+        anchored = f"/{path}"
+        if not any(fnmatch(anchored, pattern) for pattern in self.include):
+            return False
+        return not any(fnmatch(anchored, pattern) for pattern in self.exclude)
+
+
+@dataclass
+class LintConfig:
+    """The full engine configuration: lexicons plus per-rule scoping."""
+
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+    secret_lexicon: frozenset[str] = SECRET_LEXICON
+    digest_lexicon: frozenset[str] = DIGEST_LEXICON
+    digest_functions: frozenset[str] = DIGEST_FUNCTIONS
+    wall_clock_calls: frozenset[tuple[str, str]] = WALL_CLOCK_CALLS
+    global_random_functions: frozenset[str] = GLOBAL_RANDOM_FUNCTIONS
+    allowed_wire_egress: frozenset[str] = ALLOWED_WIRE_EGRESS
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        """The scoping for ``rule_id`` (a default-everything scope if unset)."""
+        return self.rules.setdefault(rule_id, RuleConfig())
+
+
+def default_config() -> LintConfig:
+    """The shipped configuration, encoding the repo's trust map."""
+    return LintConfig(
+        rules={
+            # Secrets must not leak anywhere they could be observed.
+            "secret-flow": RuleConfig(),
+            # crypto/ must draw randomness through numbers.random_scalar /
+            # random_bits (numbers.py itself implements those helpers);
+            # unseeded Random() breaks replay everywhere.
+            "rng-discipline": RuleConfig(exclude=("*/crypto/numbers.py",)),
+            # Exponents live in Z_q; raw pow() bypasses the op counters
+            # except in the two packages that own modular exponentiation.
+            "mod-arith": RuleConfig(),
+            # Digest equality must be constant time wherever an adversary
+            # chooses one side of the comparison.
+            "ct-compare": RuleConfig(),
+            # Replayable paths take time from the sim clock; the obs
+            # tracer's perf_counter default is duration-only and exempt.
+            "determinism": RuleConfig(exclude=("*/obs/*",)),
+            # Swallowing Exception in delivery/fault paths hides protocol
+            # bugs the chaos suite exists to surface.
+            "broad-except": RuleConfig(include=("*/net/*", "*/faults/*")),
+        }
+    )

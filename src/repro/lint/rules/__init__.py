@@ -1,0 +1,75 @@
+"""The rule registry and base class.
+
+A rule is a small class with an ``id``, a default severity, a one-line
+``description`` and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects. Registration happens at
+import time via the :func:`register` decorator; importing this package
+loads every shipped rule module, so ``all_rules()`` is complete after
+``import repro.lint.rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class: one protocol invariant checked over a module AST."""
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def emit(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding at ``node`` with this rule's identity."""
+        severity = ctx.config.rule_config(self.id).severity or self.severity
+        return ctx.finding(node, self.id, message, severity)
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the registry."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, keyed by id."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule.
+
+    Raises:
+        KeyError: unknown rule id.
+    """
+    return _REGISTRY[rule_id]
+
+
+# Import the shipped rule modules for their registration side effects.
+from repro.lint.rules import (  # noqa: E402,F401  (registration imports)
+    broad_except,
+    ct_compare,
+    determinism,
+    mod_arith,
+    rng_discipline,
+    secret_flow,
+)
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]

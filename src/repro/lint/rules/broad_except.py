@@ -1,0 +1,92 @@
+"""broad-except: delivery and fault paths fail loudly.
+
+``except Exception`` (or a bare ``except:``) in ``net/`` message
+delivery or ``faults/`` injection paths swallows exactly the protocol
+violations the chaos suite exists to surface — a witness that crashes
+on a malformed commitment should register as a safety event, not be
+silently retried. Handlers catch the typed protocol exceptions
+(:mod:`repro.core.exceptions`) they can actually recover from.
+
+The one legal shape for a broad handler is a *forwarder*: the simulator
+and RPC fabric trampoline exceptions across generator boundaries, so a
+handler that re-raises, calls ``set_exception``/``throw``, rebinds the
+exception for a later throw, or captures it in a lambda default is
+propagating — not swallowing — and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _forwards_exception(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler propagates the exception instead of eating it."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"set_exception", "throw"}
+        ):
+            return True
+        if bound is None:
+            continue
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == bound:
+                return True
+        if isinstance(node, ast.Lambda):
+            for default in node.args.defaults:
+                if isinstance(default, ast.Name) and default.id == bound:
+                    return True
+    return False
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad class name a handler catches, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+@register
+class BroadExceptRule(Rule):
+    """Flag overly broad exception handlers in net/ and faults/."""
+
+    id = "broad-except"
+    severity = Severity.ERROR
+    description = (
+        "net/ and faults/ handlers catch typed protocol exceptions, not "
+        "Exception/BaseException (which hide the bugs chaos runs hunt)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name is not None and not _forwards_exception(node):
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"broad handler ({name}) in a delivery/fault path; catch "
+                    "the specific repro.core.exceptions types instead",
+                )

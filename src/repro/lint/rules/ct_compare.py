@@ -1,0 +1,78 @@
+"""ct-compare: digest equality must be constant time.
+
+A ``==``/``!=`` on digests, commitment openings or MAC-like values
+short-circuits at the first differing limb, so an adversary who
+controls one side (a forged salt, a guessed nonce) can binary-search
+the other through timing. The protocol helpers compare through
+:func:`repro.crypto.hashing.constant_time_eq` (hmac.compare_digest
+under the hood) instead.
+
+A side is digest-typed when it is a bare name or attribute in the
+digest lexicon (``coin_hash``, ``salt``, ``nonce``, ...), or a call to
+a digest-producing function (``.digest()``, ``.hexdigest()``,
+``payment_nonce(...)``, ``bound_salt(...)``). Comparisons against
+literal constants (``== 0``, ``is None``) are structural checks, not
+adversarial ones, and stay legal — as does anything already routed
+through ``compare_digest``/``constant_time_eq`` (those are calls, not
+``Compare`` nodes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+
+def _is_digest_typed(ctx: FileContext, node: ast.expr) -> str | None:
+    """The digest-ish name if ``node`` carries a digest value."""
+    if isinstance(node, ast.Name) and node.id in ctx.config.digest_lexicon:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in ctx.config.digest_lexicon:
+        return node.attr
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in ctx.config.digest_functions:
+            return name
+    return None
+
+
+@register
+class ConstantTimeCompareRule(Rule):
+    """Flag variable-time equality on digest-typed values."""
+
+    id = "ct-compare"
+    severity = Severity.ERROR
+    description = (
+        "digest/nonce/salt equality must go through "
+        "hashing.constant_time_eq (hmac.compare_digest), not ==/!="
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if len(node.ops) != 1 or not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                continue
+            left, right = node.left, node.comparators[0]
+            # Structural comparisons against literals are not timing
+            # oracles (nothing secret varies on the constant side).
+            if isinstance(left, ast.Constant) or isinstance(right, ast.Constant):
+                continue
+            name = _is_digest_typed(ctx, left) or _is_digest_typed(ctx, right)
+            if name is not None:
+                op = "==" if isinstance(node.ops[0], ast.Eq) else "!="
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"variable-time {op} on digest-typed value {name!r}; use "
+                    "hashing.constant_time_eq (hmac.compare_digest)",
+                )

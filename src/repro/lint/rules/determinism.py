@@ -1,0 +1,48 @@
+"""determinism: replayable paths take time from the sim clock.
+
+``time.time()`` / ``datetime.now()`` in a protocol or replay path makes
+two runs with the same seed diverge — commitment expiries, backoff
+windows and trace timestamps all shift with the host clock, and the
+chaos/bench suites' byte-identical reports break. Simulated components
+read :attr:`repro.net.sim.Simulator.now` (or receive an explicit
+``now`` argument); harnesses that genuinely measure host durations use
+``time.perf_counter()``, which this rule deliberately does not flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag wall-clock reads in replayable code."""
+
+    id = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "no time.time()/datetime.now() in replayable paths; use the sim "
+        "clock (or time.perf_counter for host-duration measurements)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.call_target(node)
+            if target is None:
+                continue
+            if target in ctx.config.wall_clock_calls:
+                module, func = target
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"wall-clock read {module}.{func}() in a replayable path; "
+                    "take time from the sim clock / an explicit now argument "
+                    "(time.perf_counter for host durations)",
+                )

@@ -1,0 +1,110 @@
+"""mod-arith: Schnorr exponents live in Z_q, and pow() stays counted.
+
+Two sub-checks:
+
+* An exponent expression reduced ``% p`` (instead of ``% q``) silently
+  breaks Schnorr soundness — ``g^(e mod p) != g^(e mod q)`` for
+  ``e >= q`` — and is almost always a transposition of the paper's
+  ``(p, q)`` pair. Flagged wherever an exponent position (second arg of
+  ``pow``/``table.pow``/``group.exp``, exponent args of ``group.exp2``,
+  right side of ``**``) contains a ``% p`` reduction.
+* A raw ``pow()`` call outside ``crypto/`` and ``perf/`` bypasses both
+  the op counters that reproduce Table 1 and the perf engine's
+  fixed-base/multi-exp dispatch; other packages call
+  ``SchnorrGroup.exp``/``mul`` (or the perf wrappers) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+#: Method names whose call sites carry exponents, mapped to the
+#: positional indices of their exponent arguments.
+_EXPONENT_POSITIONS: dict[str, tuple[int, ...]] = {
+    "pow": (1,),
+    "exp": (1,),
+    "exp2": (1, 3),
+}
+
+#: Packages allowed to call the raw ``pow`` builtin.
+_RAW_POW_PACKAGES = ("crypto", "perf")
+
+
+def _names_p(node: ast.expr) -> bool:
+    """Whether an expression is the field prime ``p`` (name or ``.p``)."""
+    if isinstance(node, ast.Name):
+        return node.id == "p"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "p"
+    return False
+
+
+def _mod_p_subexpr(node: ast.expr) -> ast.expr | None:
+    """The first ``<expr> % p`` reduction inside an exponent expression."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.BinOp)
+            and isinstance(sub.op, ast.Mod)
+            and _names_p(sub.right)
+        ):
+            return sub
+    return None
+
+
+@register
+class ModArithRule(Rule):
+    """Flag ``% p`` exponent reductions and raw pow() outside crypto/perf."""
+
+    id = "mod-arith"
+    severity = Severity.ERROR
+    description = (
+        "exponents reduce mod q, never mod p; raw pow() belongs to "
+        "crypto/ and perf/ (everything else uses the counted group ops)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raw_pow_allowed = any(
+            f"/{package}/" in f"/{ctx.path}" for package in _RAW_POW_PACKAGES
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                reduced = _mod_p_subexpr(node.right)
+                if reduced is not None:
+                    yield self.emit(
+                        ctx,
+                        reduced,
+                        "exponent reduced mod p; Schnorr exponents live in Z_q "
+                        "(reduce mod q)",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            is_raw_pow = isinstance(node.func, ast.Name) and node.func.id == "pow"
+            method = (
+                node.func.attr if isinstance(node.func, ast.Attribute) else None
+            )
+            callee = "pow" if is_raw_pow else method
+            positions = _EXPONENT_POSITIONS.get(callee) if callee else None
+            if positions is not None:
+                for index in positions:
+                    if index < len(node.args):
+                        reduced = _mod_p_subexpr(node.args[index])
+                        if reduced is not None:
+                            yield self.emit(
+                                ctx,
+                                reduced,
+                                "exponent reduced mod p; Schnorr exponents live "
+                                "in Z_q (reduce mod q)",
+                            )
+            if is_raw_pow and not raw_pow_allowed:
+                yield self.emit(
+                    ctx,
+                    node,
+                    "raw pow() outside crypto/ and perf/ bypasses the op "
+                    "counters and the perf engine; use SchnorrGroup.exp/mul",
+                )

@@ -1,0 +1,81 @@
+"""rng-discipline: all randomness flows through the seeded abstractions.
+
+Three sub-checks, scoped by the engine's path config:
+
+* In ``crypto/`` (``numbers.py`` excepted — it implements the helpers):
+  no direct ``random.*``, ``secrets.*`` or ``os.urandom`` calls. Crypto
+  code draws scalars via :func:`repro.crypto.numbers.random_scalar` /
+  ``random_bits`` or an explicitly passed ``rng`` so simulations replay.
+* Everywhere: ``random.Random()`` with no seed is nondeterministic by
+  construction and breaks byte-identical chaos/bench replays.
+* In ``net/`` and ``faults/``: module-level ``random.<fn>(...)`` calls
+  hit the interpreter-global RNG, which any import can perturb; these
+  packages thread seeded ``random.Random`` instances instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+
+def _in_package(path: str, package: str) -> bool:
+    return f"/{package}/" in f"/{path}"
+
+
+@register
+class RngDisciplineRule(Rule):
+    """Police randomness sources per package."""
+
+    id = "rng-discipline"
+    severity = Severity.ERROR
+    description = (
+        "crypto/ uses numbers.random_scalar or a passed rng; Random() must "
+        "be seeded; net/ and faults/ must not touch the global random module"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_crypto = _in_package(ctx.path, "crypto")
+        in_seeded_pkg = _in_package(ctx.path, "net") or _in_package(ctx.path, "faults")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.call_target(node)
+            if target is None:
+                continue
+            module, func = target
+            if in_crypto and (
+                module in {"random", "secrets"} or (module, func) == ("os", "urandom")
+            ):
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"direct {module}.{func}() in crypto/; draw randomness via "
+                    "numbers.random_scalar/random_bits or a passed-in rng",
+                )
+                continue
+            if module == "random" and func == "Random":
+                if not node.args and not node.keywords:
+                    yield self.emit(
+                        ctx,
+                        node,
+                        "unseeded random.Random() is nondeterministic; seed it "
+                        "from the deployment/scenario seed so replays stay "
+                        "byte-identical",
+                    )
+                continue
+            if (
+                in_seeded_pkg
+                and module == "random"
+                and func in ctx.config.global_random_functions
+            ):
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"global random.{func}() in a replayable path; use the "
+                    "seeded random.Random instance this component carries",
+                )

@@ -1,0 +1,214 @@
+"""secret-flow: representation secrets must not leave payment transcripts.
+
+Anonymity in the paper rests on the broker and witnesses never seeing
+the coin representations ``(x1,x2)/(y1,y2)`` or the blinding factors.
+This rule taints identifiers and attributes in the secret lexicon and
+flags any flow into an observable sink:
+
+* ``log*``/``logging``/``print`` call arguments;
+* obs metric/trace label kwargs (``counter_inc``, ``gauge_set``,
+  ``observe``, ``span``) and span ``.set(...)`` attributes;
+* exception constructor arguments inside ``raise``;
+* direct f-string interpolation and ``repr()``/``str()`` of a secret;
+* wire-serialization dict values inside ``to_wire``-style methods,
+  outside the allow-listed transcript egress points
+  (``DoubleSpendProof.to_wire`` legitimately reveals the extracted
+  representations — that IS the double-spend proof).
+
+A secret inside a *derived* expression (``x1 * d % q``, ``a == x1``) is
+not a direct leak and stays legal; the rule looks at the top level of
+each sink expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+#: Sink call names for log flows (attribute tail or bare name).
+_LOG_NAMES = frozenset(
+    {"debug", "info", "warning", "error", "critical", "exception", "log", "print"}
+)
+#: obs facade helpers whose kwargs become metric/trace labels.
+_OBS_LABEL_HELPERS = frozenset({"counter_inc", "gauge_set", "observe", "span", "set"})
+#: Method names treated as wire serialization.
+_WIRE_METHODS = frozenset({"to_wire", "to_payload", "to_dict", "pack"})
+
+
+def _is_secret(ctx: FileContext, node: ast.expr) -> bool:
+    """Whether ``node`` directly names a protocol secret."""
+    lexicon = ctx.config.secret_lexicon
+    if isinstance(node, ast.Name):
+        # A bare name that is actually the stdlib ``secrets`` module is
+        # an RNG concern (rng-discipline), not a data secret.
+        if node.id in ctx.module_aliases:
+            return False
+        return node.id in lexicon
+    if isinstance(node, ast.Attribute):
+        return node.attr in lexicon
+    if isinstance(node, ast.Subscript):
+        return _is_secret(ctx, node.value)
+    return False
+
+
+def _direct_secret(ctx: FileContext, node: ast.expr) -> ast.expr | None:
+    """The secret sub-expression if ``node`` leaks one at top level.
+
+    f-strings are deliberately *not* unwrapped here: the dedicated
+    f-string check reports those, so a secret interpolated inside a log
+    or raise argument is flagged exactly once.
+    """
+    if _is_secret(ctx, node):
+        return node
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"repr", "str", "format"} and node.args:
+            if _is_secret(ctx, node.args[0]):
+                return node.args[0]
+    return None
+
+
+@register
+class SecretFlowRule(Rule):
+    """Taint protocol secrets; flag flows into observable sinks."""
+
+    id = "secret-flow"
+    severity = Severity.ERROR
+    description = (
+        "representation secrets and blinding factors must not reach logs, "
+        "metric labels, exception messages, repr/f-strings or the wire"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        qualname: list[str] = []
+        yield from self._walk(ctx, ctx.tree, qualname, in_raise=False)
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        qualname: list[str],
+        in_raise: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                yield from self._walk(ctx, child, qualname, in_raise)
+            qualname.pop()
+            return
+        if isinstance(node, ast.Raise):
+            for child in ast.iter_child_nodes(node):
+                yield from self._walk(ctx, child, qualname, in_raise=True)
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(ctx, node, qualname, in_raise)
+        elif isinstance(node, ast.JoinedStr):
+            yield from self._check_fstring(ctx, node)
+        elif isinstance(node, ast.Dict):
+            yield from self._check_wire_dict(ctx, node, qualname)
+        elif isinstance(node, ast.Assign):
+            yield from self._check_wire_assign(ctx, node, qualname)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, child, qualname, in_raise)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        qualname: list[str],
+        in_raise: bool,
+    ) -> Iterator[Finding]:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        tail = attr or name or ""
+
+        is_log_sink = tail in _LOG_NAMES or tail.startswith("log")
+        is_label_sink = tail in _OBS_LABEL_HELPERS
+        # ``raise SomeError(...)``: constructor arguments become the
+        # message an operator (or remote peer) reads.
+        is_exc_sink = in_raise and name is not None and name not in {"repr", "str"}
+
+        if is_log_sink or is_label_sink or is_exc_sink:
+            sink = (
+                "log call"
+                if is_log_sink
+                else "metric/trace label" if is_label_sink else "exception message"
+            )
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                leaked = _direct_secret(ctx, arg)
+                if leaked is not None:
+                    leaked_name = ctx.terminal_name(leaked) or "secret"
+                    yield self.emit(
+                        ctx,
+                        arg,
+                        f"secret {leaked_name!r} flows into {sink}; secrets must stay "
+                        "inside payment transcripts",
+                    )
+        # Bare repr()/str() of a secret outside any sink still
+        # materializes it as printable text.
+        if name in {"repr", "str"} and node.args and _is_secret(ctx, node.args[0]):
+            leaked_name = ctx.terminal_name(node.args[0]) or "secret"
+            yield self.emit(
+                ctx,
+                node,
+                f"secret {leaked_name!r} converted to text via {name}(); secrets must "
+                "not be stringified",
+            )
+
+    def _check_fstring(self, ctx: FileContext, node: ast.JoinedStr) -> Iterator[Finding]:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue) and _is_secret(ctx, value.value):
+                leaked_name = ctx.terminal_name(value.value) or "secret"
+                yield self.emit(
+                    ctx,
+                    value,
+                    f"secret {leaked_name!r} interpolated into an f-string; secrets "
+                    "must not be stringified",
+                )
+
+    def _check_wire_dict(
+        self, ctx: FileContext, node: ast.Dict, qualname: list[str]
+    ) -> Iterator[Finding]:
+        if not qualname or qualname[-1] not in _WIRE_METHODS:
+            return
+        qualified = ".".join(qualname[-2:])
+        if qualified in ctx.config.allowed_wire_egress:
+            return
+        for key, value in zip(node.keys, node.values):
+            if value is not None and _is_secret(ctx, value):
+                leaked_name = ctx.terminal_name(value) or "secret"
+                label = ""
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    label = f" under key {key.value!r}"
+                yield self.emit(
+                    ctx,
+                    value,
+                    f"secret {leaked_name!r} serialized to the wire{label} in "
+                    f"{qualified}(); only allow-listed transcript fields may "
+                    "carry secrets",
+                )
+
+    def _check_wire_assign(
+        self, ctx: FileContext, node: ast.Assign, qualname: list[str]
+    ) -> Iterator[Finding]:
+        """``out["x1"] = <secret>`` inside a wire method is also egress."""
+        if not qualname or qualname[-1] not in _WIRE_METHODS:
+            return
+        qualified = ".".join(qualname[-2:])
+        if qualified in ctx.config.allowed_wire_egress:
+            return
+        if not any(isinstance(target, ast.Subscript) for target in node.targets):
+            return
+        if _is_secret(ctx, node.value):
+            leaked_name = ctx.terminal_name(node.value) or "secret"
+            yield self.emit(
+                ctx,
+                node.value,
+                f"secret {leaked_name!r} serialized to the wire in {qualified}(); "
+                "only allow-listed transcript fields may carry secrets",
+            )

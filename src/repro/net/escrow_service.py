@@ -65,10 +65,15 @@ class EscrowIssuingService:
     params: Any
     cut_and_choose: int = 8
     rng: random.Random | None = None
+    seed: int = 2007
     _tickets: dict[int, _EscrowTicket] = field(default_factory=dict)
     _next_ticket: int = 1
 
     def __post_init__(self) -> None:
+        if self.rng is None:
+            # The audit-index draw must replay byte-identically across
+            # runs; derive it from the deployment seed, never the host.
+            self.rng = random.Random(f"escrow-issuing:{self.seed}")
         broker_node = self.network.node(BROKER_NODE)
         broker_node.on("escrow/begin", self._handle_begin)
         broker_node.on("escrow/submit", self._handle_submit)
@@ -89,7 +94,8 @@ class EscrowIssuingService:
             challenge, state = self.signer.start(info.hash_parts())
             challenges.append(challenge)
             sessions.append(state)
-        rng = self.rng if self.rng is not None else random.Random()
+        rng = self.rng
+        assert rng is not None  # seeded in __post_init__
         ticket = _EscrowTicket(
             info=info,
             identity=identity,

@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.params import test_params as make_test_params
 from repro.crypto.counters import OpCounter
-from repro.crypto.hashing import WITNESS_HASH_BITS, encode_for_hash
+from repro.crypto.hashing import WITNESS_HASH_BITS, constant_time_eq, encode_for_hash
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +87,34 @@ def test_encode_rejects_bad_types():
 def test_witness_hash_bits_constant(params):
     assert params.witness_hash_bits == WITNESS_HASH_BITS == 256
     assert params.witness_hash_space == 2**256
+
+
+# ----------------------------------------------------------------------
+# constant_time_eq: the digest-comparison primitive the linter enforces
+# ----------------------------------------------------------------------
+
+def test_constant_time_eq_ints():
+    assert constant_time_eq(0, 0)
+    assert constant_time_eq(2**255 + 17, 2**255 + 17)
+    assert not constant_time_eq(2**255 + 17, 2**255 + 18)
+    # Differing widths compare unequal, not crash.
+    assert not constant_time_eq(1, 2**64)
+
+
+def test_constant_time_eq_matches_equality_semantics():
+    for a in (0, 1, 7, 2**31, 2**160 - 1):
+        for b in (0, 1, 7, 2**31, 2**160 - 1):
+            assert constant_time_eq(a, b) == (a == b)
+
+
+def test_constant_time_eq_bytes_and_str():
+    assert constant_time_eq(b"abc", b"abc")
+    assert not constant_time_eq(b"abc", b"abd")
+    assert constant_time_eq("salt", "salt")
+    assert constant_time_eq("salt", b"salt")  # str is compared utf-8 encoded
+    assert not constant_time_eq("salt", "Salt")
+
+
+def test_constant_time_eq_mixed_and_negative():
+    assert not constant_time_eq(97, b"a")  # mixed types mirror ==
+    assert not constant_time_eq(-1, -1)  # negatives cannot be digests

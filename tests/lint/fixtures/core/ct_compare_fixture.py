@@ -1,0 +1,35 @@
+"""ct-compare fixture: variable-time equality on digest-typed values.
+
+Never imported — parsed by the lint engine in tests.
+"""
+
+from repro.crypto.hashing import constant_time_eq
+
+
+def bad_digest_call(coin, params, stored_hash):
+    return stored_hash == coin.digest(params)  # EXPECT[ct-compare]
+
+
+def bad_named_attribute(commitment, pending):
+    return commitment.coin_hash != pending.coin_hash  # EXPECT[ct-compare]
+
+
+def bad_nonce(record, expected_nonce):
+    if record.nonce != expected_nonce:  # EXPECT[ct-compare]
+        raise ValueError("nonce mismatch")
+
+
+def bad_hexdigest(mac_calc, provided):
+    return provided == mac_calc.hexdigest()  # EXPECT[ct-compare]
+
+
+def good_constant_time(commitment, pending):
+    return constant_time_eq(commitment.coin_hash, pending.coin_hash)
+
+
+def good_literal_comparison(digest):
+    return digest == 0  # negative: structural check against a constant
+
+
+def good_unrelated_names(amount, balance):
+    return amount == balance  # negative: nothing digest-typed

@@ -1,0 +1,35 @@
+"""determinism fixture: wall-clock reads in replayable paths.
+
+Never imported — parsed by the lint engine in tests.
+"""
+
+import time
+from datetime import date, datetime
+
+
+def bad_wall_clock():
+    return time.time()  # EXPECT[determinism]
+
+
+def bad_datetime_now():
+    return datetime.now()  # EXPECT[determinism]
+
+
+def bad_utcnow():
+    return datetime.utcnow()  # EXPECT[determinism]
+
+
+def bad_date_today():
+    return date.today()  # EXPECT[determinism]
+
+
+def good_duration_measurement():
+    return time.perf_counter()  # negative: host-duration measurement
+
+
+def good_sim_clock(sim):
+    return sim.now  # negative: the simulated clock
+
+
+def good_explicit_now(coin, now):
+    return coin.ensure_spendable(now)  # negative: time threaded as data

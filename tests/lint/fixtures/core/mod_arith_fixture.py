@@ -1,0 +1,33 @@
+"""mod-arith fixture: % p exponents and raw pow() outside crypto/perf.
+
+Never imported — parsed by the lint engine in tests. Lives under a
+``core/`` directory, so the raw-pow ban applies.
+"""
+
+
+def bad_raw_pow(g, x, p):
+    return pow(g, x, p)  # EXPECT[mod-arith]
+
+
+def bad_exponent_mod_p(group, base, e):
+    return group.exp(base, e % group.p)  # EXPECT[mod-arith]
+
+
+def bad_power_operator(g, e, p):
+    return g ** (e % p)  # EXPECT[mod-arith]
+
+
+def bad_multi_exp(group, a, ea, b, eb, p):
+    return group.exp2(a, ea, b, eb % p)  # EXPECT[mod-arith]
+
+
+def good_exponent_mod_q(group, base, e):
+    return group.exp(base, e % group.q)  # negative: Z_q reduction
+
+
+def good_counted_op(group, base, e):
+    return group.exp(base, e)  # negative: the counted group op
+
+
+def good_table_pow(table, e):
+    return table.pow(e)  # negative: method call, not the builtin

@@ -1,0 +1,63 @@
+"""secret-flow fixture: known positives (EXPECT-marked) and negatives.
+
+Never imported — parsed by the lint engine in tests. The ``core/``
+directory name puts it in the rule's default scope.
+"""
+
+
+def leak_into_log(x1, logger):
+    logger.warning(x1)  # EXPECT[secret-flow]
+
+
+def leak_into_print(session):
+    print(session.blinding)  # EXPECT[secret-flow]
+
+
+def leak_into_fstring(x2):
+    label = f"coin secret {x2}"  # EXPECT[secret-flow]
+    return label
+
+
+def leak_via_repr(wallet):
+    return repr(wallet.private_key)  # EXPECT[secret-flow]
+
+
+def leak_into_exception(y1):
+    raise ValueError(f"bad share {y1}")  # EXPECT[secret-flow]
+
+
+def leak_into_metric_label(obs, account_secret):
+    obs.counter_inc("withdrawals_total", owner=account_secret)  # EXPECT[secret-flow]
+
+
+class LeakyMessage:
+    def to_wire(self):
+        out = {"value": 25}
+        out["x1"] = self.x1  # EXPECT[secret-flow]
+        return out
+
+
+class LeakyDict:
+    def to_wire(self):
+        return {"y2": self.y2}  # EXPECT[secret-flow]
+
+
+class DoubleSpendProof:
+    """Allow-listed egress: revealing the secrets IS the proof."""
+
+    def to_wire(self):
+        out = {"coin_hash": self.coin_hash}
+        out["x1"] = self.x.k1  # negative: allow-listed transcript field
+        return out
+
+
+def derived_values_are_fine(x1, d, q, logger):
+    # Arithmetic over a secret is not a direct leak; only the raw value is.
+    response = (x1 * d) % q
+    logger.info("response ready")  # negative: no secret in the call
+    comparison = f"matches: {response == x1}"  # negative: top level is a Compare
+    return comparison
+
+
+def public_names_are_fine(coin_hash, logger):
+    logger.info(f"deposited {coin_hash:#x}")  # negative: not in the lexicon

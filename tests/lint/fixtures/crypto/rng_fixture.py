@@ -1,0 +1,38 @@
+"""rng-discipline fixture (crypto/ scope): direct RNG calls are banned.
+
+Never imported — parsed by the lint engine in tests.
+"""
+
+import os
+import random
+import secrets
+
+from repro.crypto.numbers import random_scalar
+
+
+def bad_direct_random(q):
+    return random.randrange(1, q)  # EXPECT[rng-discipline]
+
+
+def bad_secrets(q):
+    return secrets.randbelow(q)  # EXPECT[rng-discipline]
+
+
+def bad_urandom():
+    return os.urandom(32)  # EXPECT[rng-discipline]
+
+
+def bad_unseeded_instance():
+    return random.Random()  # EXPECT[rng-discipline]
+
+
+def good_helper(q):
+    return random_scalar(q)  # negative: the sanctioned helper
+
+
+def good_passed_rng(q, rng):
+    return rng.randrange(1, q)  # negative: explicit instance, caller seeds it
+
+
+def good_seeded_instance(seed):
+    return random.Random(seed)  # EXPECT[rng-discipline]

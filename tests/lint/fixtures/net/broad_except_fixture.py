@@ -1,0 +1,56 @@
+"""broad-except fixture (net/ scope): swallowers flag, forwarders pass.
+
+Never imported — parsed by the lint engine in tests.
+"""
+
+
+def bad_swallow(deliver, message, log):
+    try:
+        deliver(message)
+    except Exception as error:  # EXPECT[broad-except]
+        log.warning(f"dropped: {error}")
+
+
+def bad_bare(deliver, message):
+    try:
+        deliver(message)
+    except:  # EXPECT[broad-except]
+        pass
+
+
+def bad_tuple(deliver, message):
+    try:
+        deliver(message)
+    except (ValueError, Exception):  # EXPECT[broad-except]
+        return None
+
+
+def good_typed(deliver, message, EcashError):
+    try:
+        deliver(message)
+    except EcashError:  # negative: typed protocol exception
+        return None
+
+
+def good_reraise(release, deliver, message):
+    try:
+        deliver(message)
+    except BaseException:  # negative: forwarder (re-raises)
+        release()
+        raise
+
+
+def good_future_forward(outer, done):
+    try:
+        outer.set_result(done.result())
+    except BaseException as error:  # negative: forwarder (set_exception)
+        outer.set_exception(error)
+
+
+def good_trampoline(generator):
+    try:
+        send_value = yield
+    except BaseException as error:  # negative: forwarder (rebinds for throw)
+        throw = error
+        send_value = None
+    return generator.send(send_value) if throw is None else generator.throw(throw)

@@ -1,0 +1,26 @@
+"""rng-discipline fixture (net/ scope): no global-random, no unseeded Random.
+
+Never imported — parsed by the lint engine in tests.
+"""
+
+import random
+
+
+def bad_global_choice(peers):
+    return random.choice(peers)  # EXPECT[rng-discipline]
+
+
+def bad_global_shuffle(order):
+    random.shuffle(order)  # EXPECT[rng-discipline]
+
+
+def bad_unseeded():
+    return random.Random()  # EXPECT[rng-discipline]
+
+
+def good_seeded(seed):
+    return random.Random(f"overlay:{seed}")  # negative: seeded instance
+
+
+def good_instance_call(rng, peers):
+    return rng.choice(peers)  # negative: seeded instance the caller threads

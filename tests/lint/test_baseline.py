@@ -1,0 +1,80 @@
+"""Baseline semantics plus the checked-in-file freshness guarantee."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, diff_against_baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Finding
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _finding(path: str = "src/mod.py", line: int = 3, snippet: str = "x = pow(a, b, p)") -> Finding:
+    return Finding(
+        path=path, line=line, col=1, rule="mod-arith", message="m", snippet=snippet
+    )
+
+
+def test_round_trip(tmp_path: Path) -> None:
+    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    file = tmp_path / "baseline.json"
+    baseline.save(file)
+    loaded = Baseline.load(file)
+    assert loaded.counts == baseline.counts
+    assert loaded.context == baseline.context
+
+
+def test_missing_file_loads_empty(tmp_path: Path) -> None:
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert not baseline.counts
+
+
+def test_baselined_findings_are_suppressed() -> None:
+    finding = _finding()
+    baseline = Baseline.from_findings([finding])
+    new, stale = diff_against_baseline([finding], baseline)
+    assert new == [] and stale == []
+
+
+def test_new_finding_fails() -> None:
+    baseline = Baseline.from_findings([_finding()])
+    fresh = _finding(snippet="y = pow(c, d, p)")
+    new, stale = diff_against_baseline([_finding(), fresh], baseline)
+    assert new == [fresh] and stale == []
+
+
+def test_stale_entry_fails() -> None:
+    gone = _finding()
+    baseline = Baseline.from_findings([gone])
+    new, stale = diff_against_baseline([], baseline)
+    assert new == [] and stale == [gone.fingerprint()]
+    assert "mod-arith" in baseline.describe(gone.fingerprint())
+
+
+def test_counts_matter_per_fingerprint() -> None:
+    """Baselining one occurrence does not excuse a second identical one."""
+    first = _finding(line=3)
+    second = _finding(line=30)  # same snippet => same fingerprint
+    assert first.fingerprint() == second.fingerprint()
+    baseline = Baseline.from_findings([first])
+    new, stale = diff_against_baseline([first, second], baseline)
+    assert new == [second] and stale == []
+
+
+def test_checked_in_baseline_matches_fresh_run_over_src() -> None:
+    """The repo invariant: LINT_baseline.json is exactly a fresh run.
+
+    No new findings (src/ is lint-clean modulo the grandfathered set)
+    and no stale suppressions (every baselined finding still exists).
+    """
+    engine = LintEngine(root=ROOT)
+    findings = engine.lint([ROOT / "src"])
+    baseline = Baseline.load(ROOT / "LINT_baseline.json")
+    new, stale = diff_against_baseline(findings, baseline)
+    assert new == [], f"non-baselined findings in src/: {[f.location() for f in new]}"
+    assert stale == [], f"stale baseline entries: {stale}"
+    # The grandfathered set is small and deliberate; a growing baseline
+    # is a smell this assertion surfaces in review.
+    assert sum(baseline.counts.values()) == len(findings) == 4

@@ -1,0 +1,92 @@
+"""The ``python -m repro lint`` subcommand: formats, baseline, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CLEAN = "VALUE = 42\n"
+DIRTY = "import time\n\ndef f(g, x, p):\n    return pow(g, x, p), time.time()\n"
+
+
+def _write(tmp_path: Path, source: str) -> Path:
+    file = tmp_path / "core" / "mod.py"
+    file.parent.mkdir(exist_ok=True)
+    file.write_text(source)
+    return file
+
+
+def test_clean_file_exits_zero(tmp_path, capsys) -> None:
+    file = _write(tmp_path, CLEAN)
+    assert main(["lint", str(file)]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_and_name_rule_and_location(tmp_path, capsys) -> None:
+    file = _write(tmp_path, DIRTY)
+    assert main(["lint", str(file)]) == 1
+    out = capsys.readouterr().out
+    assert "mod-arith" in out and "determinism" in out
+    assert "mod.py:4:" in out  # rule + file:line for CI logs
+
+
+def test_json_format(tmp_path, capsys) -> None:
+    file = _write(tmp_path, DIRTY)
+    assert main(["lint", str(file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert rules == {"mod-arith", "determinism"}
+    assert payload["ok"] is False
+    assert payload["checked_files"] == 1
+    assert all(
+        {"path", "line", "col", "fingerprint"} <= set(f) for f in payload["findings"]
+    )
+
+
+def test_rule_filter_and_unknown_rule(tmp_path, capsys) -> None:
+    file = _write(tmp_path, DIRTY)
+    assert main(["lint", str(file), "--rule", "determinism"]) == 1
+    out = capsys.readouterr().out
+    assert "determinism" in out and "mod-arith" not in out
+    assert main(["lint", str(file), "--rule", "bogus"]) == 2
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "secret-flow",
+        "rng-discipline",
+        "mod-arith",
+        "ct-compare",
+        "determinism",
+        "broad-except",
+    ):
+        assert rule_id in out
+
+
+def test_baseline_workflow(tmp_path, capsys, monkeypatch) -> None:
+    """write-baseline grandfathers; later runs stay green until drift."""
+    monkeypatch.chdir(tmp_path)
+    file = _write(tmp_path, DIRTY)
+    baseline = tmp_path / "LINT_baseline.json"
+
+    assert main(["lint", str(file), "--write-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    # Grandfathered: clean against the baseline.
+    assert main(["lint", str(file), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # A fresh violation is NOT covered.
+    file.write_text(DIRTY + "\nstamp = time.time()\n")
+    assert main(["lint", str(file), "--baseline", str(baseline)]) == 1
+    assert "determinism" in capsys.readouterr().out
+
+    # Fixing everything leaves stale suppressions -> still a failure.
+    file.write_text(CLEAN)
+    assert main(["lint", str(file), "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
