@@ -367,6 +367,61 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_provision(args: argparse.Namespace) -> int:
+    from repro.daemon.demo import write_deployment
+
+    config = write_deployment(args.dir, args.seed)
+    print(f"provisioned {len(config.nodes)} daemons + client keys in {args.dir}")
+    for name, address in config.nodes.items():
+        print(f"  {name:<14} {address.role:<9} {address.host}:{address.port}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.daemon.service import serve
+
+    try:
+        asyncio.run(serve(args.dir, args.name, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.demo:
+        import tempfile
+
+        from repro.daemon.demo import format_report, run_loopback_demo
+
+        with tempfile.TemporaryDirectory(prefix="repro-daemon-") as directory:
+            report = run_loopback_demo(directory, seed=args.seed)
+        print(format_report(report))
+        return 0 if not report["problems"] else 1
+
+    from repro.daemon.client import SocketTransport
+    from repro.daemon.config import load_config
+    from repro.daemon.keys import load_authorized, load_identity
+
+    async def ping() -> dict[str, object]:
+        config = load_config(args.dir)
+        transport = SocketTransport(
+            load_identity(args.dir, args.name),
+            load_authorized(args.dir),
+            config.netmap(),
+        )
+        try:
+            return await transport.call(args.peer, args.method, {})
+        finally:
+            await transport.close()
+
+    print(asyncio.run(ping()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -528,6 +583,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="use the 512-bit test group"
     )
     report.set_defaults(func=_cmd_report)
+
+    provision = subparsers.add_parser(
+        "provision", help="write daemon keys + netmap for a loopback deployment"
+    )
+    provision.add_argument("--dir", required=True, help="deployment directory")
+    provision.set_defaults(func=_cmd_provision)
+
+    serve = subparsers.add_parser(
+        "serve", help="run one daemon (broker/witness/merchant) from a deployment dir"
+    )
+    serve.add_argument("--dir", required=True, help="deployment directory")
+    serve.add_argument("--name", required=True, help="node name to serve")
+    serve.add_argument("--host", default=None, help="bind address override")
+    serve.add_argument("--port", type=int, default=None, help="bind port override")
+    serve.set_defaults(func=_cmd_serve)
+
+    connect = subparsers.add_parser(
+        "connect", help="connect to a daemon deployment (or run the loopback demo)"
+    )
+    connect.add_argument(
+        "--demo",
+        action="store_true",
+        help="spawn broker+witness+merchant, run the full lifecycle, compare "
+        "byte accounting against the sim backend",
+    )
+    connect.add_argument("--dir", default=None, help="deployment directory")
+    connect.add_argument("--name", default="client-0", help="connecting identity")
+    connect.add_argument("--peer", default="broker", help="daemon to contact")
+    connect.add_argument("--method", default="admin/ping", help="method to call")
+    connect.set_defaults(func=_cmd_connect)
 
     return parser
 

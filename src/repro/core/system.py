@@ -48,6 +48,16 @@ class EcashSystem:
         weights: witness-range weights (defaults to uniform).
         security_deposit: per-merchant security deposit in cents.
         seed: seed for deterministic randomness across all parties.
+        independent_rngs: give every party its own seeded stream derived
+            from ``(seed, party label)`` instead of one shared stream.
+            Two processes that build the same system then produce
+            byte-identical protocol messages for the same per-party
+            operation sequence, regardless of how the parties' operations
+            interleave across processes — the property the distributed
+            daemon deployment (:mod:`repro.daemon`) relies on to match
+            the sim transport's byte accounting. The default (shared
+            stream) is unchanged, so existing seeded scenarios replay
+            exactly.
     """
 
     def __init__(
@@ -57,16 +67,26 @@ class EcashSystem:
         weights: Mapping[str, float] | None = None,
         security_deposit: int = DEFAULT_SECURITY_DEPOSIT,
         seed: int | None = None,
+        independent_rngs: bool = False,
     ) -> None:
         if not merchant_ids:
             raise ValueError("an e-cash system needs at least one merchant")
+        if independent_rngs and seed is None:
+            raise ValueError("independent_rngs requires an explicit seed")
         self.params = params if params is not None else test_params()
+        self.independent_rngs = independent_rngs
+        self._seed = seed
+        self._client_count = 0
         self.rng = random.Random(seed) if seed is not None else None
         self.ledger = Ledger()
-        self.broker = Broker(self.params, ledger=self.ledger, rng=self.rng)
+        self.broker = Broker(
+            self.params, ledger=self.ledger, rng=self._party_rng("broker")
+        )
         self.nodes: dict[str, MerchantNode] = {}
         for merchant_id in merchant_ids:
-            keypair = SchnorrKeyPair.generate(self.params.group, self.rng)
+            keypair = SchnorrKeyPair.generate(
+                self.params.group, self._party_rng(f"keys:{merchant_id}")
+            )
             self.broker.register_merchant(
                 merchant_id, keypair.public, security_deposit
             )
@@ -76,7 +96,7 @@ class EcashSystem:
                 keypair=keypair,
                 broker_blind_public=self.broker.blind_public,
                 broker_sign_public=self.broker.sign_public,
-                rng=self.rng,
+                rng=self._party_rng(f"merchant:{merchant_id}"),
             )
             witness = WitnessService(
                 params=self.params,
@@ -84,7 +104,7 @@ class EcashSystem:
                 keypair=keypair,
                 broker_sign_public=self.broker.sign_public,
                 broker_blind_public=self.broker.blind_public,
-                rng=self.rng,
+                rng=self._party_rng(f"witness:{merchant_id}"),
             )
             self.nodes[merchant_id] = MerchantNode(merchant=merchant, witness=witness)
         table_weights = dict(weights) if weights else {mid: 1.0 for mid in merchant_ids}
@@ -98,13 +118,31 @@ class EcashSystem:
         """All registered merchant identifiers."""
         return tuple(self.nodes)
 
+    def _party_rng(self, label: str) -> random.Random | None:
+        """The randomness stream for one party.
+
+        Shared-stream mode (the default) hands every party the same
+        :class:`random.Random` so draws interleave exactly as they always
+        have; independent mode derives one stream per label.
+        """
+        if not self.independent_rngs:
+            return self.rng
+        return random.Random(f"party:{self._seed}:{label}")
+
     def new_client(self) -> Client:
-        """Create a client knowing the broker's public keys."""
+        """Create a client knowing the broker's public keys.
+
+        In ``independent_rngs`` mode the *n*-th client created gets the
+        ``client:n`` stream, so processes that create their clients in the
+        same order agree on every client's randomness.
+        """
+        index = self._client_count
+        self._client_count += 1
         return Client(
             params=self.params,
             broker_blind_public=self.broker.blind_public,
             broker_sign_public=self.broker.sign_public,
-            rng=self.rng,
+            rng=self._party_rng(f"client:{index}"),
         )
 
     def merchant(self, merchant_id: str) -> Merchant:

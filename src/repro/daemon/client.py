@@ -1,0 +1,306 @@
+"""Client side of the daemon RPC layer.
+
+:class:`PeerConnection` multiplexes concurrent requests over one
+authenticated TCP connection (8-byte request ids pair responses with
+callers), applies per-call timeouts, and retries *connection
+establishment* with bounded, seeded backoff. Completed protocol calls
+are never retried automatically — a payment that timed out may have
+been applied remotely, and the protocol layer (coin renewal, deposit
+reconciliation) owns that recovery, exactly as in the sim.
+
+:class:`SocketTransport` is the :class:`repro.net.registry.Transport`
+implementation for real sockets: it drives the shared ``*_flow``
+generators, performing each yielded
+:class:`~repro.net.registry.RemoteCall` against the daemon that serves
+the destination node, and mirrors the sim's
+:class:`~repro.net.transport.TrafficMeter` byte accounting on the
+client's side of every exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+from typing import Any, Mapping
+
+from repro import obs
+from repro.core.exceptions import ServiceUnavailableError
+from repro.faults.recovery import BackoffPolicy
+from repro.net.registry import Flow, RemoteCall
+from repro.net.transport import TrafficMeter
+from repro.daemon import wire
+from repro.daemon.auth import client_handshake
+from repro.daemon.framing import (
+    Frame,
+    FrameError,
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    read_frame,
+    write_frame,
+)
+from repro.daemon.keys import NodeIdentity
+
+#: Default per-call timeout, matching the sim's RPC deadline.
+DEFAULT_CALL_TIMEOUT = 15.0
+
+#: Connection-establishment attempts (the first try plus retries).
+DEFAULT_CONNECT_ATTEMPTS = 5
+
+#: Methods under this prefix are control-plane traffic: never metered,
+#: so protocol byte accounting matches the sim's exactly.
+ADMIN_PREFIX = "admin/"
+
+
+class PeerConnection:
+    """One authenticated connection to a daemon, multiplexing requests."""
+
+    def __init__(
+        self,
+        peer_name: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        meter: TrafficMeter,
+    ) -> None:
+        self.peer_name = peer_name
+        self._reader = reader
+        self._writer = writer
+        self._meter = meter
+        self._next_id = 1
+        self._pending: dict[int, asyncio.Future[Frame]] = {}
+        self._send_lock = asyncio.Lock()
+        self._receiver = asyncio.create_task(self._receive_loop())
+        self._closed = False
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        identity: NodeIdentity,
+        peer_name: str,
+        authorized: Mapping[str, int],
+        meter: TrafficMeter,
+        rng: random.Random | None = None,
+        backoff: BackoffPolicy | None = None,
+        attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+    ) -> "PeerConnection":
+        """Connect, authenticate, and return a ready connection.
+
+        Connection refusals (a daemon still starting up) are retried
+        ``attempts`` times with seeded exponential backoff; handshake
+        failures are not retried — a peer that rejects our key now will
+        reject it again.
+
+        Raises:
+            ServiceUnavailableError: the peer stayed unreachable.
+            HandshakeError: mutual authentication failed.
+        """
+        handshake_rng = rng if rng is not None else random.Random(os.urandom(16))
+        policy = backoff if backoff is not None else BackoffPolicy(base=0.05, max_delay=2.0)
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError as error:
+                last_error = error
+                await asyncio.sleep(policy.delay(attempt, handshake_rng))
+                continue
+            try:
+                await client_handshake(
+                    reader, writer, identity, peer_name, authorized, handshake_rng
+                )
+            except (FrameError, ConnectionError) as error:
+                # The daemon may have accepted the TCP connection while
+                # still wiring up; treat a dropped handshake as not-yet-up.
+                writer.close()
+                last_error = error
+                await asyncio.sleep(policy.delay(attempt, handshake_rng))
+                continue
+            return cls(peer_name, reader, writer, meter)
+        raise ServiceUnavailableError(
+            f"could not reach {peer_name!r} at {host}:{port}: {last_error}"
+        )
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                waiter = self._pending.pop(frame.request_id, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+        except (FrameError, ConnectionError, asyncio.CancelledError) as error:
+            for waiter in self._pending.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        ServiceUnavailableError(
+                            f"connection to {self.peer_name!r} lost: {error}"
+                        )
+                    )
+            self._pending.clear()
+
+    async def request(
+        self,
+        method: str,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Perform one RPC; returns the (nested, text-valued) reply payload.
+
+        Raises:
+            EcashError subclass: the remote handler refused (rebuilt from
+                the typed error frame).
+            ServiceUnavailableError: timeout or connection loss.
+        """
+        body = wire.request_body(method, payload)
+        request_id = self._next_id
+        self._next_id += 1
+        waiter: asyncio.Future[Frame] = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = waiter
+        metered = not method.startswith(ADMIN_PREFIX)
+        async with self._send_lock:
+            await write_frame(
+                self._writer,
+                Frame(kind=KIND_REQUEST, request_id=request_id, body=body),
+            )
+        if metered:
+            self._meter.record_sent(wire.message_size(body))
+        deadline = timeout if timeout is not None else DEFAULT_CALL_TIMEOUT
+        try:
+            frame = await asyncio.wait_for(waiter, deadline)
+        except asyncio.TimeoutError as error:
+            self._pending.pop(request_id, None)
+            raise ServiceUnavailableError(
+                f"call {method!r} to {self.peer_name!r} timed out after {deadline}s"
+            ) from error
+        if metered:
+            self._meter.record_received(wire.message_size(frame.body))
+        if frame.kind == KIND_ERROR:
+            raise wire.parse_error(frame.body)
+        if frame.kind != KIND_RESPONSE:
+            raise ServiceUnavailableError(
+                f"peer {self.peer_name!r} sent frame kind {frame.kind} in response"
+            )
+        return wire.parse_response(frame.body)
+
+    async def close(self) -> None:
+        """Tear the connection down and cancel the receive loop."""
+        if self._closed:
+            return
+        self._closed = True
+        self._receiver.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class SocketTransport:
+    """Drive the shared protocol flows over authenticated sockets.
+
+    The real-network counterpart of the sim deployment's ``run_flow``:
+    connections to the daemons named in ``netmap`` are opened lazily and
+    reused, and every non-admin exchange is recorded on :attr:`meter`
+    with the same ``body + HTTP framing`` arithmetic the sim charges.
+    """
+
+    def __init__(
+        self,
+        identity: NodeIdentity,
+        authorized: Mapping[str, int],
+        netmap: Mapping[str, tuple[str, int]],
+        connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
+        connect_backoff: BackoffPolicy | None = None,
+    ) -> None:
+        self.identity = identity
+        self.authorized = dict(authorized)
+        self.netmap = {name: (host, port) for name, (host, port) in netmap.items()}
+        self.connect_attempts = connect_attempts
+        self.connect_backoff = connect_backoff
+        #: Client-side byte accounting, comparable to the sim node's meter.
+        self.meter = TrafficMeter()
+        self._connections: dict[str, PeerConnection] = {}
+
+    async def connection(self, destination: str) -> PeerConnection:
+        """The (lazily opened) connection to ``destination``."""
+        existing = self._connections.get(destination)
+        if existing is not None:
+            return existing
+        try:
+            host, port = self.netmap[destination]
+        except KeyError:
+            raise ServiceUnavailableError(
+                f"no daemon serves node {destination!r}"
+            ) from None
+        connection = await PeerConnection.open(
+            host,
+            port,
+            self.identity,
+            destination,
+            self.authorized,
+            self.meter,
+            backoff=self.connect_backoff,
+            attempts=self.connect_attempts,
+        )
+        self._connections[destination] = connection
+        return connection
+
+    async def call(
+        self,
+        destination: str,
+        method: str,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """One RPC to the daemon serving ``destination``."""
+        connection = await self.connection(destination)
+        with obs.span("daemon.call", method=method, destination=destination):
+            return await connection.request(method, payload, timeout)
+
+    async def run_flow(self, source: str, flow: Flow) -> Any:
+        """Execute a protocol flow over the sockets (Transport impl).
+
+        ``source`` names the acting party for interface symmetry with the
+        sim; over sockets the acting party is always this transport's own
+        identity.
+        """
+        del source  # the socket transport *is* the source node
+        reply: Any = None
+        failure: BaseException | None = None
+        while True:
+            try:
+                if failure is not None:
+                    error, failure = failure, None
+                    call = flow.throw(error)
+                else:
+                    call = flow.send(reply)
+            except StopIteration as stop:
+                return stop.value
+            if not isinstance(call, RemoteCall):
+                raise TypeError(
+                    f"flow yielded {type(call).__name__}, expected RemoteCall"
+                )
+            try:
+                reply = await self.call(
+                    call.destination, call.method, call.payload, call.timeout
+                )
+            except Exception as error:
+                failure = error
+                reply = None
+
+    async def close(self) -> None:
+        """Close every open connection."""
+        for connection in self._connections.values():
+            await connection.close()
+        self._connections.clear()
+
+
+__all__ = [
+    "ADMIN_PREFIX",
+    "DEFAULT_CALL_TIMEOUT",
+    "DEFAULT_CONNECT_ATTEMPTS",
+    "PeerConnection",
+    "SocketTransport",
+]

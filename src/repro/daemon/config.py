@@ -1,0 +1,119 @@
+"""Deployment descriptors: which daemon serves which node, and where.
+
+A deployment directory (the ``--dir`` of ``repro serve``/``connect``)
+holds the key files of :mod:`repro.daemon.keys` plus a ``netmap.json``
+describing the whole deployment — the system seed and merchant roster
+(so every process can deterministically rebuild the same
+:class:`~repro.core.system.EcashSystem` with per-party RNG streams) and
+the host/port/role of every daemon.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.system import EcashSystem
+
+#: File name of the deployment descriptor inside a deployment directory.
+NETMAP_FILE = "netmap.json"
+
+#: Daemon roles a netmap entry may declare.
+ROLES = ("broker", "witness", "merchant")
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """Where one daemon listens and which role it plays."""
+
+    host: str
+    port: int
+    role: str
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Everything a process needs to join a daemon deployment.
+
+    Attributes:
+        seed: system seed; every process derives the same parties from it.
+        merchants: the full merchant roster of the shared system.
+        witness_weights: witness-table weights (empty = uniform).
+        nodes: daemon address and role per served node name.
+    """
+
+    seed: int
+    merchants: tuple[str, ...]
+    witness_weights: dict[str, float] = field(default_factory=dict)
+    nodes: dict[str, NodeAddress] = field(default_factory=dict)
+
+    def build_system(self) -> EcashSystem:
+        """Rebuild the deployment's shared system, per-party seeded.
+
+        Every daemon process calls this and then serves only its own
+        party's actors; because the streams are derived per party, the
+        processes collectively behave like one seeded system.
+        """
+        return EcashSystem(
+            merchant_ids=self.merchants,
+            seed=self.seed,
+            independent_rngs=True,
+            weights=self.witness_weights or None,
+        )
+
+    def netmap(self) -> dict[str, tuple[str, int]]:
+        """``name -> (host, port)`` for the client transport."""
+        return {name: (entry.host, entry.port) for name, entry in self.nodes.items()}
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``netmap.json`` into a deployment directory."""
+        path = Path(directory) / NETMAP_FILE
+        path.write_text(
+            json.dumps(
+                {
+                    "seed": self.seed,
+                    "merchants": list(self.merchants),
+                    "witness_weights": self.witness_weights,
+                    "nodes": {
+                        name: {
+                            "host": entry.host,
+                            "port": entry.port,
+                            "role": entry.role,
+                        }
+                        for name, entry in self.nodes.items()
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return path
+
+
+def load_config(directory: str | Path) -> DeploymentConfig:
+    """Load ``netmap.json`` from a deployment directory.
+
+    Raises:
+        ValueError: a node declares an unknown role.
+    """
+    data = json.loads((Path(directory) / NETMAP_FILE).read_text())
+    nodes: dict[str, NodeAddress] = {}
+    for name, entry in data.get("nodes", {}).items():
+        role = str(entry["role"])
+        if role not in ROLES:
+            raise ValueError(f"node {name!r} declares unknown role {role!r}")
+        nodes[name] = NodeAddress(
+            host=str(entry["host"]), port=int(entry["port"]), role=role
+        )
+    return DeploymentConfig(
+        seed=int(data["seed"]),
+        merchants=tuple(str(m) for m in data.get("merchants", ())),
+        witness_weights={
+            str(k): float(v) for k, v in data.get("witness_weights", {}).items()
+        },
+        nodes=nodes,
+    )
+
+
+__all__ = ["DeploymentConfig", "NETMAP_FILE", "NodeAddress", "ROLES", "load_config"]

@@ -1,0 +1,177 @@
+"""Length-prefixed framing for the daemon TCP transport.
+
+A frame is a fixed 13-byte header followed by the body::
+
+    +----------------+------+----------------------+----------------+
+    | body length    | kind | request id           | body           |
+    | 4 bytes, BE    | 1 B  | 8 bytes, BE          | length bytes   |
+    +----------------+------+----------------------+----------------+
+
+The body of a protocol frame is exactly the URL-encoded string a
+simulated :class:`~repro.net.transport.Message` would carry — the header
+plays the role of the HTTP envelope the sim charges as
+:data:`~repro.net.transport.HTTP_FRAMING_BYTES`, so both backends
+account a message as ``len(body) + HTTP_FRAMING_BYTES`` and arrive at
+identical byte counts.
+
+:class:`FrameDecoder` is sans-IO (feed bytes, collect frames) so it can
+be tested without sockets; :func:`read_frame`/:func:`write_frame` adapt
+it to asyncio streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+#: Header layout: 4-byte big-endian body length, 1-byte frame kind,
+#: 8-byte big-endian request id.
+HEADER = struct.Struct(">IBQ")
+
+#: Header size in bytes (13).
+HEADER_BYTES = HEADER.size
+
+#: Frame kinds. Requests carry a method + payload body, responses a
+#: ``method/ok`` body, errors an ``_error`` body; control frames belong
+#: to the pre-protocol handshake and are never metered.
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+KIND_ERROR = 2
+KIND_CONTROL = 3
+
+_KINDS = frozenset({KIND_REQUEST, KIND_RESPONSE, KIND_ERROR, KIND_CONTROL})
+
+#: Upper bound on a frame body. Far above any legitimate protocol
+#: message (the largest batched deposit in the benchmarks is tens of
+#: kilobytes); a peer announcing more is malformed or hostile and the
+#: connection is dropped before buffering its body.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class FrameError(Exception):
+    """A malformed frame: bad kind, truncated stream, or broken header."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame announcing a body beyond :data:`MAX_FRAME_BYTES`."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: kind, request id and raw body bytes."""
+
+    kind: int
+    request_id: int
+    body: bytes
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame (header + body).
+
+    Raises:
+        FrameError: unknown kind.
+        FrameTooLargeError: body beyond :data:`MAX_FRAME_BYTES`.
+    """
+    if frame.kind not in _KINDS:
+        raise FrameError(f"unknown frame kind {frame.kind}")
+    if len(frame.body) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame body of {len(frame.body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return HEADER.pack(len(frame.body), frame.kind, frame.request_id) + frame.body
+
+
+class FrameDecoder:
+    """Incremental frame parser over an untrusted byte stream.
+
+    Feed arbitrary chunks; complete frames come back in order. Partial
+    input is buffered until the rest arrives, so truncated frames simply
+    yield nothing (the caller decides when EOF mid-frame is an error —
+    see :func:`read_frame`).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume a chunk, returning every frame it completed.
+
+        Raises:
+            FrameError: header announces an unknown kind.
+            FrameTooLargeError: header announces an oversized body. The
+                check fires on the *header*, before any body bytes are
+                buffered, so an attacker cannot balloon server memory.
+        """
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while len(self._buffer) >= HEADER_BYTES:
+            length, kind, request_id = HEADER.unpack_from(self._buffer)
+            if kind not in _KINDS:
+                raise FrameError(f"unknown frame kind {kind}")
+            if length > MAX_FRAME_BYTES:
+                raise FrameTooLargeError(
+                    f"frame header announces {length} bytes, limit is {MAX_FRAME_BYTES}"
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            body = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+            del self._buffer[: HEADER_BYTES + length]
+            frames.append(Frame(kind=kind, request_id=request_id, body=body))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read exactly one frame from a stream.
+
+    Raises:
+        FrameError: the stream ended mid-frame (truncation), the header
+            is malformed, or the announced body is oversized.
+        ConnectionError: the transport failed underneath.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise FrameError("connection closed") from error
+        raise FrameError("truncated frame header") from error
+    length, kind, request_id = HEADER.unpack(header)
+    if kind not in _KINDS:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame header announces {length} bytes, limit is {MAX_FRAME_BYTES}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("truncated frame body") from error
+    return Frame(kind=kind, request_id=request_id, body=body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+    """Serialize and send one frame, waiting for the buffer to drain."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLargeError",
+    "HEADER_BYTES",
+    "KIND_CONTROL",
+    "KIND_ERROR",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,108 @@
+"""Static node identities for the authenticated daemon transport.
+
+Every daemon (and every connecting client) owns a long-lived Schnorr
+keypair; a deployment directory holds one ``<name>.key`` file per node
+plus an ``authorized.json`` roster mapping node names to public keys —
+the CURVE/Ironhouse provisioning model: possession of a roster entry is
+what authorizes a peer, and unknown keys are rejected during the
+handshake before any protocol message is parsed.
+
+Identity keys are *transport* credentials, distinct from the protocol
+keys :class:`~repro.core.system.EcashSystem` wires into the parties;
+they are derived deterministically from ``(seed, name)`` so every
+process of a deployment can re-derive the same roster.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.params import SystemParams, test_params
+from repro.crypto.schnorr import SchnorrKeyPair
+
+#: File name of the public-key roster inside a deployment directory.
+AUTHORIZED_FILE = "authorized.json"
+
+
+@dataclass(frozen=True)
+class NodeIdentity:
+    """A node's name and transport keypair."""
+
+    name: str
+    keypair: SchnorrKeyPair
+
+    @property
+    def public(self) -> int:
+        """The public transport key peers authorize."""
+        return self.keypair.public
+
+
+def identity_keypair(
+    name: str, seed: int, params: SystemParams | None = None
+) -> SchnorrKeyPair:
+    """Derive the deterministic transport keypair for ``name``.
+
+    The stream is namespaced separately from every protocol party stream
+    (``identity:`` vs ``party:``), so transport keys never perturb
+    protocol randomness.
+    """
+    group = (params if params is not None else test_params()).group
+    return SchnorrKeyPair.generate(group, random.Random(f"identity:{seed}:{name}"))
+
+
+def provision(
+    directory: str | Path,
+    names: list[str],
+    seed: int,
+    params: SystemParams | None = None,
+) -> dict[str, int]:
+    """Write key files and the authorized roster for a deployment.
+
+    Creates ``<name>.key`` per node and ``authorized.json`` listing all
+    public keys. Returns the roster mapping.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    roster: dict[str, int] = {}
+    for name in names:
+        keypair = identity_keypair(name, seed, params)
+        roster[name] = keypair.public
+        key_path = base / f"{name}.key"
+        key_path.write_text(
+            json.dumps(
+                {"name": name, "secret": keypair.secret, "public": keypair.public}
+            )
+        )
+    (base / AUTHORIZED_FILE).write_text(json.dumps(roster, sort_keys=True, indent=2))
+    return roster
+
+
+def load_identity(
+    directory: str | Path, name: str, params: SystemParams | None = None
+) -> NodeIdentity:
+    """Load one node's keypair from its ``<name>.key`` file."""
+    data = json.loads((Path(directory) / f"{name}.key").read_text())
+    group = (params if params is not None else test_params()).group
+    keypair = SchnorrKeyPair(
+        group=group, secret=int(data["secret"]), public=int(data["public"])
+    )
+    return NodeIdentity(name=str(data["name"]), keypair=keypair)
+
+
+def load_authorized(directory: str | Path) -> dict[str, int]:
+    """Load the ``authorized.json`` roster (``name -> public key``)."""
+    data = json.loads((Path(directory) / AUTHORIZED_FILE).read_text())
+    return {str(name): int(public) for name, public in data.items()}
+
+
+__all__ = [
+    "AUTHORIZED_FILE",
+    "NodeIdentity",
+    "identity_keypair",
+    "load_authorized",
+    "load_identity",
+    "provision",
+]

@@ -1,0 +1,491 @@
+"""The daemon server: core actors behind an authenticated asyncio socket.
+
+:class:`DaemonNode` is the server half of the RPC layer — it accepts
+connections, runs the mutual handshake, then serves requests from a
+registry dispatch table (the same tables the sim registers on its
+simulated hosts). :class:`BrokerDaemon`, :class:`WitnessDaemon` and
+:class:`MerchantDaemon` wrap a node around the matching
+:class:`~repro.core.system.EcashSystem` party.
+
+Byte accounting mirrors the sim: every non-admin request/response is
+recorded on the node's :class:`~repro.net.transport.TrafficMeter` as
+``len(body) + HTTP_FRAMING_BYTES``, and a per-RPC log keeps the exact
+``(method, request bytes, response bytes, kind)`` tuples so a loopback
+run can be checked against a sim replay of the same scenario.
+
+The protocol clock is pinnable over the control plane (``admin/clock``)
+— scripted scenarios pin every daemon to the same protocol second before
+each step, which is what makes timestamps (and therefore signatures and
+message bytes) reproducible across backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+from typing import Any, Awaitable, Callable, Generator, Mapping
+
+from repro import obs
+from repro.core.exceptions import EcashError
+from repro.core.system import EcashSystem
+from repro.net import registry
+from repro.net.transport import TrafficMeter
+from repro.daemon import wire
+from repro.daemon.auth import HandshakeError, server_handshake
+from repro.daemon.client import SocketTransport
+from repro.daemon.framing import (
+    Frame,
+    FrameError,
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    read_frame,
+    write_frame,
+)
+from repro.daemon.keys import NodeIdentity
+
+#: Control-plane method prefix; see :data:`repro.daemon.client.ADMIN_PREFIX`.
+from repro.daemon.client import ADMIN_PREFIX
+
+
+class DaemonClock:
+    """The protocol clock: whole seconds, wall-driven but pinnable.
+
+    Free-running it counts seconds since the daemon started (monotonic,
+    so never jumps backwards); ``admin/clock`` pins it to an absolute
+    protocol second for scripted cross-process scenarios.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._pinned: int | None = None
+
+    def now(self) -> int:
+        """The current protocol second."""
+        if self._pinned is not None:
+            return self._pinned
+        return int(time.monotonic() - self._origin)
+
+    def pin(self, value: int) -> None:
+        """Freeze the clock at ``value`` until :meth:`unpin`."""
+        self._pinned = value
+
+    def unpin(self) -> None:
+        """Resume free-running time."""
+        self._pinned = None
+
+
+class DaemonNode:
+    """One daemon: an authenticated TCP server over a dispatch table.
+
+    Args:
+        identity: this node's name and transport keypair.
+        authorized: the deployment roster (``name -> public key``).
+        host: bind address.
+        port: bind port (0 picks a free one; see :attr:`port` after
+            :meth:`start`).
+        handlers: protocol dispatch table (admin handlers are added on
+            top and must not collide).
+        clock: the protocol clock, exposed over ``admin/clock``.
+        transport: outbound transport for nested calls (merchant
+            daemons); shares this node's meter when provided.
+    """
+
+    def __init__(
+        self,
+        identity: NodeIdentity,
+        authorized: Mapping[str, int],
+        host: str,
+        port: int,
+        handlers: dict[str, registry.Handler],
+        clock: DaemonClock,
+        transport: SocketTransport | None = None,
+    ) -> None:
+        self.identity = identity
+        self.authorized = dict(authorized)
+        self.host = host
+        self.port = port
+        self.clock = clock
+        self.transport = transport
+        self.meter = transport.meter if transport is not None else TrafficMeter()
+        #: One ``{method, request_bytes, response_bytes, kind}`` entry per
+        #: protocol RPC served, in completion order.
+        self.rpc_log: list[dict[str, Any]] = []
+        self.handlers: dict[str, registry.Handler] = dict(handlers)
+        for method, handler in self._admin_handlers().items():
+            if method in self.handlers:
+                raise ValueError(f"dispatch table already defines {method!r}")
+            self.handlers[method] = handler
+        self._rng = random.Random(os.urandom(16))
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._tasks: set[asyncio.Task[Any]] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``admin/shutdown`` arrives, then close cleanly."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener, open tasks and outbound connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self.transport is not None:
+            await self.transport.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            peer = await server_handshake(
+                reader, writer, self.identity, self.authorized, self._rng
+            )
+        except (HandshakeError, FrameError, ConnectionError, ValueError):
+            obs.counter_inc("daemon_handshake_rejected_total")
+            writer.close()
+            return
+        obs.counter_inc("daemon_connections_total", peer=peer)
+        send_lock = asyncio.Lock()
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame.kind != KIND_REQUEST:
+                    continue  # stray control/response frames are ignored
+                task = asyncio.create_task(
+                    self._handle_request(frame, writer, send_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (FrameError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    async def _run_handler(self, handler: registry.Handler, payload: dict[str, Any]) -> Any:
+        outcome = handler(payload)
+        if isinstance(outcome, Generator):
+            # Generator handlers (the storefront's ``pay``) yield
+            # awaitables from the transport's rpc hook; drive them here.
+            reply: Any = None
+            failure: BaseException | None = None
+            while True:
+                try:
+                    if failure is not None:
+                        error, failure = failure, None
+                        step = outcome.throw(error)
+                    else:
+                        step = outcome.send(reply)
+                except StopIteration as stop:
+                    return stop.value
+                try:
+                    reply = await step
+                except Exception as error:
+                    failure = error
+                    reply = None
+        if isinstance(outcome, Awaitable):
+            return await outcome
+        return outcome
+
+    async def _handle_request(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        started = time.perf_counter()
+        kind = KIND_RESPONSE
+        try:
+            method, payload = wire.parse_request(frame.body)
+        except ValueError as error:
+            method = "?"
+            kind = KIND_ERROR
+            body = wire.error_body(error)
+        else:
+            metered = not method.startswith(ADMIN_PREFIX)
+            if metered:
+                self.meter.record_received(wire.message_size(frame.body))
+            try:
+                handler = self.handlers[method]
+            except KeyError:
+                kind = KIND_ERROR
+                body = wire.error_body(
+                    EcashError(f"node {self.identity.name!r} serves no {method!r}")
+                )
+            else:
+                try:
+                    result = await self._run_handler(handler, payload)
+                    body = wire.response_body(method, result)
+                except EcashError as error:
+                    kind = KIND_ERROR
+                    body = wire.error_body(error)
+                except Exception as error:  # lint: ignore[broad-except]
+                    # Not swallowed: a handler bug crosses the wire as a
+                    # typed error frame and raises on the caller.
+                    kind = KIND_ERROR
+                    body = wire.error_body(error)
+                    obs.counter_inc("daemon_handler_errors_total", method=method)
+            if metered:
+                self.meter.record_sent(wire.message_size(body))
+                self.rpc_log.append(
+                    {
+                        "method": method,
+                        "request_bytes": wire.message_size(frame.body),
+                        "response_bytes": wire.message_size(body),
+                        "kind": "error" if kind == KIND_ERROR else "response",
+                    }
+                )
+        elapsed = time.perf_counter() - started
+        obs.observe("daemon_rpc_seconds", elapsed, method=method)
+        obs.counter_inc(
+            "daemon_rpc_total",
+            method=method,
+            kind="error" if kind == KIND_ERROR else "response",
+        )
+        response = Frame(kind=kind, request_id=frame.request_id, body=body)
+        async with send_lock:
+            await write_frame(writer, response)
+        if method == "admin/shutdown":
+            self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _admin_handlers(self) -> dict[str, registry.Handler]:
+        def ping(payload: dict[str, Any]) -> dict[str, Any]:
+            del payload
+            return {"pong": 1, "name": self.identity.name}
+
+        def clock(payload: dict[str, Any]) -> dict[str, Any]:
+            value = registry.as_int(payload["now"])
+            self.clock.pin(value)
+            return {"now": value}
+
+        def stats(payload: dict[str, Any]) -> dict[str, Any]:
+            del payload
+            out: dict[str, Any] = {
+                "sent": self.meter.sent_bytes,
+                "received": self.meter.received_bytes,
+                "messages_sent": self.meter.messages_sent,
+                "messages_received": self.meter.messages_received,
+            }
+            for index, entry in enumerate(self.rpc_log):
+                out[f"l{index}"] = {
+                    "method": entry["method"],
+                    "req": entry["request_bytes"],
+                    "resp": entry["response_bytes"],
+                    "kind": entry["kind"],
+                }
+            return out
+
+        def shutdown(payload: dict[str, Any]) -> dict[str, Any]:
+            del payload
+            return {"stopping": 1}
+
+        return {
+            "admin/ping": ping,
+            "admin/clock": clock,
+            "admin/stats": stats,
+            "admin/shutdown": shutdown,
+        }
+
+
+class BrokerDaemon:
+    """The broker party served over the daemon transport."""
+
+    def __init__(
+        self,
+        system: EcashSystem,
+        identity: NodeIdentity,
+        authorized: Mapping[str, int],
+        host: str,
+        port: int,
+    ) -> None:
+        self.clock = DaemonClock()
+        self.node = DaemonNode(
+            identity=identity,
+            authorized=authorized,
+            host=host,
+            port=port,
+            handlers=registry.broker_dispatch(system.broker, self.clock.now),
+            clock=self.clock,
+        )
+
+
+class WitnessDaemon:
+    """One merchant's witness service served over the daemon transport."""
+
+    def __init__(
+        self,
+        system: EcashSystem,
+        merchant_id: str,
+        identity: NodeIdentity,
+        authorized: Mapping[str, int],
+        host: str,
+        port: int,
+    ) -> None:
+        self.clock = DaemonClock()
+        self.node = DaemonNode(
+            identity=identity,
+            authorized=authorized,
+            host=host,
+            port=port,
+            handlers=registry.witness_dispatch(
+                system.witness(merchant_id), self.clock.now
+            ),
+            clock=self.clock,
+        )
+
+
+class MerchantDaemon:
+    """A storefront (with its co-located witness) over the daemon transport.
+
+    As in the paper — and the sim — the storefront and witness run
+    together: the dispatch table carries both, and the ``pay`` handler's
+    nested ``witness/sign`` call travels over this daemon's outbound
+    transport to whichever daemon serves the coin's witness. The
+    control-plane ``admin/deposit`` drives the shared deposit flow to the
+    broker, so settlement bytes land on this node's meter exactly as the
+    sim's deposit process charges its merchant node.
+    """
+
+    def __init__(
+        self,
+        system: EcashSystem,
+        merchant_id: str,
+        identity: NodeIdentity,
+        authorized: Mapping[str, int],
+        host: str,
+        port: int,
+        netmap: Mapping[str, tuple[str, int]],
+        broker_id: str = "broker",
+    ) -> None:
+        self.clock = DaemonClock()
+        self.transport = SocketTransport(identity, authorized, netmap)
+        self.merchant_id = merchant_id
+        self._system = system
+        self._broker_id = broker_id
+
+        def relay(
+            destination: str, method: str, payload: dict[str, Any]
+        ) -> Awaitable[dict[str, Any]]:
+            return self.transport.call(destination, method, payload)
+
+        handlers = {
+            **registry.witness_dispatch(system.witness(merchant_id), self.clock.now),
+            **registry.merchant_dispatch(
+                system.merchant(merchant_id), merchant_id, self.clock.now, relay
+            ),
+            "admin/deposit": self._admin_deposit,
+        }
+        self.node = DaemonNode(
+            identity=identity,
+            authorized=authorized,
+            host=host,
+            port=port,
+            handlers=handlers,
+            clock=self.clock,
+            transport=self.transport,
+        )
+
+    async def _admin_deposit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Drive the deposit flow to the broker; returns indexed outcomes."""
+        del payload
+        flow = registry.deposit_flow(
+            self._system.merchant(self.merchant_id), self.merchant_id, self._broker_id
+        )
+        results = await self.transport.run_flow(self.merchant_id, flow)
+        out: dict[str, Any] = {"count": len(results)}
+        for index, result in enumerate(results):
+            out[f"r{index}"] = result
+        return out
+
+
+def build_daemon(
+    directory: str,
+    name: str,
+    host: str | None = None,
+    port: int | None = None,
+) -> BrokerDaemon | WitnessDaemon | MerchantDaemon:
+    """Assemble the daemon serving ``name`` from a deployment directory.
+
+    Loads the netmap and keys, rebuilds the shared system from the
+    deployment seed, and wraps the role the netmap assigns to ``name``.
+
+    Raises:
+        KeyError: the netmap has no entry for ``name``.
+    """
+    from repro.daemon.config import load_config
+    from repro.daemon.keys import load_authorized, load_identity
+
+    config = load_config(directory)
+    address = config.nodes[name]
+    identity = load_identity(directory, name)
+    authorized = load_authorized(directory)
+    system = config.build_system()
+    bind_host = host if host is not None else address.host
+    bind_port = port if port is not None else address.port
+    if address.role == "broker":
+        return BrokerDaemon(system, identity, authorized, bind_host, bind_port)
+    if address.role == "witness":
+        return WitnessDaemon(
+            system, name, identity, authorized, bind_host, bind_port
+        )
+    return MerchantDaemon(
+        system,
+        name,
+        identity,
+        authorized,
+        bind_host,
+        bind_port,
+        netmap=config.netmap(),
+    )
+
+
+async def serve(
+    directory: str,
+    name: str,
+    host: str | None = None,
+    port: int | None = None,
+) -> None:
+    """Run one daemon until ``admin/shutdown`` — the ``serve`` CLI body."""
+    daemon = build_daemon(directory, name, host, port)
+    await daemon.node.start()
+    print(
+        f"{name} listening on {daemon.node.host}:{daemon.node.port}",
+        flush=True,
+    )
+    await daemon.node.serve_until_shutdown()
+
+
+__all__ = [
+    "BrokerDaemon",
+    "DaemonClock",
+    "DaemonNode",
+    "MerchantDaemon",
+    "WitnessDaemon",
+    "build_daemon",
+    "serve",
+]

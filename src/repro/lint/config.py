@@ -165,7 +165,11 @@ def default_config() -> LintConfig:
             # tracer's perf_counter default is duration-only and exempt.
             "determinism": RuleConfig(exclude=("*/obs/*",)),
             # Swallowing Exception in delivery/fault paths hides protocol
-            # bugs the chaos suite exists to surface.
-            "broad-except": RuleConfig(include=("*/net/*", "*/faults/*")),
+            # bugs the chaos suite exists to surface. The daemon package
+            # is delivery code too: its handlers and receive loops must
+            # only catch the typed frame/handshake/protocol errors.
+            "broad-except": RuleConfig(
+                include=("*/net/*", "*/faults/*", "*/daemon/*")
+            ),
         }
     )

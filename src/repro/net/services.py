@@ -23,30 +23,18 @@ from typing import Any, Generator
 from repro import obs
 from repro.faults.recovery import BackoffPolicy, CircuitBreaker
 from repro.core.client import Client, StoredCoin
-from repro.core.coin import BareCoin
-from repro.core.exceptions import DoubleSpendError, ServiceUnavailableError
+from repro.core.exceptions import ServiceUnavailableError
 from repro.core.info import CoinInfo
-from repro.core.merchant import PaymentRequest
 from repro.core.system import EcashSystem
-from repro.core.transcripts import (
-    CommitmentRequest,
-    DoubleSpendProof,
-    PaymentTranscript,
-    SignedTranscript,
-    WitnessCommitment,
-)
+from repro.core.transcripts import SignedTranscript
 from repro.crypto.blind import SignerChallenge, SignerResponse
-from repro.crypto.serialize import (
-    batch_indices,
-    flatten,
-    int_to_text,
-    pack_batch,
-    text_to_int,
-)
+from repro.crypto.serialize import flatten, pack_batch
 from repro.perf.pipeline import DepositPipeline
+from repro.net import registry
 from repro.net.costmodel import ComputeCostModel, python2006_profile
 from repro.net.latency import LatencyModel, Region, planetlab_us
 from repro.net.node import Network, Node, metered
+from repro.net.registry import as_int as _as_int
 from repro.net.sim import Simulator
 
 BROKER_NODE = "broker"
@@ -163,30 +151,56 @@ class NetworkDeployment:
     def _withdrawal_steps(
         self, client_name: str, info: CoinInfo
     ) -> Generator[Any, Any, StoredCoin]:
-        client = self.clients[client_name]
-        opened = flatten(
-            (yield self.network.rpc(
-                client_name, BROKER_NODE, "withdraw/begin", {"info": info.to_wire()}
-            ))
+        flow = registry.withdrawal_flow(
+            self.clients[client_name], BROKER_NODE, self.system.broker.tables, info
         )
-        challenge = SignerChallenge(
-            a=_as_int(opened["ticket.a"]), b=_as_int(opened["ticket.b"])
-        )
-        ticket = _as_int(opened["ticket.id"])
-        session = client.begin_withdrawal(info, challenge)
-        answered = yield self.network.rpc(
-            client_name,
-            BROKER_NODE,
-            "withdraw/complete",
-            {"ticket": ticket, "e": session.e},
-        )
-        response = SignerResponse(
-            r=_as_int(answered["r"]),
-            c=_as_int(answered["c"]),
-            s=_as_int(answered["s"]),
-        )
-        table = self.system.broker.tables[info.list_version]
-        return client.finish_withdrawal(session, response, table)
+        stored = yield from self._drive(client_name, flow)
+        return stored
+
+    def run_flow(self, source: str, flow: registry.Flow) -> Generator[Any, Any, Any]:
+        """Drive a shared protocol flow as a sim process.
+
+        This is the sim's :class:`repro.net.registry.Transport`
+        implementation: the returned generator performs each yielded
+        :class:`~repro.net.registry.RemoteCall` as a simulated RPC and is
+        run (or composed into a larger process) via :meth:`run`.
+        """
+        return self._drive(source, flow)
+
+    def _drive(self, source: str, flow: registry.Flow) -> Generator[Any, Any, Any]:
+        """Translate a flow's RemoteCall yields into simulated RPCs.
+
+        Reply payloads are sent back into the flow; RPC failures (time-
+        outs, offline nodes, remote errors) are thrown into it, so a flow
+        can react — or, as all current flows do, let them propagate.
+        """
+        reply: Any = None
+        failure: BaseException | None = None
+        while True:
+            try:
+                if failure is not None:
+                    error, failure = failure, None
+                    call = flow.throw(error)
+                else:
+                    call = flow.send(reply)
+            except StopIteration as stop:
+                return stop.value
+            try:
+                if call.timeout is None:
+                    reply = yield self.network.rpc(
+                        source, call.destination, call.method, call.payload
+                    )
+                else:
+                    reply = yield self.network.rpc(
+                        source,
+                        call.destination,
+                        call.method,
+                        call.payload,
+                        timeout=call.timeout,
+                    )
+            except Exception as error:
+                failure = error
+                reply = None
 
     def batch_withdrawal_process(
         self, client_name: str, infos: list[CoinInfo]
@@ -218,7 +232,7 @@ class NetworkDeployment:
         sessions = []
         for index, info in enumerate(infos):
             challenge = SignerChallenge(
-                a=_as_int(opened[f"c{index}.a"]), b=_as_int(opened[f"c{index}.b"])
+                a=_as_int(opened[f"c{index}.a"]), b=_as_int(opened[f"c{index}.bare"])
             )
             sessions.append(client.begin_withdrawal(info, challenge))
         answered = flatten(
@@ -235,9 +249,9 @@ class NetworkDeployment:
         coins = []
         for index, (info, session) in enumerate(zip(infos, sessions)):
             response = SignerResponse(
-                r=_as_int(answered[f"r{index}.r"]),
-                c=_as_int(answered[f"r{index}.c"]),
-                s=_as_int(answered[f"r{index}.s"]),
+                r=_as_int(answered[f"r{index}.rho"]),
+                c=_as_int(answered[f"r{index}.commitment"]),
+                s=_as_int(answered[f"r{index}.sig_s"]),
             )
             table = self.system.broker.tables[info.list_version]
             coins.append(client.finish_withdrawal(session, response, table))
@@ -272,41 +286,19 @@ class NetworkDeployment:
         stored: StoredCoin,
         merchant_id: str,
     ) -> Generator[Any, Any, PaymentReceipt]:
-        client = self.clients[client_name]
         client_node = self.network.node(client_name)
         start_time = self.sim.now
         start_bytes = client_node.meter.sent_bytes
-        witness_id = stored.coin.witness_id
-
-        request, pending = client.prepare_commitment_request(
-            stored, merchant_id, self.now()
+        witness_public = self.system.merchant(merchant_id).witness_keys[
+            stored.coin.witness_id
+        ]
+        flow = registry.payment_flow(
+            self.clients[client_name], stored, merchant_id, witness_public, self.now
         )
-        commit_reply = flatten(
-            (yield self.network.rpc(
-                client_name, witness_id, "witness/commit", request.to_wire()
-            ))
-        )
-        commitment = WitnessCommitment.from_wire(_strip(commit_reply, "commitment."))
-        witness_public = self.system.merchant(merchant_id).witness_keys[witness_id]
-        transcript = client.build_payment(pending, commitment, witness_public, self.now())
-        pay_reply = flatten(
-            (yield self.network.rpc(
-                client_name,
-                merchant_id,
-                "pay",
-                {
-                    "transcript": transcript.to_wire(),
-                    "commitment": commitment.to_wire(),
-                },
-            ))
-        )
-        if pay_reply.get("status") == "double-spend":
-            proof = DoubleSpendProof.from_wire(_strip(pay_reply, "proof."))
-            raise DoubleSpendError(proof)
-        client.mark_spent(stored)
+        amount = yield from self._drive(client_name, flow)
         return PaymentReceipt(
             merchant_id=merchant_id,
-            amount=stored.denomination,
+            amount=amount,
             elapsed=self.sim.now - start_time,
             client_bytes_sent=client_node.meter.sent_bytes - start_bytes,
         )
@@ -318,17 +310,10 @@ class NetworkDeployment:
         )
 
     def _deposit_steps(self, merchant_id: str) -> Generator[Any, Any, list[dict[str, Any]]]:
-        merchant = self.system.merchant(merchant_id)
-        results: list[dict[str, Any]] = []
-        for signed in merchant.pending_deposits():
-            reply = yield self.network.rpc(
-                merchant_id,
-                BROKER_NODE,
-                "deposit",
-                {"merchant_id": merchant_id, "signed": signed.to_wire()},
-            )
-            merchant.mark_deposited(signed)
-            results.append(reply)
+        flow = registry.deposit_flow(
+            self.system.merchant(merchant_id), merchant_id, BROKER_NODE
+        )
+        results = yield from self._drive(merchant_id, flow)
         return results
 
     def batch_deposit_process(
@@ -534,40 +519,15 @@ class NetworkDeployment:
     def _renewal_steps(
         self, client_name: str, stored: StoredCoin, new_info: CoinInfo
     ) -> Generator[Any, Any, StoredCoin]:
-        client = self.clients[client_name]
-        opened = flatten(
-            (yield self.network.rpc(
-                client_name, BROKER_NODE, "renew/begin", {"info": new_info.to_wire()}
-            ))
-        )
-        challenge = SignerChallenge(
-            a=_as_int(opened["ticket.a"]), b=_as_int(opened["ticket.b"])
-        )
-        ticket = _as_int(opened["ticket.id"])
-        session = client.begin_withdrawal(new_info, challenge)
-        timestamp, salt, r1_star, r2_star = client.renewal_proof(stored, self.now())
-        answered = yield self.network.rpc(
-            client_name,
+        flow = registry.renewal_flow(
+            self.clients[client_name],
             BROKER_NODE,
-            "renew/complete",
-            {
-                "ticket": ticket,
-                "e": session.e,
-                "old": stored.coin.bare.to_wire(),
-                "proof_ts": timestamp,
-                "proof_salt": salt,
-                "r1": r1_star,
-                "r2": r2_star,
-            },
+            self.system.broker.tables,
+            stored,
+            new_info,
+            self.now,
         )
-        response = SignerResponse(
-            r=_as_int(answered["r"]),
-            c=_as_int(answered["c"]),
-            s=_as_int(answered["s"]),
-        )
-        table = self.system.broker.tables[new_info.list_version]
-        fresh = client.finish_withdrawal(session, response, table)
-        client.mark_spent(stored)
+        fresh = yield from self._drive(client_name, flow)
         return fresh
 
     def witness_breaker(self, witness_id: str) -> CircuitBreaker:
@@ -715,169 +675,22 @@ class NetworkDeployment:
     # Server-side handlers
     # ------------------------------------------------------------------
     def _register_broker_handlers(self) -> None:
-        broker = self.system.broker
-
-        def withdraw_begin(payload: dict[str, Any]) -> dict[str, Any]:
-            info = CoinInfo.from_wire(_strip(flatten(payload), "info."))
-            ticket, challenge = broker.begin_withdrawal(info)
-            return {"ticket": {"id": ticket, "a": challenge.a, "b": challenge.b}}
-
-        def withdraw_complete(payload: dict[str, Any]) -> dict[str, Any]:
-            response = broker.complete_withdrawal(
-                _as_int(payload["ticket"]), _as_int(payload["e"])
-            )
-            return {"r": response.r, "c": response.c, "s": response.s}
-
-        def renew_begin(payload: dict[str, Any]) -> dict[str, Any]:
-            info = CoinInfo.from_wire(_strip(flatten(payload), "info."))
-            ticket, challenge = broker.begin_renewal(info)
-            return {"ticket": {"id": ticket, "a": challenge.a, "b": challenge.b}}
-
-        def renew_complete(payload: dict[str, Any]) -> dict[str, Any]:
-            flat = flatten(payload)
-            old = BareCoin.from_wire(_strip(flat, "old."))
-            response = broker.complete_renewal(
-                _as_int(payload["ticket"]),
-                _as_int(payload["e"]),
-                old,
-                _as_int(payload["proof_ts"]),
-                _as_int(payload["proof_salt"]),
-                _as_int(payload["r1"]),
-                _as_int(payload["r2"]),
-                self.now(),
-            )
-            return {"r": response.r, "c": response.c, "s": response.s}
-
-        def deposit(payload: dict[str, Any]) -> dict[str, Any]:
-            flat = flatten(payload)
-            signed = SignedTranscript.from_wire(_strip(flat, "signed."))
-            result = broker.deposit(str(payload["merchant_id"]), signed, self.now())
-            return {"outcome": result.outcome.value, "amount": result.amount}
-
-        def deposit_batch(payload: dict[str, Any]) -> dict[str, Any]:
-            flat = flatten(payload)
-            indices = batch_indices(flat, "batch", "t")
-            signed_items = [
-                SignedTranscript.from_wire(_strip(flat, f"batch.t{index}."))
-                for index in indices
-            ]
-            results = broker.deposit_batch(
-                str(payload["merchant_id"]), signed_items, self.now()
-            )
-            out: dict[str, Any] = {}
-            for index, result in zip(indices, results):
-                if isinstance(result, Exception):
-                    out[f"r{index}"] = {
-                        "kind": type(result).__name__,
-                        "error": str(result),
-                    }
-                else:
-                    out[f"r{index}"] = {
-                        "outcome": result.outcome.value,
-                        "amount": result.amount,
-                    }
-            return out
-
-        def withdraw_batch_begin(payload: dict[str, Any]) -> dict[str, Any]:
-            flat = flatten(payload)
-            indices = batch_indices(flat, "batch", "i")
-            infos = [
-                CoinInfo.from_wire(_strip(flat, f"batch.i{index}.")) for index in indices
-            ]
-            ticket, challenges = broker.begin_batch_withdrawal(infos)
-            out: dict[str, Any] = {"ticket": ticket}
-            for index, challenge in enumerate(challenges):
-                out[f"c{index}"] = {"a": challenge.a, "b": challenge.b}
-            return out
-
-        def withdraw_batch_complete(payload: dict[str, Any]) -> dict[str, Any]:
-            flat = flatten(payload)
-            indices = sorted(
-                int(key.removeprefix("es.e")) for key in flat if key.startswith("es.e")
-            )
-            es = [_as_int(flat[f"es.e{index}"]) for index in indices]
-            responses = broker.complete_batch_withdrawal(_as_int(payload["ticket"]), es)
-            out: dict[str, Any] = {}
-            for index, response in enumerate(responses):
-                out[f"r{index}"] = {"r": response.r, "c": response.c, "s": response.s}
-            return out
-
-        self.broker_node.on("withdraw/begin", withdraw_begin)
-        self.broker_node.on("withdraw/complete", withdraw_complete)
-        self.broker_node.on("withdraw/batch-begin", withdraw_batch_begin)
-        self.broker_node.on("withdraw/batch-complete", withdraw_batch_complete)
-        self.broker_node.on("renew/begin", renew_begin)
-        self.broker_node.on("renew/complete", renew_complete)
-        self.broker_node.on("deposit", deposit)
-        self.broker_node.on("deposit/batch", deposit_batch)
+        table = registry.broker_dispatch(self.system.broker, self.now)
+        for method, handler in table.items():
+            self.broker_node.on(method, handler)
 
     def _register_merchant_handlers(self, node: Node, merchant_id: str) -> None:
-        merchant = self.system.merchant(merchant_id)
-        witness = self.system.witness(merchant_id)
+        def relay(destination: str, method: str, payload: dict[str, Any]) -> Any:
+            return self.network.rpc(merchant_id, destination, method, payload)
 
-        def witness_commit(payload: dict[str, Any]) -> dict[str, Any]:
-            request = CommitmentRequest.from_wire(_strip(flatten(payload), ""))
-            commitment = witness.request_commitment(request, self.now())
-            return {"commitment": commitment.to_wire()}
-
-        def witness_sign(payload: dict[str, Any]) -> dict[str, Any]:
-            transcript = PaymentTranscript.from_wire(_strip(flatten(payload), "transcript."))
-            try:
-                signed = witness.sign_transcript(transcript, self.now())
-            except DoubleSpendError as refusal:
-                return {"status": "double-spend", "proof": refusal.proof.to_wire()}
-            return {"status": "ok", "signed": signed.to_wire()}
-
-        def pay(payload: dict[str, Any]) -> Generator[Any, Any, dict[str, Any]]:
-            flat = flatten(payload)
-            transcript = PaymentTranscript.from_wire(_strip(flat, "transcript."))
-            commitment = WitnessCommitment.from_wire(_strip(flat, "commitment."))
-            merchant.verify_payment_request(
-                PaymentRequest(transcript=transcript, commitment=commitment), self.now()
-            )
-            reply = flatten(
-                (yield self.network.rpc(
-                    merchant_id,
-                    transcript.coin.witness_id,
-                    "witness/sign",
-                    {"transcript": transcript.to_wire()},
-                ))
-            )
-            if reply.get("status") == "double-spend":
-                proof = DoubleSpendProof.from_wire(_strip(reply, "proof."))
-                try:
-                    merchant.handle_double_spend_proof(proof, transcript.coin)
-                except DoubleSpendError:
-                    pass
-                return {"status": "double-spend", "proof": proof.to_wire()}
-            signed = SignedTranscript.from_wire(_strip(reply, "signed."))
-            merchant.accept_signed_transcript(signed, self.now())
-            return {"status": "service", "amount": transcript.coin.denomination}
-
-        node.on("witness/commit", witness_commit)
-        node.on("witness/sign", witness_sign)
-        node.on("pay", pay)
-
-
-def _strip(fields: dict[str, Any], prefix: str) -> dict[str, str]:
-    """Select keys under ``prefix`` and coerce values to wire text."""
-    out: dict[str, str] = {}
-    for key, value in fields.items():
-        if key.startswith(prefix):
-            out[key.removeprefix(prefix)] = _as_text(value)
-    return out
-
-
-def _as_text(value: Any) -> str:
-    if isinstance(value, int):
-        return int_to_text(value)
-    return str(value)
-
-
-def _as_int(value: Any) -> int:
-    if isinstance(value, int):
-        return value
-    return text_to_int(str(value))
+        table = {
+            **registry.witness_dispatch(self.system.witness(merchant_id), self.now),
+            **registry.merchant_dispatch(
+                self.system.merchant(merchant_id), merchant_id, self.now, relay
+            ),
+        }
+        for method, handler in table.items():
+            node.on(method, handler)
 
 
 __all__ = ["NetworkDeployment", "PaymentReceipt", "BROKER_NODE"]

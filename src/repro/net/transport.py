@@ -19,6 +19,12 @@ from repro.crypto.serialize import encode, wire_bytes
 #: roughly constant overhead on top of the URL-encoded body.
 HTTP_FRAMING_BYTES = 180
 
+#: Body fields owned by the transport envelope, never by payloads: the
+#: request's method marker and the error-response marker. A payload that
+#: smuggled either key in would be ambiguous on decode (and lets a client
+#: forge error frames), so :class:`Message` rejects them at construction.
+RESERVED_FIELDS = frozenset({"_method", "_error"})
+
 
 @dataclass(frozen=True)
 class Message:
@@ -26,6 +32,14 @@ class Message:
 
     method: str
     payload: dict[str, object]
+
+    def __post_init__(self) -> None:
+        colliding = RESERVED_FIELDS.intersection(self.payload)
+        if colliding:
+            raise ValueError(
+                "payload keys collide with reserved transport fields: "
+                + ", ".join(sorted(colliding))
+            )
 
     def encoded(self) -> str:
         """The URL-encoded wire form (method travels as a field)."""
@@ -107,4 +121,11 @@ class Trace:
         ]
 
 
-__all__ = ["Message", "TrafficMeter", "Trace", "TraceEntry", "error_size_bytes"]
+__all__ = [
+    "Message",
+    "RESERVED_FIELDS",
+    "Trace",
+    "TraceEntry",
+    "TrafficMeter",
+    "error_size_bytes",
+]

@@ -120,3 +120,25 @@ class TestEcashSystem:
         two = EcashSystem(merchant_ids=("a", "b"), params=params, seed=5)
         assert one.broker.blind_public == two.broker.blind_public
         assert one.nodes["a"].merchant.public_key == two.nodes["a"].merchant.public_key
+
+    def test_independent_rngs_deterministic_across_instances(self, params):
+        # Two instances — think two daemon processes rebuilding the
+        # deployment — derive identical per-party randomness.
+        one = EcashSystem(
+            merchant_ids=("a", "b"), params=params, seed=5, independent_rngs=True
+        )
+        two = EcashSystem(
+            merchant_ids=("a", "b"), params=params, seed=5, independent_rngs=True
+        )
+        assert one.broker.blind_public == two.broker.blind_public
+        assert one.nodes["b"].merchant.public_key == two.nodes["b"].merchant.public_key
+        info = one.standard_info(25, now=0)
+        ticket_one, challenge_one = one.broker.begin_withdrawal(info)
+        ticket_two, challenge_two = two.broker.begin_withdrawal(info)
+        assert (ticket_one, challenge_one) == (ticket_two, challenge_two)
+        # Clients are seeded by creation order, independent of the broker.
+        assert one.new_client().rng.random() == two.new_client().rng.random()
+
+    def test_independent_rngs_requires_seed(self, params):
+        with pytest.raises(ValueError, match="seed"):
+            EcashSystem(merchant_ids=("a",), params=params, independent_rngs=True)

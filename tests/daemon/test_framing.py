@@ -1,0 +1,134 @@
+"""Unit tests for the length-prefixed framing codec."""
+
+import asyncio
+
+import pytest
+
+from repro.daemon.framing import (
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameTooLargeError,
+    HEADER,
+    HEADER_BYTES,
+    KIND_CONTROL,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        frame = Frame(kind=KIND_REQUEST, request_id=42, body=b"_method=pay")
+        decoded = FrameDecoder().feed(encode_frame(frame))
+        assert decoded == [frame]
+
+    def test_roundtrip_empty_body(self):
+        frame = Frame(kind=KIND_CONTROL, request_id=0, body=b"")
+        assert FrameDecoder().feed(encode_frame(frame)) == [frame]
+
+    def test_several_frames_in_one_chunk(self):
+        frames = [
+            Frame(kind=KIND_REQUEST, request_id=i, body=b"x" * i) for i in range(1, 4)
+        ]
+        chunk = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(chunk) == frames
+
+    def test_encode_rejects_unknown_kind(self):
+        with pytest.raises(FrameError):
+            encode_frame(Frame(kind=9, request_id=1, body=b""))
+
+    def test_encode_rejects_oversized_body(self):
+        body = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(Frame(kind=KIND_REQUEST, request_id=1, body=body))
+
+
+class TestIncrementalDecoding:
+    def test_byte_at_a_time(self):
+        frame = Frame(kind=KIND_RESPONSE, request_id=7, body=b"_method=pay/ok")
+        decoder = FrameDecoder()
+        wire = encode_frame(frame)
+        collected = []
+        for index in range(len(wire)):
+            collected.extend(decoder.feed(wire[index : index + 1]))
+        assert collected == [frame]
+        assert decoder.pending_bytes == 0
+
+    def test_truncated_frame_stays_pending(self):
+        frame = Frame(kind=KIND_REQUEST, request_id=1, body=b"abcdef")
+        wire = encode_frame(frame)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-2]) == []
+        assert decoder.pending_bytes == len(wire) - 2
+        assert decoder.feed(wire[-2:]) == [frame]
+
+    def test_oversized_header_rejected_before_body_arrives(self):
+        # Only the 13-byte header is fed: the limit must fire without
+        # waiting for (or buffering) the announced megabytes.
+        header = HEADER.pack(MAX_FRAME_BYTES + 1, KIND_REQUEST, 1)
+        with pytest.raises(FrameTooLargeError):
+            FrameDecoder().feed(header)
+
+    def test_unknown_kind_rejected(self):
+        header = HEADER.pack(0, 200, 1)
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(header)
+
+
+class TestStreamReading:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_read_frame_roundtrip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = Frame(kind=KIND_REQUEST, request_id=3, body=b"payload")
+            reader.feed_data(encode_frame(frame))
+            return await read_frame(reader)
+
+        frame = self.run(scenario())
+        assert frame.request_id == 3
+        assert frame.body == b"payload"
+
+    def test_read_frame_clean_close(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="connection closed"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_read_frame_truncated_header(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # 2 of 13 header bytes
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="truncated frame header"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_read_frame_truncated_body(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            wire = encode_frame(Frame(kind=KIND_REQUEST, request_id=1, body=b"abcdef"))
+            reader.feed_data(wire[: HEADER_BYTES + 2])
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="truncated frame body"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_read_frame_oversized(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(HEADER.pack(MAX_FRAME_BYTES + 1, KIND_REQUEST, 1))
+            with pytest.raises(FrameTooLargeError):
+                await read_frame(reader)
+
+        self.run(scenario())

@@ -1,0 +1,74 @@
+"""Provisioning: key files, roster, deployment config."""
+
+import json
+
+import pytest
+
+from repro.daemon.config import (
+    DeploymentConfig,
+    NETMAP_FILE,
+    NodeAddress,
+    load_config,
+)
+from repro.daemon.keys import (
+    AUTHORIZED_FILE,
+    identity_keypair,
+    load_authorized,
+    load_identity,
+    provision,
+)
+
+
+def test_identity_keys_deterministic_per_name():
+    first = identity_keypair("broker", 42)
+    second = identity_keypair("broker", 42)
+    other = identity_keypair("alice-books", 42)
+    assert first.secret == second.secret
+    assert first.public != other.public
+
+
+def test_provision_roundtrip(tmp_path):
+    provision(tmp_path, ["broker", "client-0"], seed=7)
+    roster = load_authorized(tmp_path)
+    assert set(roster) == {"broker", "client-0"}
+    identity = load_identity(tmp_path, "broker")
+    assert identity.name == "broker"
+    assert roster["broker"] == identity.public
+    # The roster file never contains secrets.
+    raw = json.loads((tmp_path / AUTHORIZED_FILE).read_text())
+    assert "secret" not in json.dumps(raw)
+
+
+def test_config_roundtrip(tmp_path):
+    config = DeploymentConfig(
+        seed=9,
+        merchants=("alice-books", "bob-news"),
+        witness_weights={"alice-books": 1.0},
+        nodes={
+            "broker": NodeAddress("127.0.0.1", 4100, "broker"),
+            "alice-books": NodeAddress("127.0.0.1", 4101, "witness"),
+        },
+    )
+    config.save(tmp_path)
+    loaded = load_config(tmp_path)
+    assert loaded == config
+    assert loaded.netmap() == {
+        "broker": ("127.0.0.1", 4100),
+        "alice-books": ("127.0.0.1", 4101),
+    }
+
+
+def test_config_rejects_unknown_role(tmp_path):
+    config = DeploymentConfig(
+        seed=9,
+        merchants=("alice-books",),
+        witness_weights={},
+        nodes={"broker": NodeAddress("127.0.0.1", 4100, "broker")},
+    )
+    config.save(tmp_path)
+    netmap_file = tmp_path / NETMAP_FILE
+    blob = json.loads(netmap_file.read_text())
+    blob["nodes"]["broker"]["role"] = "mint"
+    netmap_file.write_text(json.dumps(blob))
+    with pytest.raises(ValueError, match="role"):
+        load_config(tmp_path)

@@ -1,0 +1,26 @@
+"""End-to-end: three OS processes, full coin lifecycle, byte parity."""
+
+from repro.daemon.demo import format_report, run_loopback_demo
+
+
+def test_loopback_demo_matches_sim(tmp_path):
+    report = run_loopback_demo(tmp_path, seed=2026)
+
+    outcomes = report["daemon"]["outcomes"]
+    assert outcomes["withdrawn"] == 25
+    assert outcomes["paid"] == 25
+    assert outcomes["deposited"] == {"outcome": "credited", "amount": 25}
+    assert outcomes["double_spend_refused"] is True
+
+    # The sim twin reached the same outcomes and the same books.
+    assert report["problems"] == []
+    assert report["sim"]["outcomes"] == outcomes
+
+    # Non-trivial traffic was actually accounted on every node.
+    for name, books in report["daemon"]["books"].items():
+        sent, received, msg_out, msg_in = books["meter"]
+        assert sent > 0 and received > 0, name
+        assert msg_out > 0 and msg_in > 0, name
+
+    text = format_report(report)
+    assert "matches the sim transport exactly" in text

@@ -1,0 +1,80 @@
+"""Frame-body encoding and typed error propagation."""
+
+import pytest
+
+from repro.core.exceptions import (
+    EcashError,
+    InsufficientFundsError,
+    InvalidPaymentError,
+)
+from repro.daemon import wire
+from repro.net.transport import HTTP_FRAMING_BYTES, Message, error_size_bytes
+
+
+class TestBodies:
+    def test_request_matches_sim_message(self):
+        payload = {"ticket": 5, "sig_e": 123456789}
+        body = wire.request_body("withdraw/complete", payload)
+        assert body == Message(
+            method="withdraw/complete", payload=payload
+        ).encoded().encode("ascii")
+
+    def test_request_roundtrip(self):
+        payload = {"ticket": {"id": 7, "a": 11, "bare": 13}}
+        method, parsed = wire.parse_request(wire.request_body("withdraw/begin", payload))
+        assert method == "withdraw/begin"
+        # Wire values come back as text; the structure must survive.
+        assert set(parsed) == {"ticket"}
+        assert set(parsed["ticket"]) == {"id", "a", "bare"}
+
+    def test_response_roundtrip(self):
+        payload = {"status": "ok", "amount": 25}
+        parsed = wire.parse_response(wire.response_body("pay", payload))
+        assert parsed["status"] == "ok"
+
+    def test_message_size_matches_sim_accounting(self):
+        payload = {"status": "ok"}
+        body = wire.response_body("pay", payload)
+        assert wire.message_size(body) == Message(
+            method="pay/ok", payload=payload
+        ).size_bytes
+        assert wire.message_size(b"") == HTTP_FRAMING_BYTES
+
+    def test_parse_request_requires_method(self):
+        with pytest.raises(ValueError, match="_method"):
+            wire.parse_request(b"ticket=5")
+
+    def test_parse_request_rejects_reserved_error_field(self):
+        with pytest.raises(ValueError, match="_error"):
+            wire.parse_request(b"_method=pay&_error=EcashError")
+
+
+class TestTypedErrors:
+    def test_known_error_rebuilt(self):
+        body = wire.error_body(InvalidPaymentError("nonce mismatch"))
+        rebuilt = wire.parse_error(body)
+        assert isinstance(rebuilt, InvalidPaymentError)
+        assert "nonce mismatch" in str(rebuilt)
+
+    def test_error_size_matches_sim_accounting(self):
+        original = InsufficientFundsError("balance 0")
+        assert wire.message_size(wire.error_body(original)) == error_size_bytes(
+            original
+        )
+
+    def test_unknown_kind_becomes_protocol_error(self):
+        rebuilt = wire.parse_error(b"_error=NoSuchError&detail=what")
+        assert isinstance(rebuilt, wire.RemoteProtocolError)
+        assert rebuilt.kind == "NoSuchError"
+
+    def test_proof_carrying_never_rebuilt_proofless(self):
+        # A DoubleSpendError must carry its extraction proof; an error
+        # frame cannot, so it comes back as the generic protocol error.
+        rebuilt = wire.parse_error(b"_error=DoubleSpendError&detail=spent")
+        assert isinstance(rebuilt, wire.RemoteProtocolError)
+        assert isinstance(rebuilt, EcashError)
+
+    def test_handler_bug_surfaces_typed(self):
+        rebuilt = wire.parse_error(wire.error_body(KeyError("boom")))
+        assert isinstance(rebuilt, wire.RemoteProtocolError)
+        assert rebuilt.kind == "KeyError"

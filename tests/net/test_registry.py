@@ -1,0 +1,140 @@
+"""The shared method registry: tables, flows, and sim equivalence."""
+
+import pytest
+
+from repro.core.exceptions import DoubleSpendError
+from repro.core.system import EcashSystem
+from repro.crypto.serialize import KEY_ABBREVIATIONS, decode, encode, flatten
+from repro.net import registry
+from repro.net.costmodel import instant_profile
+from repro.net.services import NetworkDeployment
+
+
+@pytest.fixture()
+def deployment(params):
+    system = EcashSystem(params=params, seed=17)
+    dep = NetworkDeployment(system, cost_model=instant_profile(), seed=17)
+    dep.add_client("client-0")
+    return system, dep
+
+
+class TestDispatchTables:
+    def test_broker_table_matches_method_namespace(self, system):
+        table = registry.broker_dispatch(system.broker, lambda: 0)
+        assert tuple(table) == registry.BROKER_METHODS
+
+    def test_witness_table_matches_method_namespace(self, system):
+        table = registry.witness_dispatch(system.witness("alice-books"), lambda: 0)
+        assert tuple(table) == registry.WITNESS_METHODS
+
+    def test_merchant_table_matches_method_namespace(self, system):
+        table = registry.merchant_dispatch(
+            system.merchant("alice-books"), "alice-books", lambda: 0, rpc=None
+        )
+        assert tuple(table) == registry.MERCHANT_METHODS
+
+
+class TestFlowsOverSim:
+    """The transport-neutral flows, driven by the sim's run_flow."""
+
+    def withdraw(self, system, dep):
+        info = system.standard_info(25, now=dep.now())
+        client = dep.clients["client-0"]
+        return dep.run(
+            dep.run_flow(
+                "client-0",
+                registry.withdrawal_flow(client, "broker", system.broker.tables, info),
+            )
+        )
+
+    def test_withdrawal_flow(self, deployment):
+        system, dep = deployment
+        stored = self.withdraw(system, dep)
+        assert stored.coin.denomination == 25
+        assert stored in dep.clients["client-0"].wallet.coins
+
+    def test_payment_and_deposit_flows(self, deployment):
+        system, dep = deployment
+        stored = self.withdraw(system, dep)
+        client = dep.clients["client-0"]
+        merchant_id = next(
+            m for m in system.merchant_ids if m != stored.coin.witness_id
+        )
+        witness_public = system.merchant(merchant_id).witness_keys[
+            stored.coin.witness_id
+        ]
+        amount = dep.run(
+            dep.run_flow(
+                "client-0",
+                registry.payment_flow(
+                    client, stored, merchant_id, witness_public, dep.now
+                ),
+            )
+        )
+        assert amount == 25
+        results = dep.run(
+            dep.run_flow(
+                merchant_id,
+                registry.deposit_flow(
+                    system.merchant(merchant_id), merchant_id, "broker"
+                ),
+            )
+        )
+        assert results == [{"outcome": "credited", "amount": 25}]
+        assert system.broker.merchant_balance(merchant_id) == 25
+
+    def test_direct_spend_flow_refused_on_double_spend(self, deployment):
+        system, dep = deployment
+        stored = self.withdraw(system, dep)
+        client = dep.clients["client-0"]
+        others = [m for m in system.merchant_ids if m != stored.coin.witness_id]
+        witness_public = system.merchant(others[0]).witness_keys[
+            stored.coin.witness_id
+        ]
+        dep.run(dep.payment_process("client-0", stored, others[0]))
+        dep.sim.schedule(200.0, lambda: None)
+        dep.sim.run()
+        client.wallet.add(stored)
+        with pytest.raises(DoubleSpendError) as refusal:
+            dep.run(
+                dep.run_flow(
+                    "client-0",
+                    registry.direct_spend_flow(
+                        client, stored, others[1], witness_public, dep.now
+                    ),
+                )
+            )
+        assert refusal.value.proof.verify(system.params, stored.coin)
+
+
+class TestWireKeyHygiene:
+    """Payload keys must survive an encode/decode round-trip.
+
+    The sim hands payload dicts to handlers directly, but the daemons
+    URL-encode them — a key that is an abbreviation *short form* without
+    being a long form (``"e"``, ``"s"``, ``"b"``, ...) would be expanded
+    to something else on the far side.
+    """
+
+    def roundtrips(self, payload):
+        # Values are coerced (ints travel base64); the keys must survive.
+        return sorted(decode(encode(payload))) == sorted(flatten(payload))
+
+    def test_short_form_keys_do_not_roundtrip(self):
+        # The hazard this class guards against, demonstrated.
+        assert KEY_ABBREVIATIONS["sig_e"] == "e"
+        assert not self.roundtrips({"e": 1})
+
+    def test_registry_adhoc_keys_roundtrip(self):
+        samples = [
+            {"ticket": {"id": 1, "a": 2, "bare": 3}},
+            {"ticket": 1, "sig_e": 2},
+            {"rho": 1, "commitment": 2, "sig_s": 3},
+            {"status": "ok", "amount": 25},
+            {"outcome": "credited", "amount": 25},
+            {"merchant_id": "alice-books"},
+            {"proof_ts": 1, "proof_salt": 2, "r1": 3, "r2": 4},
+            {"count": 2, "r0": {"outcome": "credited", "amount": 25}},
+        ]
+        for payload in samples:
+            assert self.roundtrips(payload), payload

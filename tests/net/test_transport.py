@@ -32,6 +32,14 @@ class TestMessage:
         second = Message(method="m", payload={"a": 1, "b": 2})
         assert first.encoded() == second.encoded()
 
+    def test_reserved_method_key_rejected(self):
+        with pytest.raises(ValueError, match="_method"):
+            Message(method="pay", payload={"_method": "withdraw/begin"})
+
+    def test_reserved_error_key_rejected(self):
+        with pytest.raises(ValueError, match="_error"):
+            Message(method="pay", payload={"_error": "InvalidPaymentError"})
+
 
 class TestErrorSize:
     def test_error_size_positive_and_framed(self):
