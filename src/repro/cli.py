@@ -383,10 +383,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.daemon.service import serve
 
     try:
-        asyncio.run(serve(args.dir, args.name, host=args.host, port=args.port))
+        asyncio.run(
+            serve(
+                args.dir,
+                args.name,
+                host=args.host,
+                port=args.port,
+                state_dir=args.state_dir,
+                store_backend=args.store_backend,
+                store_shards=args.store_shards,
+            )
+        )
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, open_store
+
+    if args.action == "smoke":
+        from repro.faults.scenarios import render_report, run_suite
+
+        names = [f"broker-crash-campaign-{args.backend}"]
+        results = run_suite(names, seeds=range(args.seed, args.seed + args.seeds))
+        print(render_report(results), end="")
+        return 0 if all(result.ok for result in results) else 1
+
+    if args.dir is None:
+        print(f"store {args.action} requires --dir", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.dir)
+    except StoreError as error:
+        print(f"cannot open store: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.action == "verify":
+            problems = store.verify()
+            for problem in problems:
+                print(f"PROBLEM {problem}")
+            print(f"{len(problems)} problem(s)")
+            return 1 if problems else 0
+        stats = store.recover()
+        if args.action == "compact":
+            before = store.wal_bytes()
+            store.compact()
+            print(
+                f"compacted: wal {before} -> {store.wal_bytes()} bytes, "
+                f"{stats.replayed_records} journal record(s) folded into the snapshot"
+            )
+            return 0
+        # inspect
+        print(f"store {store.directory}")
+        print(f"  backend={store.backend_kind} shards={store.shard_count}")
+        print(
+            f"  recovery: snapshot={stats.snapshot_records} "
+            f"replayed={stats.replayed_records} torn-bytes={stats.truncated_bytes}"
+        )
+        print(f"  wal-bytes={store.wal_bytes()}")
+        for space, table in store.dump().items():
+            print(f"  space {space}: {len(table)} record(s)")
+        print(f"  state-digest={store.state_digest()}")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_connect(args: argparse.Namespace) -> int:
@@ -597,7 +658,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--name", required=True, help="node name to serve")
     serve.add_argument("--host", default=None, help="bind address override")
     serve.add_argument("--port", type=int, default=None, help="bind port override")
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory (broker only): journal every RPC "
+        "to a write-ahead log, replay it on restart",
+    )
+    serve.add_argument(
+        "--store-backend",
+        choices=("memory", "sqlite"),
+        default="sqlite",
+        help="materialized backend behind the journal (default sqlite)",
+    )
+    serve.add_argument(
+        "--store-shards",
+        type=int,
+        default=4,
+        help="coin-hash-prefix shard count, fixed at store creation (default 4)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    store = subparsers.add_parser(
+        "store", help="inspect, verify, compact, or smoke-test a durable store"
+    )
+    store.add_argument(
+        "action",
+        choices=("inspect", "verify", "compact", "smoke"),
+        help="inspect: recover + per-space counts + digest; verify: "
+        "integrity scan (exit 1 on problems); compact: fold the journal "
+        "into the snapshot; smoke: run the broker-crash-campaign chaos "
+        "scenario end to end",
+    )
+    store.add_argument("--dir", default=None, help="store directory (not for smoke)")
+    store.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="sqlite",
+        help="backend for the smoke scenario (default sqlite)",
+    )
+    store.add_argument(
+        "--seeds", type=int, default=3, help="smoke: number of seeds to run"
+    )
+    store.set_defaults(func=_cmd_store)
 
     connect = subparsers.add_parser(
         "connect", help="connect to a daemon deployment (or run the loopback demo)"

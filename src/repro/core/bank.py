@@ -10,6 +10,7 @@ witness's security deposit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.exceptions import InsufficientFundsError
 
@@ -36,6 +37,13 @@ class Ledger:
     minted: int = 0
     burned: int = 0
     history: list[tuple[str, str, str, int]] = field(default_factory=list)
+    #: Durability hook: called with ``(sequence, entry)`` after every
+    #: history append, so a journal can persist each movement before the
+    #: enclosing protocol step acknowledges (set by
+    #: :func:`repro.core.persistence.attach_journal`).
+    on_entry: Callable[[int, tuple[str, str, str, int]], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def open_account(self, owner: str) -> Account:
         """Create (or return) the account for ``owner``."""
@@ -52,6 +60,7 @@ class Ledger:
         self.open_account(owner).balance += amount
         self.minted += amount
         self.history.append(("<external>", owner, memo, amount))
+        self._notify()
 
     def burn(self, owner: str, amount: int, memo: str = "cash out") -> None:
         """Pay real-world money out of the system.
@@ -68,6 +77,7 @@ class Ledger:
         account.balance -= amount
         self.burned += amount
         self.history.append((owner, "<external>", memo, amount))
+        self._notify()
 
     def transfer(self, source: str, destination: str, amount: int, memo: str = "") -> None:
         """Move money between two internal accounts.
@@ -85,6 +95,7 @@ class Ledger:
         src.balance -= amount
         dst.balance += amount
         self.history.append((source, destination, memo, amount))
+        self._notify()
 
     def total_internal(self) -> int:
         """Sum of all account balances."""
@@ -93,6 +104,10 @@ class Ledger:
     def conserved(self) -> bool:
         """Money conservation invariant: minted == held + burned."""
         return self.minted == self.total_internal() + self.burned
+
+    def _notify(self) -> None:
+        if self.on_entry is not None:
+            self.on_entry(len(self.history) - 1, self.history[-1])
 
     @staticmethod
     def _check_amount(amount: int) -> None:

@@ -19,7 +19,7 @@ import itertools
 import random
 import secrets
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro import obs, perf
 from repro.core.bank import Ledger
@@ -42,6 +42,9 @@ from repro.crypto import counters
 from repro.crypto.blind import PartiallyBlindSigner, SignerChallenge, SignerResponse, SignerSession
 from repro.crypto.representation import RepresentationResponse, extract_representations
 from repro.crypto.schnorr import SchnorrKeyPair, verify as schnorr_verify
+
+if TYPE_CHECKING:
+    from repro.core.persistence import BrokerJournal
 
 
 class DepositOutcome(enum.Enum):
@@ -131,6 +134,10 @@ class Broker:
         self._deposits: dict[BareCoin, _DepositRecord] = {}
         self._renewals: dict[BareCoin, _RenewalRecord] = {}
         self.witness_fault_log: list[tuple[str, SignedTranscript, SignedTranscript]] = []
+        #: Durability hook (see :func:`repro.core.persistence.attach_journal`):
+        #: when set, every mutation below is journaled before the method
+        #: returns, so no acknowledged state change can be lost to a crash.
+        self.journal: "BrokerJournal | None" = None
 
     # ------------------------------------------------------------------
     # Public keys
@@ -182,6 +189,8 @@ class Broker:
             security_deposit=security_deposit,
         )
         self.merchants[merchant_id] = account
+        if self.journal is not None:
+            self.journal.record_merchant(account)
         # Registered keys verify a witness signature per deposited coin;
         # make them fixed-base candidates for the perf engine.
         perf.register_fixed_base(public_key, self.params.group.p, self.params.group.q)
@@ -200,6 +209,8 @@ class Broker:
         self._next_version += 1
         table = build_table(self.params, self._sign_key, version, weights, rng=self.rng)
         self.tables[version] = table
+        if self.journal is not None:
+            self.journal.record_table(table)
         return table
 
     @property
@@ -241,7 +252,10 @@ class Broker:
         obs.counter_inc("broker_withdrawals_total")
         challenge, session = self._signer.start(info.hash_parts())
         ticket_id = next(self._ticket_ids)
-        self._tickets[ticket_id] = _WithdrawalTicket(info=info, session=session, paid_by=payer)
+        ticket = _WithdrawalTicket(info=info, session=session, paid_by=payer)
+        self._tickets[ticket_id] = ticket
+        if self.journal is not None:
+            self.journal.record_ticket(ticket_id, ticket)
         return ticket_id, challenge
 
     def complete_withdrawal(self, ticket_id: int, e: int) -> SignerResponse:
@@ -251,6 +265,8 @@ class Broker:
             KeyError: unknown or already-completed ticket.
         """
         ticket = self._tickets.pop(ticket_id)
+        if self.journal is not None:
+            self.journal.drop_ticket(ticket_id)
         return self._signer.respond(ticket.session, e)
 
     # ------------------------------------------------------------------
@@ -320,6 +336,8 @@ class Broker:
                 challenges.append(challenge)
                 batch.append(_WithdrawalTicket(info=info, session=session, paid_by=payer))
         self._batch_tickets[ticket_id] = batch
+        if self.journal is not None:
+            self.journal.record_batch(ticket_id, batch)
         return ticket_id, challenges
 
     def complete_batch_withdrawal(self, ticket_id: int, es: list[int]) -> list[SignerResponse]:
@@ -333,9 +351,12 @@ class Broker:
         if len(es) != len(batch):
             self._batch_tickets[ticket_id] = batch
             raise ValueError(f"expected {len(batch)} challenges, got {len(es)}")
-        return [
+        responses = [
             self._signer.respond(ticket.session, e) for ticket, e in zip(batch, es)
         ]
+        if self.journal is not None:
+            self.journal.drop_batch(ticket_id)
+        return responses
 
     # ------------------------------------------------------------------
     # Deposit (Algorithm 3)
@@ -520,9 +541,13 @@ class Broker:
         witness = self._require_merchant(coin.witness_id)
         previous = self._deposits.get(coin.bare)
         if previous is None:
-            self._deposits[coin.bare] = _DepositRecord(signed=signed, deposited_at=now)
+            record = _DepositRecord(signed=signed, deposited_at=now)
+            self._deposits[coin.bare] = record
             witness.coins_witnessed += 1
             self._credit(merchant_id, coin.denomination, source=self.account)
+            if self.journal is not None:
+                self.journal.record_deposit(coin.bare, record)
+                self.journal.record_merchant(witness)
             obs.counter_inc("broker_deposits_total", outcome=DepositOutcome.CREDITED.value)
             return DepositResult(outcome=DepositOutcome.CREDITED, amount=coin.denomination)
         if previous.signed.transcript.merchant_id == merchant_id:
@@ -544,6 +569,11 @@ class Broker:
         self._credit(
             merchant_id, coin.denomination, source=self._escrow_account(coin.witness_id)
         )
+        if self.journal is not None:
+            self.journal.record_merchant(witness)
+            self.journal.record_fault(
+                len(self.witness_fault_log) - 1, self.witness_fault_log[-1]
+            )
         return DepositResult(
             outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT,
             amount=coin.denomination,
@@ -623,13 +653,19 @@ class Broker:
 
         refusal = self._find_prior_use(old_bare, d_star, response)
         if refusal is not None:
+            if self.journal is not None:
+                self.journal.drop_ticket(ticket_id)
             obs.counter_inc("broker_renewals_refused_total")
             raise RenewalRefusedError(refusal)
         obs.counter_inc("broker_renewals_total")
 
-        self._renewals[old_bare] = _RenewalRecord(
+        record = _RenewalRecord(
             bare=old_bare, challenge=d_star, response=response, renewed_at=now
         )
+        self._renewals[old_bare] = record
+        if self.journal is not None:
+            self.journal.record_renewal(record)
+            self.journal.drop_ticket(ticket_id)
         return self._signer.respond(ticket.session, e)
 
     def _find_prior_use(
@@ -666,10 +702,12 @@ class Broker:
             Number of records removed.
         """
         removed = 0
-        for store in (self._deposits, self._renewals):
+        for space, store in (("deposits", self._deposits), ("renewals", self._renewals)):
             stale = [bare for bare in store if bare.info.is_void(now)]
             for bare in stale:
                 del store[bare]
+                if self.journal is not None:
+                    self.journal.drop_record(space, bare)
                 removed += 1
         return removed
 

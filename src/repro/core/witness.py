@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.core.exceptions import (
@@ -44,6 +45,9 @@ from repro.crypto.hashing import constant_time_eq, encode_for_hash
 from repro.crypto.numbers import random_bits
 from repro.crypto.representation import extract_representations
 from repro.crypto.schnorr import SchnorrKeyPair
+
+if TYPE_CHECKING:
+    from repro.core.persistence import WitnessJournal
 
 
 #: Default commitment lifetime ``t_e - now`` in seconds. Long enough for a
@@ -96,6 +100,10 @@ class WitnessService:
     _commitments: dict[int, _CommitmentRecord] = field(default_factory=dict)
     _spent: dict[int, _SpentRecord] = field(default_factory=dict)
     signed_count: int = 0
+    #: Durability hook (see
+    #: :func:`repro.core.persistence.attach_witness_journal`): when set,
+    #: commitment/spent-table mutations are journaled before returning.
+    journal: "WitnessJournal | None" = field(default=None, repr=False, compare=False)
 
     @property
     def public_key(self) -> int:
@@ -148,7 +156,10 @@ class WitnessService:
                 rng=self.rng,
             ),
         )
-        self._commitments[request.coin_hash] = _CommitmentRecord(commitment=commitment, v=v)
+        record = _CommitmentRecord(commitment=commitment, v=v)
+        self._commitments[request.coin_hash] = record
+        if self.journal is not None:
+            self.journal.record_commitment(request.coin_hash, record)
         return commitment
 
     def _committed_value(self, coin_hash: int) -> tuple[object, ...]:
@@ -231,6 +242,9 @@ class WitnessService:
         self.signed_count += 1
         obs.counter_inc("witness_transcripts_signed_total")
         del self._commitments[digest]
+        if self.journal is not None:
+            self.journal.record_spent(digest, self._spent[digest])
+            self.journal.drop_commitment(digest)
         return SignedTranscript(transcript=transcript, witness_signature=signature)
 
     def _double_spend_proof(
@@ -267,6 +281,8 @@ class WitnessService:
         spent.proof = proof
         spent.transcript = None
         spent.transcript_salt = None
+        if self.journal is not None:
+            self.journal.record_spent(digest, spent)
         return proof
 
     # ------------------------------------------------------------------
@@ -301,6 +317,8 @@ class WitnessService:
         ]
         for coin_hash in expired:
             del self._commitments[coin_hash]
+            if self.journal is not None:
+                self.journal.drop_commitment(coin_hash)
         return len(expired)
 
     def purge_spent(self, now: int, hard_expiry_of: dict[int, int] | None = None) -> int:
@@ -324,6 +342,8 @@ class WitnessService:
                 removable.append(coin_hash)
         for coin_hash in removable:
             del self._spent[coin_hash]
+            if self.journal is not None:
+                self.journal.drop_spent(coin_hash)
         return len(removable)
 
 

@@ -313,7 +313,28 @@ class DaemonNode:
 
 
 class BrokerDaemon:
-    """The broker party served over the daemon transport."""
+    """The broker party served over the daemon transport.
+
+    With ``state_dir`` set the broker becomes durable: on startup the
+    store under that directory is recovered (snapshot + WAL replay —
+    a restart after a crash resumes with every acknowledged deposit,
+    renewal, ticket and ledger movement intact) and from then on every
+    mutating RPC is journaled and fsynced *before* its response frame is
+    written, because the journal hooks run inside the broker methods the
+    dispatch handlers call.
+
+    Args:
+        system: the shared deployment system holding the broker.
+        identity: this node's name and transport keypair.
+        authorized: the deployment roster.
+        host: bind address.
+        port: bind port.
+        state_dir: directory for the durable store; ``None`` keeps the
+            broker memory-only (the historical behavior).
+        store_backend: store backend name (``"sqlite"`` is the daemon
+            default; ``"memory"`` journals without a materialized file).
+        store_shards: shard count for the transcript/deposit DB.
+    """
 
     def __init__(
         self,
@@ -322,8 +343,20 @@ class BrokerDaemon:
         authorized: Mapping[str, int],
         host: str,
         port: int,
+        state_dir: str | None = None,
+        store_backend: str = "sqlite",
+        store_shards: int = 4,
     ) -> None:
+        from repro.core.persistence import attach_broker_store
+        from repro.store import RecoveryStats, Store
+
         self.clock = DaemonClock()
+        self.system = system
+        self.store: Store | None = None
+        self.recovery: RecoveryStats | None = None
+        if state_dir is not None:
+            self.store = Store(state_dir, backend=store_backend, shards=store_shards)
+            self.recovery = attach_broker_store(system.broker, self.store)
         self.node = DaemonNode(
             identity=identity,
             authorized=authorized,
@@ -332,6 +365,12 @@ class BrokerDaemon:
             handlers=registry.broker_dispatch(system.broker, self.clock.now),
             clock=self.clock,
         )
+
+    def close_store(self) -> None:
+        """Flush and release the durable store (no-op when memory-only)."""
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
 
 class WitnessDaemon:
@@ -428,14 +467,20 @@ def build_daemon(
     name: str,
     host: str | None = None,
     port: int | None = None,
+    state_dir: str | None = None,
+    store_backend: str = "sqlite",
+    store_shards: int = 4,
 ) -> BrokerDaemon | WitnessDaemon | MerchantDaemon:
     """Assemble the daemon serving ``name`` from a deployment directory.
 
     Loads the netmap and keys, rebuilds the shared system from the
     deployment seed, and wraps the role the netmap assigns to ``name``.
+    ``state_dir`` (broker role only) makes the broker durable — existing
+    state under it is recovered before the daemon binds its socket.
 
     Raises:
         KeyError: the netmap has no entry for ``name``.
+        ValueError: ``state_dir`` given for a non-broker role.
     """
     from repro.daemon.config import load_config
     from repro.daemon.keys import load_authorized, load_identity
@@ -448,7 +493,18 @@ def build_daemon(
     bind_host = host if host is not None else address.host
     bind_port = port if port is not None else address.port
     if address.role == "broker":
-        return BrokerDaemon(system, identity, authorized, bind_host, bind_port)
+        return BrokerDaemon(
+            system,
+            identity,
+            authorized,
+            bind_host,
+            bind_port,
+            state_dir=state_dir,
+            store_backend=store_backend,
+            store_shards=store_shards,
+        )
+    if state_dir is not None:
+        raise ValueError(f"--state-dir applies to the broker role, not {address.role!r}")
     if address.role == "witness":
         return WitnessDaemon(
             system, name, identity, authorized, bind_host, bind_port
@@ -469,15 +525,38 @@ async def serve(
     name: str,
     host: str | None = None,
     port: int | None = None,
+    state_dir: str | None = None,
+    store_backend: str = "sqlite",
+    store_shards: int = 4,
 ) -> None:
     """Run one daemon until ``admin/shutdown`` — the ``serve`` CLI body."""
-    daemon = build_daemon(directory, name, host, port)
+    daemon = build_daemon(
+        directory,
+        name,
+        host,
+        port,
+        state_dir=state_dir,
+        store_backend=store_backend,
+        store_shards=store_shards,
+    )
+    if isinstance(daemon, BrokerDaemon) and daemon.recovery is not None:
+        stats = daemon.recovery
+        print(
+            f"{name} recovered state: {stats.snapshot_records} snapshot record(s), "
+            f"{stats.replayed_records} journal record(s) replayed, "
+            f"{stats.truncated_bytes} torn byte(s) truncated",
+            flush=True,
+        )
     await daemon.node.start()
     print(
         f"{name} listening on {daemon.node.host}:{daemon.node.port}",
         flush=True,
     )
-    await daemon.node.serve_until_shutdown()
+    try:
+        await daemon.node.serve_until_shutdown()
+    finally:
+        if isinstance(daemon, BrokerDaemon):
+            daemon.close_store()
 
 
 __all__ = [

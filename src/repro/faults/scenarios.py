@@ -27,7 +27,12 @@ from repro.core.exceptions import (
     EcashError,
     ServiceUnavailableError,
 )
-from repro.core.persistence import load_broker, save_broker
+from repro.core.persistence import (
+    attach_broker_store,
+    broker_spaces,
+    load_broker,
+    save_broker,
+)
 from repro.core.system import EcashSystem
 from repro.faults.byzantine import (
     double_deposit_process,
@@ -45,6 +50,7 @@ from repro.net.node import Node, metered
 from repro.net.overlay import GossipOverlay, publish_directory
 from repro.net.services import BROKER_NODE, NetworkDeployment
 from repro.net.sim import SimTimeoutError
+from repro.store import Store
 
 #: The client node name every scenario uses.
 CLIENT = "client-0"
@@ -128,21 +134,29 @@ def _pay(
         return f"error-{type(error).__name__}"
 
 
+def _settle_one(
+    system: EcashSystem, deployment: NetworkDeployment, merchant_id: str
+) -> list[str]:
+    """Deposit one merchant's pending transcripts; label each outcome."""
+    lines: list[str] = []
+    try:
+        replies = deployment.run(deployment.deposit_process(merchant_id))
+        lines.extend(
+            f"deposit {merchant_id}: {reply.get('outcome')}" for reply in replies
+        )
+    except SimTimeoutError:
+        lines.append(f"deposit {merchant_id}: timeout")
+    except EcashError as error:
+        lines.append(f"deposit {merchant_id}: refused-{type(error).__name__}")
+    return lines
+
+
 def _settle(system: EcashSystem, deployment: NetworkDeployment) -> list[str]:
     """Deposit every merchant's pending transcripts; label each outcome."""
     lines: list[str] = []
     for merchant_id in system.merchant_ids:
-        if not system.merchant(merchant_id).pending_deposits():
-            continue
-        try:
-            replies = deployment.run(deployment.deposit_process(merchant_id))
-            lines.extend(
-                f"deposit {merchant_id}: {reply.get('outcome')}" for reply in replies
-            )
-        except SimTimeoutError:
-            lines.append(f"deposit {merchant_id}: timeout")
-        except EcashError as error:
-            lines.append(f"deposit {merchant_id}: refused-{type(error).__name__}")
+        if system.merchant(merchant_id).pending_deposits():
+            lines.extend(_settle_one(system, deployment, merchant_id))
     return lines
 
 
@@ -332,6 +346,102 @@ def _scenario_broker_crash(seed: int) -> ScenarioResult:
     return _finish("broker-crash-restart", seed, outcomes, checker)
 
 
+def _broker_crash_campaign(seed: int, backend: str) -> ScenarioResult:
+    """The broker dies mid-deposit-campaign and recovers from its store.
+
+    The broker journals every mutation into a :class:`repro.store.Store`
+    (``backend`` selects memory or SQLite shards). Mid-campaign the
+    broker node crashes via a :class:`~repro.faults.plan.CrashWindow`
+    and the process "dies": the store is closed abruptly, a torn partial
+    record is appended to one WAL — and, because the store was compacted
+    earlier, the journal is already longer than its snapshot. Recovery
+    must truncate the torn tail, replay the journal over the stale
+    snapshot, and reproduce the pre-crash state exactly: pending
+    deposits settle (nothing lost), cleared transcripts stay refused (no
+    double credit), and the ledger audit still conserves money.
+    """
+    system, deployment, checker = _fresh(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "broker-state"
+        store = Store(state_dir, backend=backend, shards=4)
+        attach_broker_store(system.broker, store)
+        coins = [_withdraw(system, deployment) for _ in range(4)]
+        outcomes = [
+            f"payment-{index}: {_pay(deployment, stored, _other_merchant(system, stored, index))}"
+            for index, stored in enumerate(coins)
+        ]
+        pending_by = {
+            merchant_id: list(system.merchant(merchant_id).pending_deposits())
+            for merchant_id in system.merchant_ids
+            if system.merchant(merchant_id).pending_deposits()
+        }
+        campaign = sorted(pending_by)
+        # Settle the first storefront, then compact: everything journaled
+        # after this point lives only in the WAL, ahead of the snapshot —
+        # which the second storefront's settlement then writes to.
+        cleared: list[Any] = []
+        if campaign:
+            cleared = pending_by[campaign[0]]
+            outcomes.extend(_settle_one(system, deployment, campaign[0]))
+        store.compact()
+        outcomes.append("store: compacted (stale snapshot, journal runs ahead)")
+        for merchant_id in campaign[1:2]:
+            outcomes.extend(_settle_one(system, deployment, merchant_id))
+        # The broker node goes dark mid-campaign; the remaining deposit
+        # runs are attempted against the dead node.
+        plan = FaultPlan(seed=seed).crash(BROKER_NODE, at=0.0, duration=60.0)
+        injector = FaultInjector(plan).install(deployment.network)
+        for merchant_id in campaign[2:]:
+            outcomes.extend(_settle_one(system, deployment, merchant_id))
+        expected = broker_spaces(system.broker)
+        # Process death: abrupt close, plus a torn partial record on one
+        # shard's WAL, as if the power died mid-write.
+        store.close()
+        with (state_dir / "shard-00" / "wal.log").open("ab") as handle:
+            handle.write(b"\x00\x00\x00\x17to")
+        reopened = Store(state_dir, backend=backend, shards=4)
+        stats = attach_broker_store(system.broker, reopened)
+        outcomes.append(
+            "restart: "
+            f"snapshot={stats.snapshot_records} "
+            f"replayed={stats.replayed_records} "
+            f"torn-bytes={stats.truncated_bytes}"
+        )
+        outcomes.append(
+            f"state preserved across crash: {broker_spaces(system.broker) == expected}"
+        )
+        outcomes.append(f"store digest: {reopened.state_digest()[:16]}")
+        # No double credit: transcripts cleared before the crash stay
+        # refused by the recovered deposit database.
+        for signed in cleared:
+            try:
+                system.broker.deposit(campaign[0], signed, deployment.now())
+                outcomes.append("re-deposit after restart: ACCEPTED")
+            except DoubleDepositError:
+                outcomes.append("re-deposit after restart: refused-DoubleDepositError")
+        # Nothing lost: once the node is back up, the interrupted
+        # campaign finishes against the recovered broker.
+        deployment.sim.schedule(90.0, lambda: None)
+        deployment.sim.run()
+        outcomes.extend(_settle(system, deployment))
+        injector.uninstall()
+        outcomes.append(f"ledger conserved: {system.broker.ledger.conserved()}")
+        reopened.close()
+    return _finish(
+        f"broker-crash-campaign-{backend}", seed, outcomes, checker, injector
+    )
+
+
+def _scenario_crash_campaign_memory(seed: int) -> ScenarioResult:
+    """Broker crash mid-deposit-campaign, memory-backed store."""
+    return _broker_crash_campaign(seed, "memory")
+
+
+def _scenario_crash_campaign_sqlite(seed: int) -> ScenarioResult:
+    """Broker crash mid-deposit-campaign, SQLite-backed store."""
+    return _broker_crash_campaign(seed, "sqlite")
+
+
 # ----------------------------------------------------------------------
 # Byzantine scenarios
 # ----------------------------------------------------------------------
@@ -440,6 +550,8 @@ SCENARIOS: dict[str, Callable[[int], ScenarioResult]] = {
     "double-deposit-merchant": _scenario_double_deposit,
     "stale-table-broker": _scenario_stale_broker,
     "broker-crash-restart": _scenario_broker_crash,
+    "broker-crash-campaign-memory": _scenario_crash_campaign_memory,
+    "broker-crash-campaign-sqlite": _scenario_crash_campaign_sqlite,
 }
 
 

@@ -1,0 +1,27 @@
+"""Typed failures of the durable-storage subsystem.
+
+The store distinguishes *transient* IO trouble from *permanent* damage
+because callers recover differently: an :class:`StoreIOError` means the
+write path gave up after bounded retries (the daemon should surface the
+RPC as failed and let the client retry — nothing was acknowledged), while
+a :class:`StoreCorruptError` means the on-disk journal or snapshot is
+structurally damaged beyond the torn-tail case the recovery path heals
+automatically, and an operator has to intervene.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for every durable-storage failure."""
+
+
+class StoreIOError(StoreError):
+    """A filesystem operation kept failing after bounded retries."""
+
+
+class StoreCorruptError(StoreError):
+    """The journal or snapshot is structurally damaged (not a torn tail)."""
+
+
+__all__ = ["StoreCorruptError", "StoreError", "StoreIOError"]

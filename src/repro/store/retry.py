@@ -1,0 +1,89 @@
+"""Bounded retries with seeded backoff for store IO.
+
+Disks hiccup: an ``fsync`` or rename can fail transiently (NFS, thin
+provisioning, a container runtime reloading) and succeed a moment later.
+The store wraps every such call in :func:`with_retries`, which mirrors
+the daemon RPC retry discipline (:class:`repro.faults.recovery.BackoffPolicy`
+— exponential spacing with seeded jitter, so replayed runs back off
+identically) and converts a persistent failure into the typed
+:class:`~repro.store.errors.StoreIOError` callers can catch.
+
+The ``sleep`` callable is injectable so tests (and simulated time) never
+block a real clock.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro import obs
+from repro.faults.recovery import BackoffPolicy
+from repro.store.errors import StoreIOError
+
+T = TypeVar("T")
+
+
+def _default_backoff() -> BackoffPolicy:
+    """Short fuse: IO retries must not stall an RPC for whole seconds."""
+    return BackoffPolicy(base=0.002, factor=2.0, max_delay=0.05, jitter=0.2)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failing store IO call, and how spaced.
+
+    Args:
+        attempts: total tries (the first call plus ``attempts - 1``
+            retries); must be at least 1.
+        backoff: delay schedule between tries (seeded jitter comes from
+            the RNG the caller passes to :func:`with_retries`).
+    """
+
+    attempts: int = 4
+    backoff: BackoffPolicy = field(default_factory=_default_backoff)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry attempts must be at least 1")
+
+
+def with_retries(
+    op: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    rng: random.Random,
+    describe: str,
+    sleep: Callable[[float], None] | None = None,
+) -> T:
+    """Run ``op``, retrying transient :class:`OSError` failures.
+
+    Args:
+        op: the IO operation; called until it succeeds or tries run out.
+        policy: attempt budget and backoff schedule.
+        rng: seeded randomness for the backoff jitter (the store owns one
+            seeded stream, so retry timing replays deterministically).
+        describe: human label for the operation, used in the error.
+        sleep: pause implementation (defaults to :func:`time.sleep`).
+
+    Raises:
+        StoreIOError: every attempt raised :class:`OSError`.
+    """
+    pause = sleep if sleep is not None else time.sleep
+    failure: OSError | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return op()
+        except OSError as error:
+            failure = error
+            obs.counter_inc("store_io_retries_total")
+            if attempt + 1 < policy.attempts:
+                pause(policy.backoff.delay(attempt, rng))
+    raise StoreIOError(
+        f"{describe} failed after {policy.attempts} attempt(s): {failure}"
+    ) from failure
+
+
+__all__ = ["RetryPolicy", "with_retries"]

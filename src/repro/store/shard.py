@@ -1,0 +1,283 @@
+"""One shard: a write-ahead log + snapshot + materialized backend.
+
+Every mutation follows the same discipline:
+
+1. encode the operation as JSON and :meth:`append <WriteAheadLog.append>`
+   it to the shard's WAL (``ack`` flushes/fsyncs first — the caller only
+   acknowledges *after* the journal is durable);
+2. apply it to the backend.
+
+Recovery inverts that: clear the backend, load the last snapshot (an
+atomically-replaced JSON file), then replay the WAL front to back. Both
+``put`` and ``delete`` replay idempotently, so the stale-snapshot +
+longer-WAL case (crash between snapshot write and WAL truncation during
+compaction) merely re-applies operations the snapshot already contains.
+Because the backend is rebuilt wholesale, two shards fed the same
+snapshot + journal materialize the same logical state regardless of
+backend — that is the cross-backend recovery-identity property the chaos
+suite asserts.
+
+Compaction = write a new snapshot of the current state (tmp file, fsync,
+``os.replace``) and reset the WAL. A crash at any point leaves either the
+old snapshot + full WAL or the new snapshot + (possibly still-full) WAL —
+both recover to the same state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.store.backend import KVBackend, make_backend
+from repro.store.errors import StoreCorruptError
+from repro.store.retry import RetryPolicy, with_retries
+from repro.store.wal import WriteAheadLog
+
+#: Snapshot format version, checked on load.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """What one shard recovery did (summed per store by the caller)."""
+
+    snapshot_records: int
+    replayed_records: int
+    truncated_bytes: int
+    replay_ms: float
+
+
+class Shard:
+    """One journaled partition of a store.
+
+    Args:
+        directory: the shard's directory (``wal.log``, ``snapshot.json``
+            and the backend's data file live here).
+        backend: backend name — ``"memory"`` or ``"sqlite"``.
+        fsync_every: WAL group-commit width.
+        retry: IO retry budget shared by WAL and snapshot writes.
+        rng: seeded randomness for retry jitter.
+        sleep: retry pause implementation (tests inject a no-op).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        backend: str = "memory",
+        fsync_every: int = 1,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.backend_kind = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.rng = rng if rng is not None else random.Random("repro.store.shard")
+        self.sleep = sleep
+        self.wal = WriteAheadLog(
+            self.directory / "wal.log",
+            fsync_every=fsync_every,
+            retry=self.retry,
+            rng=self.rng,
+            sleep=sleep,
+        )
+        self.backend: KVBackend = make_backend(backend, self.directory / "data.db")
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Where this shard's snapshot file lives."""
+        return self.directory / "snapshot.json"
+
+    # ------------------------------------------------------------------
+    # Mutation (journal first, then apply)
+    # ------------------------------------------------------------------
+    def put(self, space: str, key: str, value: object) -> None:
+        """Journal and apply an upsert of a JSON-encodable value."""
+        blob = _encode(value)
+        self.wal.append(
+            json.dumps(
+                {"op": "put", "space": space, "key": key, "value": value},
+                sort_keys=True,
+            ).encode("utf-8")
+        )
+        self.backend.put(space, key, blob)
+
+    def delete(self, space: str, key: str) -> None:
+        """Journal and apply a deletion (idempotent on replay)."""
+        self.wal.append(
+            json.dumps(
+                {"op": "delete", "space": space, "key": key}, sort_keys=True
+            ).encode("utf-8")
+        )
+        self.backend.delete(space, key)
+
+    def ack(self) -> None:
+        """Durability barrier: fsync the WAL before acknowledging a caller."""
+        self.wal.flush()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, space: str, key: str) -> object | None:
+        """Return the decoded value at ``(space, key)``, or ``None``."""
+        blob = self.backend.get(space, key)
+        return None if blob is None else json.loads(blob.decode("utf-8"))
+
+    def dump(self) -> dict[str, dict[str, object]]:
+        """The shard's whole logical state: ``{space: {key: value}}``."""
+        state: dict[str, dict[str, object]] = {}
+        for space in self.backend.spaces():
+            state[space] = {
+                key: json.loads(blob.decode("utf-8"))
+                for key, blob in self.backend.items(space)
+            }
+        return state
+
+    # ------------------------------------------------------------------
+    # Recovery / compaction
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryStats:
+        """Rebuild the backend from snapshot + WAL replay.
+
+        Returns:
+            Per-shard :class:`RecoveryStats`.
+
+        Raises:
+            StoreCorruptError: snapshot unreadable, or WAL damage beyond
+                a torn tail.
+        """
+        started = time.perf_counter()
+        self.backend.clear()
+        snapshot_records = self._load_snapshot()
+        payloads = self.wal.replay()
+        for payload in payloads:
+            self._apply(json.loads(payload.decode("utf-8")))
+        self.backend.flush()
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        obs.observe("store_replay_ms", elapsed_ms)
+        obs.counter_inc("store_replayed_records_total", float(len(payloads)))
+        return RecoveryStats(
+            snapshot_records=snapshot_records,
+            replayed_records=len(payloads),
+            truncated_bytes=self.wal.truncated_bytes,
+            replay_ms=elapsed_ms,
+        )
+
+    def compact(self) -> None:
+        """Snapshot current state atomically, then reset the WAL.
+
+        The snapshot lands via tmp file + fsync + ``os.replace``; a crash
+        between the replace and the WAL reset leaves the stale-snapshot +
+        longer-WAL layout that :meth:`recover` handles idempotently.
+        """
+        payload = json.dumps(
+            {"version": SNAPSHOT_VERSION, "spaces": self.dump()},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+
+        def write_snapshot() -> None:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.snapshot_path)
+
+        with_retries(
+            write_snapshot,
+            policy=self.retry,
+            rng=self.rng,
+            describe=f"write snapshot {self.snapshot_path.name}",
+            sleep=self.sleep,
+        )
+        self.wal.reset()
+        self.backend.flush()
+
+    def verify(self) -> list[str]:
+        """Check snapshot parseability and WAL integrity without mutating."""
+        problems = [f"wal.log: {issue}" for issue in self.wal.verify()]
+        if self.snapshot_path.exists():
+            try:
+                document = json.loads(self.snapshot_path.read_text("utf-8"))
+            except (ValueError, OSError) as error:
+                problems.append(f"snapshot.json: unreadable ({error})")
+            else:
+                if document.get("version") != SNAPSHOT_VERSION:
+                    problems.append(
+                        f"snapshot.json: version {document.get('version')!r} "
+                        f"(expected {SNAPSHOT_VERSION})"
+                    )
+        return problems
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON dump of the logical state.
+
+        Backend- and history-independent: two shards that recovered the
+        same journal produce the same digest.
+        """
+        canonical = json.dumps(
+            self.dump(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
+    def flush(self) -> None:
+        """Fsync the WAL and commit the backend."""
+        self.wal.flush()
+        self.backend.flush()
+
+    def close(self) -> None:
+        """Flush everything and release file handles."""
+        self.wal.close()
+        self.backend.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _load_snapshot(self) -> int:
+        if not self.snapshot_path.exists():
+            return 0
+        try:
+            document = json.loads(self.snapshot_path.read_text("utf-8"))
+        except ValueError as error:
+            raise StoreCorruptError(
+                f"{self.snapshot_path}: snapshot is not valid JSON ({error})"
+            ) from error
+        if document.get("version") != SNAPSHOT_VERSION:
+            raise StoreCorruptError(
+                f"{self.snapshot_path}: snapshot version "
+                f"{document.get('version')!r} (expected {SNAPSHOT_VERSION})"
+            )
+        count = 0
+        for space, table in document["spaces"].items():
+            for key, value in table.items():
+                self.backend.put(space, key, _encode(value))
+                count += 1
+        return count
+
+    def _apply(self, operation: dict[str, object]) -> None:
+        op = operation.get("op")
+        space = str(operation["space"])
+        key = str(operation["key"])
+        if op == "put":
+            self.backend.put(space, key, _encode(operation["value"]))
+        elif op == "delete":
+            self.backend.delete(space, key)
+        else:
+            raise StoreCorruptError(f"unknown journal operation {op!r}")
+
+
+def _encode(value: object) -> bytes:
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+__all__ = ["RecoveryStats", "SNAPSHOT_VERSION", "Shard"]

@@ -1,0 +1,281 @@
+"""The sharded store: coin-hash-prefix routing over N journaled shards.
+
+The broker's heavy tables — deposits, renewals, witness commitment and
+spent-coin tables — are keyed by (a hex encoding of) the coin digest,
+the same value the witness layer already partitions over ``[0, 2^k)``.
+Sharding by a prefix of that digest therefore aligns storage partitions
+with witness ranges: a shard holds exactly the transcripts a
+corresponding witness-range subset certifies, and shards journal and
+fsync independently (parallel commit under the deposit campaign).
+
+Singleton spaces (``meta``, ``merchants``, ``tickets``, ...) are pinned
+to shard 0; sharded spaces (declared in :data:`SHARDED_SPACES`, matched
+on the base name before any ``":"`` qualifier) route by key. The shard
+count is recorded in a ``store.json`` manifest at creation and verified
+on reopen — resharding is a migration, not an accident.
+
+``dump``/``state_digest`` merge all shards into one logical state, so
+the digest is invariant under both shard count and backend choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import zlib
+from pathlib import Path
+from typing import Callable
+
+from repro.store.errors import StoreCorruptError
+from repro.store.retry import RetryPolicy
+from repro.store.shard import RecoveryStats, Shard
+
+#: Base space names routed by key; every other space pins to shard 0.
+SHARDED_SPACES = frozenset({"deposits", "renewals", "commitments", "spent"})
+
+#: Manifest format version, checked on reopen.
+MANIFEST_VERSION = 1
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Route a key to a shard by its leading hex digits.
+
+    Keys in sharded spaces are hex coin digests, so the first eight
+    digits are a uniform 32-bit prefix; non-hex keys fall back to CRC32
+    so routing stays total.
+    """
+    if shards <= 1:
+        return 0
+    prefix = key[:8]
+    try:
+        value = int(prefix, 16)
+    except ValueError:
+        value = zlib.crc32(key.encode("utf-8"))
+    return value % shards
+
+
+class Store:
+    """A fixed set of shards behind one put/get/delete surface.
+
+    Args:
+        directory: the store's root directory (manifest + ``shard-NN``
+            subdirectories live here).
+        backend: backend name for every shard (``"memory"``/``"sqlite"``).
+        shards: number of shards; fixed at creation by the manifest.
+        fsync_every: WAL group-commit width per shard.
+        retry: IO retry budget.
+        rng: seeded randomness for retry jitter.
+        sleep: retry pause implementation (tests inject a no-op).
+
+    Raises:
+        StoreCorruptError: the directory has a manifest that disagrees
+            with the requested layout (shard count) or is unreadable.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        backend: str = "memory",
+        shards: int = 4,
+        fsync_every: int = 1,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a store needs at least one shard")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.backend_kind = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.rng = rng if rng is not None else random.Random("repro.store")
+        self.shard_count = self._check_manifest(shards, backend)
+        self.shards = [
+            Shard(
+                self.directory / f"shard-{index:02d}",
+                backend=backend,
+                fsync_every=fsync_every,
+                retry=self.retry,
+                rng=self.rng,
+                sleep=sleep,
+            )
+            for index in range(self.shard_count)
+        ]
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where the store manifest lives."""
+        return self.directory / "store.json"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, space: str, key: str) -> Shard:
+        """The shard owning ``(space, key)`` under prefix routing."""
+        base = space.split(":", 1)[0]
+        if base in SHARDED_SPACES:
+            return self.shards[shard_index(key, self.shard_count)]
+        return self.shards[0]
+
+    # ------------------------------------------------------------------
+    # Mutation / reads (delegate to the owning shard)
+    # ------------------------------------------------------------------
+    def put(self, space: str, key: str, value: object) -> None:
+        """Journal and apply an upsert on the owning shard."""
+        self.shard_for(space, key).put(space, key, value)
+
+    def delete(self, space: str, key: str) -> None:
+        """Journal and apply a deletion on the owning shard."""
+        self.shard_for(space, key).delete(space, key)
+
+    def get(self, space: str, key: str) -> object | None:
+        """Read the decoded value from the owning shard."""
+        return self.shard_for(space, key).get(space, key)
+
+    def ack(self) -> None:
+        """Durability barrier across all shards (fsync each dirty WAL)."""
+        for shard in self.shards:
+            shard.ack()
+
+    def dump(self) -> dict[str, dict[str, object]]:
+        """Merged logical state over all shards: ``{space: {key: value}}``."""
+        merged: dict[str, dict[str, object]] = {}
+        for shard in self.shards:
+            for space, table in shard.dump().items():
+                merged.setdefault(space, {}).update(table)
+        return {
+            space: dict(sorted(table.items()))
+            for space, table in sorted(merged.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryStats:
+        """Recover every shard; return summed :class:`RecoveryStats`."""
+        stats = [shard.recover() for shard in self.shards]
+        return RecoveryStats(
+            snapshot_records=sum(s.snapshot_records for s in stats),
+            replayed_records=sum(s.replayed_records for s in stats),
+            truncated_bytes=sum(s.truncated_bytes for s in stats),
+            replay_ms=sum(s.replay_ms for s in stats),
+        )
+
+    def compact(self) -> None:
+        """Snapshot and reset the WAL on every shard."""
+        for shard in self.shards:
+            shard.compact()
+
+    def verify(self) -> list[str]:
+        """Collect integrity problems from the manifest and every shard."""
+        problems: list[str] = []
+        try:
+            self._check_manifest(self.shard_count, self.backend_kind)
+        except StoreCorruptError as error:
+            problems.append(str(error))
+        for index, shard in enumerate(self.shards):
+            for issue in shard.verify():
+                problems.append(f"shard-{index:02d}/{issue}")
+        return problems
+
+    def state_digest(self) -> str:
+        """SHA-256 over the merged canonical dump.
+
+        Invariant under shard count and backend — the property the
+        chaos suite's cross-backend recovery check rests on.
+        """
+        canonical = json.dumps(
+            self.dump(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
+    def wal_bytes(self) -> int:
+        """Total WAL size across shards (the ``store_wal_bytes`` gauge)."""
+        return sum(shard.wal.size_bytes for shard in self.shards)
+
+    def flush(self) -> None:
+        """Fsync every WAL and commit every backend."""
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Flush and release every shard."""
+        for shard in self.shards:
+            shard.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_manifest(self, shards: int, backend: str) -> int:
+        if self.manifest_path.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text("utf-8"))
+            except ValueError as error:
+                raise StoreCorruptError(
+                    f"{self.manifest_path}: manifest is not valid JSON ({error})"
+                ) from error
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise StoreCorruptError(
+                    f"{self.manifest_path}: manifest version "
+                    f"{manifest.get('version')!r} (expected {MANIFEST_VERSION})"
+                )
+            recorded = int(manifest["shards"])
+            if recorded != shards:
+                raise StoreCorruptError(
+                    f"{self.manifest_path}: store was created with "
+                    f"{recorded} shard(s), reopened with {shards} — "
+                    "resharding requires an explicit migration"
+                )
+            return recorded
+        self.manifest_path.write_text(
+            json.dumps(
+                {"version": MANIFEST_VERSION, "shards": shards, "backend": backend},
+                sort_keys=True,
+            ),
+            "utf-8",
+        )
+        return shards
+
+
+def open_store(
+    directory: str | Path,
+    *,
+    fsync_every: int = 1,
+    retry: RetryPolicy | None = None,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] | None = None,
+) -> Store:
+    """Open an existing store using the layout its manifest records.
+
+    Unlike :class:`Store`, which takes the layout as arguments (and
+    creates the manifest on first use), this reads ``store.json`` and
+    reopens with the recorded backend and shard count — the right call
+    for tooling (``repro store``) that inspects a store it did not
+    create.
+
+    Raises:
+        StoreCorruptError: no manifest, or the manifest is unreadable.
+    """
+    manifest_path = Path(directory) / "store.json"
+    if not manifest_path.exists():
+        raise StoreCorruptError(f"{manifest_path}: no store manifest found")
+    try:
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+    except ValueError as error:
+        raise StoreCorruptError(
+            f"{manifest_path}: manifest is not valid JSON ({error})"
+        ) from error
+    return Store(
+        directory,
+        backend=str(manifest.get("backend", "memory")),
+        shards=int(manifest.get("shards", 1)),
+        fsync_every=fsync_every,
+        retry=retry,
+        rng=rng,
+        sleep=sleep,
+    )
+
+
+__all__ = ["MANIFEST_VERSION", "SHARDED_SPACES", "Store", "open_store", "shard_index"]

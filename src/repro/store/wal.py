@@ -1,0 +1,308 @@
+"""The write-ahead log: append-only, length-prefixed, CRC-checked.
+
+Every mutation of a :class:`~repro.store.shard.Shard` is appended here
+*before* it is applied to the backend (and long before any RPC reply is
+sent), so a crash at any instant loses at most the mutations that were
+never acknowledged. The file layout is deliberately trivial to parse
+forwards and impossible to misparse silently:
+
+```
+offset  size  field
+0       5     file magic  b"RWAL\\x01" (format version in the last byte)
+--- then zero or more records, back to back ---
++0      4     payload length N   (big-endian unsigned)
++4      4     CRC32 of payload   (big-endian unsigned)
++8      N     payload bytes      (UTF-8 JSON operation)
+```
+
+Durability is batched: ``append`` buffers, and every ``fsync_every``
+records (or an explicit :meth:`flush`, which the store issues before any
+acknowledgement) the file is flushed and fsynced — group commit. A *torn
+final record* (crash mid-append: short header, short payload, or a CRC
+mismatch that runs to end-of-file) is healed by truncating back to the
+last good record; it can only ever be an unacknowledged mutation. Damage
+*before* the tail — a CRC mismatch with further bytes behind it — is not
+healable and raises :class:`~repro.store.errors.StoreCorruptError`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Callable, TypeVar
+
+from repro import obs
+from repro.store.errors import StoreCorruptError
+from repro.store.retry import RetryPolicy, with_retries
+
+#: File magic: "RWAL" + one format-version byte.
+MAGIC = b"RWAL\x01"
+
+_HEADER = struct.Struct(">II")
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Outcome of reading a WAL file front to back.
+
+    ``torn_bytes`` counts trailing bytes that do not form a complete,
+    checksummed record (zero on a cleanly closed log); ``problem`` names
+    non-tail damage when present (the scan stops there).
+    """
+
+    payloads: tuple[bytes, ...]
+    good_size: int
+    torn_bytes: int
+    problem: str | None
+
+
+def scan_wal_bytes(data: bytes) -> WalScan:
+    """Parse raw WAL bytes without touching any file.
+
+    Shared by recovery (which truncates the torn tail) and ``verify``
+    (which only reports). A file shorter than the magic is treated as a
+    torn creation; a wrong magic is damage.
+    """
+    if len(data) < len(MAGIC):
+        return WalScan(payloads=(), good_size=0, torn_bytes=len(data), problem=None)
+    if data[: len(MAGIC)] != MAGIC:
+        return WalScan(
+            payloads=(), good_size=0, torn_bytes=0, problem="bad file magic"
+        )
+    payloads: list[bytes] = []
+    offset = len(MAGIC)
+    problem: str | None = None
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            break  # torn header at the tail
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break  # torn payload at the tail
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            if end < len(data):
+                problem = f"CRC mismatch at offset {offset} with data after it"
+            break  # CRC-bad final record counts as torn
+        payloads.append(payload)
+        offset = end
+    return WalScan(
+        payloads=tuple(payloads),
+        good_size=offset,
+        torn_bytes=len(data) - offset,
+        problem=problem,
+    )
+
+
+class WriteAheadLog:
+    """One append-only journal file with batched fsync.
+
+    Args:
+        path: the log file (created with the magic header on first use).
+        fsync_every: group-commit width — fsync after this many appends
+            (1 = every record; the store still calls :meth:`flush` before
+            acknowledging, so a larger width only batches *within* one
+            logical operation).
+        retry: IO retry budget for writes and fsyncs.
+        rng: seeded randomness for retry jitter.
+        sleep: pause implementation for retries (tests inject a no-op).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every: int = 1,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least 1")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.rng = rng if rng is not None else random.Random("repro.store.wal")
+        self.sleep = sleep
+        self.fsync_count = 0
+        self.appended_records = 0
+        self.truncated_bytes = 0
+        self._file: BinaryIO | None = None
+        self._size = 0
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Current durable-plus-buffered size of the log file."""
+        if self._file is None and self.path.exists():
+            return self.path.stat().st_size
+        return self._size if self._file is not None else 0
+
+    def append(self, payload: bytes) -> None:
+        """Append one checksummed record (buffered; see ``fsync_every``).
+
+        Raises:
+            StoreIOError: the write kept failing after retries.
+        """
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        handle = self._open()
+        offset = self._size
+
+        def write() -> None:
+            # Rewind to the last known-good boundary before (re)writing,
+            # so a partially written attempt is overwritten, not doubled.
+            handle.seek(offset)
+            handle.truncate(offset)
+            handle.write(record)
+
+        self._with_retries(write, f"append to {self.path.name}")
+        self._size = offset + len(record)
+        self._pending += 1
+        self.appended_records += 1
+        if self._pending >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush buffered records and fsync — the group-commit barrier.
+
+        Raises:
+            StoreIOError: the flush/fsync kept failing after retries.
+        """
+        if self._file is None or self._pending == 0:
+            return
+        handle = self._file
+
+        def sync() -> None:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        self._with_retries(sync, f"fsync {self.path.name}")
+        self._pending = 0
+        self.fsync_count += 1
+        obs.counter_inc("store_fsyncs_total")
+        obs.gauge_set("store_wal_bytes", float(self._size))
+
+    def reset(self) -> None:
+        """Truncate to an empty (header-only) log, after a snapshot.
+
+        Raises:
+            StoreIOError: the truncate kept failing after retries.
+        """
+        handle = self._open()
+
+        def truncate() -> None:
+            handle.seek(0)
+            handle.truncate(0)
+            handle.write(MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        self._with_retries(truncate, f"reset {self.path.name}")
+        self._size = len(MAGIC)
+        self._pending = 0
+        self.fsync_count += 1
+        obs.counter_inc("store_fsyncs_total")
+        obs.gauge_set("store_wal_bytes", float(self._size))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> list[bytes]:
+        """Read every intact record; heal (truncate) a torn tail.
+
+        Returns:
+            The record payloads, oldest first.
+
+        Raises:
+            StoreCorruptError: damage before the tail (unhealable).
+            StoreIOError: reading or truncating kept failing.
+        """
+        self.close()
+        if not self.path.exists():
+            return []
+        data = self._with_retries(self.path.read_bytes, f"read {self.path.name}")
+        scanned = scan_wal_bytes(data)
+        if scanned.problem is not None:
+            raise StoreCorruptError(f"{self.path}: {scanned.problem}")
+        if scanned.torn_bytes:
+            self.truncated_bytes += scanned.torn_bytes
+            obs.counter_inc("store_wal_torn_bytes_total", scanned.torn_bytes)
+            good = scanned.good_size
+
+            def heal() -> None:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good)
+                    if good == 0:
+                        handle.write(MAGIC)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+            self._with_retries(heal, f"truncate torn tail of {self.path.name}")
+        return list(scanned.payloads)
+
+    def verify(self) -> list[str]:
+        """Scan without modifying anything; return problem descriptions.
+
+        A torn tail is reported (it would be healed by recovery) but so
+        is unhealable corruption; an intact log returns ``[]``.
+        """
+        if not self.path.exists():
+            return []
+        scanned = scan_wal_bytes(self.path.read_bytes())
+        problems: list[str] = []
+        if scanned.problem is not None:
+            problems.append(f"corrupt: {scanned.problem}")
+        elif scanned.torn_bytes:
+            problems.append(
+                f"torn tail: {scanned.torn_bytes} trailing byte(s) "
+                "(recovery will truncate)"
+            )
+        return problems
+
+    def close(self) -> None:
+        """Flush pending records and release the file handle."""
+        if self._file is not None:
+            self.flush()
+            self._file.close()
+            self._file = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _open(self) -> BinaryIO:
+        if self._file is not None:
+            return self._file
+
+        def open_file() -> BinaryIO:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle: BinaryIO
+            if not self.path.exists() or self.path.stat().st_size == 0:
+                handle = open(self.path, "w+b")
+                handle.write(MAGIC)
+                handle.flush()
+            else:
+                handle = open(self.path, "r+b")
+            handle.seek(0, os.SEEK_END)
+            return handle
+
+        self._file = self._with_retries(open_file, f"open {self.path.name}")
+        self._size = self._file.tell()
+        self._pending = 0
+        return self._file
+
+    def _with_retries(self, op: Callable[[], _T], describe: str) -> _T:
+        return with_retries(
+            op, policy=self.retry, rng=self.rng, describe=describe, sleep=self.sleep
+        )
+
+
+__all__ = ["MAGIC", "WalScan", "WriteAheadLog", "scan_wal_bytes"]

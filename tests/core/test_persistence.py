@@ -3,9 +3,22 @@
 import pytest
 
 from repro.core.exceptions import DoubleDepositError, RenewalRefusedError
-from repro.core.persistence import load_broker, save_broker
+from repro.core.persistence import (
+    attach_broker_store,
+    attach_witness_journal,
+    broker_spaces,
+    load_broker,
+    load_broker_from_store,
+    restore_witness,
+    save_broker,
+    witness_spaces,
+)
 from repro.core.protocols import run_deposit, run_payment, run_renewal, run_withdrawal
+from repro.core.witness import WitnessService
+from repro.store import Store
 from tests.conftest import other_merchant
+
+NO_SLEEP = {"sleep": lambda _delay: None}
 
 
 @pytest.fixture()
@@ -97,3 +110,143 @@ def test_merchant_registry_restored(busy_system):
             restored.merchants[merchant_id].public_key
             == system.broker.merchants[merchant_id].public_key
         )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive snapshot round-trips (including in-flight tickets)
+# ----------------------------------------------------------------------
+
+def test_save_load_save_is_byte_identical_with_inflight_tickets(
+    busy_system, tmp_path
+):
+    """Every table round-trips: the second save equals the first, byte
+    for byte, even with withdrawal and batch tickets still in flight."""
+    system, client, merchant, signed, renewed_source, fresh, path = busy_system
+    broker = system.broker
+    # Leave a plain ticket and a batch ticket open mid-protocol.
+    broker.begin_withdrawal(system.standard_info(25, now=40))
+    broker.begin_batch_withdrawal(
+        [system.standard_info(25, now=41), system.standard_info(50, now=41)]
+    )
+    assert broker._tickets and broker._batch_tickets
+    assert broker._renewals and broker._deposits
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    save_broker(broker, first)
+    reloaded = load_broker(first, system.params)
+    save_broker(reloaded, second)
+    assert first.read_bytes() == second.read_bytes()
+    assert broker_spaces(reloaded) == broker_spaces(broker)
+
+
+def test_inflight_tickets_complete_against_the_restored_broker(
+    system, tmp_path
+):
+    """A withdrawal begun before the save finishes after the load."""
+    client = system.new_client()
+    info = system.standard_info(25, now=0)
+    ticket, challenge = system.broker.begin_withdrawal(info)
+    signer = client.begin_withdrawal(info, challenge)
+    path = tmp_path / "mid-withdrawal.json"
+    save_broker(system.broker, path)
+    restored = load_broker(path, system.params)
+    response = restored.complete_withdrawal(ticket, signer.e)
+    stored = client.finish_withdrawal(signer, response, restored.current_table)
+    stored.coin.ensure_valid_signature(system.params, restored.blind_public)
+    # The ticket was consumed by the restored broker too.
+    with pytest.raises(KeyError):
+        restored.complete_withdrawal(ticket, signer.e)
+
+
+def test_ticket_counter_does_not_collide_after_restore(system, tmp_path):
+    info = system.standard_info(25, now=0)
+    ticket, _challenge = system.broker.begin_withdrawal(info)
+    path = tmp_path / "counter.json"
+    save_broker(system.broker, path)
+    restored = load_broker(path, system.params)
+    fresh_ticket, _ = restored.begin_withdrawal(info)
+    assert fresh_ticket > ticket
+
+
+# ----------------------------------------------------------------------
+# Journaling into a store + crash recovery
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ("memory", "sqlite"))
+def test_journaled_broker_recovers_from_the_store(
+    system, funded_client, tmp_path, backend
+):
+    store = Store(tmp_path / "state", backend=backend, shards=4, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    run_deposit(merchant, system.broker, now=20)
+    expected = broker_spaces(system.broker)
+    store.close()  # crash: nothing flushed beyond the acknowledged journal
+
+    reopened = Store(tmp_path / "state", backend=backend, shards=4, **NO_SLEEP)
+    restored = load_broker_from_store(reopened, system.params)
+    assert broker_spaces(restored) == expected
+    assert restored.ledger.conserved()
+    with pytest.raises(DoubleDepositError):
+        restored.deposit(merchant.merchant_id, signed, now=100)
+    reopened.close()
+
+
+def test_attach_broker_store_restores_in_place(system, funded_client, tmp_path):
+    store = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    run_deposit(merchant, system.broker, now=20)
+    expected = broker_spaces(system.broker)
+    store.close()
+
+    reopened = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    # Same broker object: references held by dispatchers stay valid.
+    stats = attach_broker_store(system.broker, reopened)
+    assert broker_spaces(system.broker) == expected
+    assert stats.replayed_records > 0
+    reopened.close()
+
+
+def test_load_broker_from_empty_store_is_an_error(system, tmp_path):
+    store = Store(tmp_path / "empty", backend="memory", shards=1, **NO_SLEEP)
+    with pytest.raises(ValueError, match="no broker state"):
+        load_broker_from_store(store, system.params)
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Witness journaling round-trips
+# ----------------------------------------------------------------------
+
+def test_witness_journal_round_trips_through_a_store(
+    system, funded_client, tmp_path
+):
+    client, stored = funded_client
+    witness = system.witness_of(stored)
+    store = Store(tmp_path / "witness", backend="sqlite", shards=2, **NO_SLEEP)
+    attach_witness_journal(witness, store)
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    run_payment(client, stored, merchant, witness, now=10)
+    expected = witness_spaces(witness)
+    store.close()
+
+    reopened = Store(tmp_path / "witness", backend="sqlite", shards=2, **NO_SLEEP)
+    reopened.recover()
+    blank = WitnessService(
+        params=system.params,
+        merchant_id=witness.merchant_id,
+        keypair=witness.keypair,
+        broker_sign_public=witness.broker_sign_public,
+        broker_blind_public=witness.broker_blind_public,
+    )
+    restore_witness(blank, reopened.dump())
+    assert witness_spaces(blank) == expected
+    assert blank.signed_count == witness.signed_count
+    digest = stored.coin.digest(system.params)
+    assert digest in blank._spent
+    reopened.close()

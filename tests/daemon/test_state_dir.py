@@ -1,0 +1,48 @@
+"""Tests for durable broker state behind the daemon's ``--state-dir``."""
+
+import pytest
+
+from repro.core.persistence import broker_spaces
+from repro.core.protocols import run_withdrawal
+from repro.daemon.demo import write_deployment
+from repro.daemon.service import build_daemon
+
+
+@pytest.fixture()
+def deployment_dir(tmp_path):
+    write_deployment(tmp_path / "dep", seed=77)
+    return str(tmp_path / "dep")
+
+
+def test_broker_daemon_journals_and_recovers_across_restart(
+    deployment_dir, tmp_path
+):
+    state_dir = str(tmp_path / "state")
+    daemon = build_daemon(deployment_dir, "broker", state_dir=state_dir)
+    assert daemon.store is not None
+    first_boot = daemon.recovery
+    assert first_boot.snapshot_records == 0  # nothing on disk yet
+    system = daemon.system
+    client = system.new_client()
+    run_withdrawal(client, system.broker, system.standard_info(25, now=0))
+    expected = broker_spaces(system.broker)
+    daemon.close_store()  # daemon process exits
+
+    restarted = build_daemon(deployment_dir, "broker", state_dir=state_dir)
+    assert restarted.recovery.replayed_records > 0
+    assert broker_spaces(restarted.system.broker) == expected
+    restarted.close_store()
+
+
+def test_broker_daemon_without_state_dir_stays_memory_only(deployment_dir):
+    daemon = build_daemon(deployment_dir, "broker")
+    assert daemon.store is None
+    assert daemon.recovery is None
+    assert daemon.system.broker.journal is None
+
+
+def test_state_dir_rejected_for_non_broker_roles(deployment_dir, tmp_path):
+    with pytest.raises(ValueError, match="broker role"):
+        build_daemon(
+            deployment_dir, "alice-books", state_dir=str(tmp_path / "state")
+        )

@@ -1,0 +1,61 @@
+"""The store's obs instrumentation: fsyncs, WAL bytes, replay, retries."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.store import RetryPolicy, Shard, StoreIOError, with_retries
+
+
+@pytest.fixture(autouse=True)
+def metrics():
+    obs.reset()
+    obs.enable()
+    yield obs.registry()
+    obs.disable()
+    obs.reset()
+
+
+def test_fsync_and_wal_bytes_metrics(tmp_path, metrics):
+    shard = Shard(tmp_path, backend="memory", sleep=lambda _d: None)
+    shard.put("deposits", "00ab", {"amount": 25})
+    shard.ack()
+    shard.close()
+    assert metrics.counter_value("store_fsyncs_total") >= 1
+    assert metrics.gauge("store_wal_bytes").value > 0
+
+
+def test_replay_metrics_cover_records_and_torn_bytes(tmp_path, metrics):
+    shard = Shard(tmp_path, backend="memory", sleep=lambda _d: None)
+    shard.put("deposits", "00ab", {"amount": 25})
+    shard.put("deposits", "ffcd", {"amount": 50})
+    shard.close()
+    with (tmp_path / "wal.log").open("ab") as handle:
+        handle.write(b"\x00\x01")  # torn header
+
+    reopened = Shard(tmp_path, backend="memory", sleep=lambda _d: None)
+    reopened.recover()
+    reopened.close()
+    assert metrics.counter_value("store_replayed_records_total") == 2.0
+    assert metrics.counter_value("store_wal_torn_bytes_total") == 2.0
+    summary = metrics.histogram("store_replay_ms").summary()
+    assert summary["count"] == 1
+
+
+def test_io_retries_are_counted(metrics):
+    attempts = {"count": 0}
+
+    def flaky():
+        attempts["count"] += 1
+        raise OSError("hiccup")
+
+    with pytest.raises(StoreIOError):
+        with_retries(
+            flaky,
+            policy=RetryPolicy(attempts=3),
+            rng=random.Random(5),
+            describe="flaky op",
+            sleep=lambda _delay: None,
+        )
+    assert metrics.counter_value("store_io_retries_total") == 3.0

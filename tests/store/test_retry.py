@@ -1,0 +1,107 @@
+"""Tests for the bounded, seeded retry wrapper around store IO."""
+
+import random
+
+import pytest
+
+from repro.store import RetryPolicy, StoreIOError, with_retries
+
+
+def test_transient_failures_are_retried_to_success():
+    calls = {"count": 0}
+    delays = []
+
+    def flaky():
+        calls["count"] += 1
+        if calls["count"] < 3:
+            raise OSError("hiccup")
+        return "done"
+
+    result = with_retries(
+        flaky,
+        policy=RetryPolicy(attempts=4),
+        rng=random.Random(7),
+        describe="flaky op",
+        sleep=delays.append,
+    )
+    assert result == "done"
+    assert calls["count"] == 3
+    assert len(delays) == 2
+    assert all(delay > 0 for delay in delays)
+
+
+def test_exhausted_attempts_raise_typed_store_io_error():
+    calls = {"count": 0}
+
+    def broken():
+        calls["count"] += 1
+        raise OSError("still broken")
+
+    with pytest.raises(StoreIOError, match="3 attempt"):
+        with_retries(
+            broken,
+            policy=RetryPolicy(attempts=3),
+            rng=random.Random(7),
+            describe="broken op",
+            sleep=lambda _delay: None,
+        )
+    assert calls["count"] == 3
+
+
+def test_failure_chains_the_original_os_error():
+    try:
+        with_retries(
+            lambda: (_ for _ in ()).throw(OSError("root cause")),
+            policy=RetryPolicy(attempts=1),
+            rng=random.Random(7),
+            describe="doomed op",
+            sleep=lambda _delay: None,
+        )
+    except StoreIOError as error:
+        assert isinstance(error.__cause__, OSError)
+        assert "root cause" in str(error)
+    else:
+        pytest.fail("expected StoreIOError")
+
+
+def test_non_os_errors_propagate_unwrapped():
+    with pytest.raises(ValueError):
+        with_retries(
+            lambda: (_ for _ in ()).throw(ValueError("logic bug")),
+            policy=RetryPolicy(attempts=4),
+            rng=random.Random(7),
+            describe="buggy op",
+            sleep=lambda _delay: None,
+        )
+
+
+def test_backoff_delays_replay_deterministically_per_seed():
+    def run():
+        delays = []
+        attempts = {"count": 0}
+
+        def flaky():
+            attempts["count"] += 1
+            if attempts["count"] < 4:
+                raise OSError("hiccup")
+            return None
+
+        with_retries(
+            flaky,
+            policy=RetryPolicy(attempts=4),
+            rng=random.Random("retry-seed"),
+            describe="flaky op",
+            sleep=delays.append,
+        )
+        return delays
+
+    first, second = run(), run()
+    assert first == second
+    # Exponential spacing: each delay at least as long as the one before,
+    # up to jitter.
+    assert len(first) == 3
+
+
+def test_retry_policy_rejects_zero_attempts():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)

@@ -1,0 +1,245 @@
+"""Tests for shards and the sharded store: recovery, routing, digests."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    BACKENDS,
+    MAGIC,
+    Shard,
+    Store,
+    StoreCorruptError,
+    make_backend,
+    open_store,
+    shard_index,
+)
+
+NO_SLEEP = {"sleep": lambda _delay: None}
+
+
+def seed_ops(target):
+    """A fixed little workload touching sharded and singleton spaces."""
+    target.put("meta", "state", {"version": 2, "account": "broker"})
+    target.put("deposits", "00ab12", {"amount": 25})
+    target.put("deposits", "ffcd34", {"amount": 50})
+    target.put("renewals", "1a2b3c", {"amount": 25})
+    target.put("deposits", "00ab12", {"amount": 30})  # upsert
+    target.delete("renewals", "1a2b3c")
+    target.put("merchants", "alice-books", {"balance": 55})
+    target.ack()
+
+
+# ----------------------------------------------------------------------
+# Shard
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_shard_recover_rebuilds_the_same_state(tmp_path, backend):
+    shard = Shard(tmp_path, backend=backend, **NO_SLEEP)
+    seed_ops(shard)
+    expected = shard.dump()
+    digest = shard.state_digest()
+    shard.close()
+
+    reopened = Shard(tmp_path, backend=backend, **NO_SLEEP)
+    stats = reopened.recover()
+    assert reopened.dump() == expected
+    assert reopened.state_digest() == digest
+    assert stats.replayed_records == 7
+    assert stats.snapshot_records == 0
+    assert stats.truncated_bytes == 0
+    reopened.close()
+
+
+def test_recovery_is_identical_across_backends_for_one_journal(tmp_path):
+    """The same WAL + snapshot materializes the same state everywhere."""
+    shard = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    seed_ops(shard)
+    shard.compact()
+    shard.put("deposits", "9f9f9f", {"amount": 75})  # journal past the snapshot
+    shard.close()
+
+    digests = {}
+    for backend in BACKENDS:
+        reopened = Shard(tmp_path, backend=backend, **NO_SLEEP)
+        reopened.recover()
+        digests[backend] = reopened.state_digest()
+        reopened.close()
+    assert len(set(digests.values())) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_duplicate_replay_is_idempotent(tmp_path, backend):
+    """Stale snapshot + a WAL the snapshot already contains: no change."""
+    shard = Shard(tmp_path, backend=backend, **NO_SLEEP)
+    seed_ops(shard)
+    wal_bytes = shard.wal.path.read_bytes()
+    shard.compact()  # snapshot now holds everything, WAL reset
+    shard.close()
+    # Simulate a crash between snapshot replace and WAL reset: the old
+    # journal (every op the snapshot already has) is still in place.
+    (tmp_path / "wal.log").write_bytes(wal_bytes)
+
+    reopened = Shard(tmp_path, backend=backend, **NO_SLEEP)
+    before = reopened.recover()
+    digest = reopened.state_digest()
+    reopened.close()
+    again = Shard(tmp_path, backend=backend, **NO_SLEEP)
+    again.recover()
+    assert again.state_digest() == digest
+    assert before.replayed_records == 7  # the stale journal really replayed
+    again.close()
+
+
+def test_compact_preserves_state_and_empties_the_wal(tmp_path):
+    shard = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    seed_ops(shard)
+    digest = shard.state_digest()
+    shard.compact()
+    assert shard.state_digest() == digest
+    assert shard.wal.path.read_bytes() == MAGIC
+    # Compacting twice is harmless.
+    shard.compact()
+    assert shard.state_digest() == digest
+    shard.close()
+
+    reopened = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    stats = reopened.recover()
+    assert stats.snapshot_records == 4
+    assert stats.replayed_records == 0
+    assert reopened.state_digest() == digest
+    reopened.close()
+
+
+def test_snapshot_garbage_is_corruption(tmp_path):
+    shard = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    seed_ops(shard)
+    shard.compact()
+    shard.close()
+    (tmp_path / "snapshot.json").write_text("{not json", "utf-8")
+    with pytest.raises(StoreCorruptError, match="not valid JSON"):
+        Shard(tmp_path, backend="memory", **NO_SLEEP).recover()
+
+
+def test_snapshot_version_mismatch_is_corruption(tmp_path):
+    shard = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    seed_ops(shard)
+    shard.compact()
+    shard.close()
+    (tmp_path / "snapshot.json").write_text(
+        json.dumps({"version": 999, "spaces": {}}), "utf-8"
+    )
+    with pytest.raises(StoreCorruptError, match="version 999"):
+        Shard(tmp_path, backend="memory", **NO_SLEEP).recover()
+
+
+def test_unknown_journal_operation_is_corruption(tmp_path):
+    shard = Shard(tmp_path, backend="memory", **NO_SLEEP)
+    shard.wal.append(
+        json.dumps({"op": "increment", "space": "x", "key": "y"}).encode()
+    )
+    shard.close()
+    with pytest.raises(StoreCorruptError, match="unknown journal operation"):
+        Shard(tmp_path, backend="memory", **NO_SLEEP).recover()
+
+
+# ----------------------------------------------------------------------
+# Sharded store
+# ----------------------------------------------------------------------
+
+def test_shard_index_routes_hex_prefixes_and_falls_back():
+    assert shard_index("00ab12", 4) == int("00ab12"[:8], 16) % 4
+    assert shard_index("ffcd34", 4) == int("ffcd34", 16) % 4
+    assert 0 <= shard_index("not-hex-at-all", 4) < 4
+    assert shard_index("anything", 1) == 0
+
+
+def test_sharded_spaces_route_by_key_singletons_pin_to_shard_zero(tmp_path):
+    store = Store(tmp_path, backend="memory", shards=4, **NO_SLEEP)
+    seed_ops(store)
+    assert store.shard_for("meta", "state") is store.shards[0]
+    assert store.shard_for("merchants", "zzz") is store.shards[0]
+    expected = store.shards[shard_index("ffcd34", 4)]
+    assert store.shard_for("deposits", "ffcd34") is expected
+    # Qualified spaces route on the base name before the colon.
+    assert (
+        store.shard_for("commitments:alice-books", "ffcd34") is expected
+    )
+    store.close()
+
+
+def test_store_digest_is_invariant_under_shard_count_and_backend(tmp_path):
+    digests = set()
+    for backend in BACKENDS:
+        for shards in (1, 2, 4):
+            directory = tmp_path / f"{backend}-{shards}"
+            store = Store(directory, backend=backend, shards=shards, **NO_SLEEP)
+            seed_ops(store)
+            digests.add(store.state_digest())
+            store.close()
+    assert len(digests) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_store_recovers_after_abrupt_close_with_torn_tail(tmp_path, backend):
+    store = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    seed_ops(store)
+    expected = store.dump()
+    digest = store.state_digest()
+    store.close()
+    with (tmp_path / "shard-00" / "wal.log").open("ab") as handle:
+        handle.write(b"\x00\x00\x00")  # power died mid-header
+
+    reopened = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    stats = reopened.recover()
+    assert stats.truncated_bytes == 3
+    assert reopened.dump() == expected
+    assert reopened.state_digest() == digest
+    reopened.close()
+
+
+def test_manifest_pins_the_shard_count(tmp_path):
+    Store(tmp_path, backend="memory", shards=4, **NO_SLEEP).close()
+    with pytest.raises(StoreCorruptError, match="explicit migration"):
+        Store(tmp_path, backend="memory", shards=8, **NO_SLEEP)
+
+
+def test_open_store_reuses_the_recorded_layout(tmp_path):
+    store = Store(tmp_path, backend="sqlite", shards=2, **NO_SLEEP)
+    seed_ops(store)
+    digest = store.state_digest()
+    store.close()
+
+    reopened = open_store(tmp_path, **NO_SLEEP)
+    assert reopened.backend_kind == "sqlite"
+    assert reopened.shard_count == 2
+    reopened.recover()
+    assert reopened.state_digest() == digest
+    reopened.close()
+
+
+def test_open_store_without_a_manifest_is_corruption(tmp_path):
+    with pytest.raises(StoreCorruptError, match="no store manifest"):
+        open_store(tmp_path / "never-created")
+
+
+def test_verify_prefixes_problems_with_the_shard(tmp_path):
+    store = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    seed_ops(store)
+    store.close()
+    with (tmp_path / "shard-01" / "wal.log").open("ab") as handle:
+        handle.write(b"\xff")
+    problems = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP).verify()
+    assert any(problem.startswith("shard-01/") for problem in problems)
+    assert not any(problem.startswith("shard-00/") for problem in problems)
+
+
+def test_unknown_backend_is_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown store backend"):
+        make_backend("postgres", tmp_path / "data.db")
+
+
+def test_store_requires_at_least_one_shard(tmp_path):
+    with pytest.raises(ValueError, match="at least one shard"):
+        Store(tmp_path, shards=0, **NO_SLEEP)

@@ -1,0 +1,162 @@
+"""Tests for the write-ahead log: framing, group commit, torn tails."""
+
+import pytest
+
+from repro.store import (
+    MAGIC,
+    StoreCorruptError,
+    WriteAheadLog,
+    scan_wal_bytes,
+)
+
+
+def make_wal(tmp_path, **kwargs):
+    kwargs.setdefault("sleep", lambda _delay: None)
+    return WriteAheadLog(tmp_path / "wal.log", **kwargs)
+
+
+def test_round_trip_preserves_payloads_in_order(tmp_path):
+    wal = make_wal(tmp_path)
+    payloads = [b"first", b"second", b'{"op": "put"}']
+    for payload in payloads:
+        wal.append(payload)
+    wal.close()
+    assert make_wal(tmp_path).replay() == payloads
+
+
+def test_empty_log_replays_to_nothing(tmp_path):
+    wal = make_wal(tmp_path)
+    assert wal.replay() == []
+
+
+def test_fsync_every_batches_group_commit(tmp_path):
+    wal = make_wal(tmp_path, fsync_every=3)
+    for index in range(7):
+        wal.append(b"record-%d" % index)
+    # 7 appends at width 3: fsync after records 3 and 6 only.
+    assert wal.fsync_count == 2
+    wal.flush()
+    assert wal.fsync_count == 3
+    wal.close()
+    assert make_wal(tmp_path).replay() == [b"record-%d" % i for i in range(7)]
+
+
+def test_torn_header_at_tail_is_truncated_not_fatal(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"durable")
+    wal.close()
+    with open(tmp_path / "wal.log", "ab") as handle:
+        handle.write(b"\x00\x00")  # 2 bytes: not even a full header
+    healer = make_wal(tmp_path)
+    assert healer.replay() == [b"durable"]
+    assert healer.truncated_bytes == 2
+    # The heal is durable: a second pass sees a clean log.
+    fresh = make_wal(tmp_path)
+    assert fresh.replay() == [b"durable"]
+    assert fresh.truncated_bytes == 0
+
+
+def test_torn_payload_at_tail_is_truncated_not_fatal(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"durable")
+    wal.close()
+    import struct
+    import zlib
+
+    torn = b"lost-payload"
+    with open(tmp_path / "wal.log", "ab") as handle:
+        # A full header promising more bytes than follow.
+        handle.write(struct.pack(">II", len(torn) + 10, zlib.crc32(torn)) + torn)
+    healer = make_wal(tmp_path)
+    assert healer.replay() == [b"durable"]
+    assert healer.truncated_bytes > 0
+
+
+def test_crc_bad_final_record_counts_as_torn(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"durable")
+    wal.append(b"torn-by-bitrot")
+    wal.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a bit inside the final record's payload
+    path.write_bytes(bytes(data))
+    assert make_wal(tmp_path).replay() == [b"durable"]
+
+
+def test_crc_mismatch_before_the_tail_is_fatal(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"first-record-payload")
+    wal.append(b"second-record-payload")
+    wal.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    data[len(MAGIC) + 8] ^= 0xFF  # corrupt the *first* record's payload
+    path.write_bytes(bytes(data))
+    with pytest.raises(StoreCorruptError, match="with data after it"):
+        make_wal(tmp_path).replay()
+
+
+def test_bad_magic_is_fatal(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"XXXXX-not-a-wal-file")
+    with pytest.raises(StoreCorruptError, match="bad file magic"):
+        make_wal(tmp_path).replay()
+
+
+def test_file_shorter_than_magic_is_a_torn_creation(tmp_path):
+    scanned = scan_wal_bytes(b"RW")
+    assert scanned.problem is None
+    assert scanned.torn_bytes == 2
+    assert scanned.payloads == ()
+
+
+def test_verify_reports_without_mutating(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"durable")
+    wal.close()
+    path = tmp_path / "wal.log"
+    with open(path, "ab") as handle:
+        handle.write(b"\x01\x02\x03")
+    size_before = path.stat().st_size
+    problems = make_wal(tmp_path).verify()
+    assert problems and "torn tail" in problems[0]
+    assert path.stat().st_size == size_before
+    assert make_wal(tmp_path).verify() == problems
+
+
+def test_reset_truncates_to_header_only(tmp_path):
+    wal = make_wal(tmp_path)
+    wal.append(b"soon-compacted-away")
+    wal.reset()
+    wal.close()
+    assert (tmp_path / "wal.log").read_bytes() == MAGIC
+    assert make_wal(tmp_path).replay() == []
+
+
+class FlakyFile:
+    """Wraps a real file handle; the next ``fail`` writes are cut short."""
+
+    def __init__(self, inner, fail=1):
+        self.inner = inner
+        self.fail = fail
+
+    def write(self, data):
+        if self.fail:
+            self.fail -= 1
+            self.inner.write(data[: len(data) // 2])  # partial write, then error
+            raise OSError("disk hiccup")
+        return self.inner.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def test_append_retries_overwrite_partial_writes(tmp_path):
+    """A failed write retried at the same offset must not double a record."""
+    wal = make_wal(tmp_path)
+    wal.append(b"steady")
+    wal._file = FlakyFile(wal._file)
+    wal.append(b"retried-once")
+    wal.close()
+    assert make_wal(tmp_path).replay() == [b"steady", b"retried-once"]
