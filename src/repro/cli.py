@@ -439,7 +439,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"  backend={store.backend_kind} shards={store.shard_count}")
         print(
             f"  recovery: snapshot={stats.snapshot_records} "
-            f"replayed={stats.replayed_records} torn-bytes={stats.truncated_bytes}"
+            f"replayed={stats.replayed_records} torn-bytes={stats.truncated_bytes} "
+            f"discarded={stats.discarded_records}"
         )
         print(f"  wal-bytes={store.wal_bytes()}")
         for space, table in store.dump().items():

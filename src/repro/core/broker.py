@@ -14,12 +14,13 @@ if the bare coin ... has previously been deposited") — no extra hashing.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import itertools
 import random
 import secrets
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, ContextManager, Mapping
 
 from repro import obs, perf
 from repro.core.bank import Ledger
@@ -137,7 +138,23 @@ class Broker:
         #: Durability hook (see :func:`repro.core.persistence.attach_journal`):
         #: when set, every mutation below is journaled before the method
         #: returns, so no acknowledged state change can be lost to a crash.
+        #: Each mutating protocol step runs inside one
+        #: :meth:`_journal_scope`, so everything it journals — ledger
+        #: movements included — commits as a single atomic durability unit.
         self.journal: "BrokerJournal | None" = None
+
+    def _journal_scope(self) -> ContextManager[None]:
+        """One atomic durability unit covering a whole protocol step.
+
+        All journal records written inside the scope (including ledger
+        entries fired through :attr:`Ledger.on_entry`) share one commit
+        marker: recovery replays the step entirely or not at all, never
+        a ledger credit without its transcript record. Without a journal
+        attached this is a no-op scope.
+        """
+        if self.journal is not None:
+            return self.journal.operation()
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------------
     # Public keys
@@ -180,17 +197,18 @@ class Broker:
             raise ValueError("merchant public key is not a group element")
         escrow = self._escrow_account(merchant_id)
         source = funded_from if funded_from is not None else f"bank:{merchant_id}"
-        if funded_from is None:
-            self.ledger.mint(source, security_deposit, memo="security deposit funding")
-        self.ledger.transfer(source, escrow, security_deposit, memo="security deposit")
-        account = MerchantAccount(
-            merchant_id=merchant_id,
-            public_key=public_key,
-            security_deposit=security_deposit,
-        )
-        self.merchants[merchant_id] = account
-        if self.journal is not None:
-            self.journal.record_merchant(account)
+        with self._journal_scope():
+            if funded_from is None:
+                self.ledger.mint(source, security_deposit, memo="security deposit funding")
+            self.ledger.transfer(source, escrow, security_deposit, memo="security deposit")
+            account = MerchantAccount(
+                merchant_id=merchant_id,
+                public_key=public_key,
+                security_deposit=security_deposit,
+            )
+            self.merchants[merchant_id] = account
+            if self.journal is not None:
+                self.journal.record_merchant(account)
         # Registered keys verify a witness signature per deposited coin;
         # make them fixed-base candidates for the perf engine.
         perf.register_fixed_base(public_key, self.params.group.p, self.params.group.q)
@@ -208,9 +226,10 @@ class Broker:
         version = self._next_version
         self._next_version += 1
         table = build_table(self.params, self._sign_key, version, weights, rng=self.rng)
-        self.tables[version] = table
-        if self.journal is not None:
-            self.journal.record_table(table)
+        with self._journal_scope():
+            self.tables[version] = table
+            if self.journal is not None:
+                self.journal.record_table(table)
         return table
 
     @property
@@ -246,16 +265,19 @@ class Broker:
         if info.list_version not in self.tables:
             raise ValueError(f"witness list version {info.list_version} not published")
         payer = paid_by if paid_by is not None else "anonymous-purchase"
-        if paid_by is None:
-            self.ledger.mint(payer, info.denomination, memo="coin purchase")
-        self.ledger.transfer(payer, self.account, info.denomination, memo="coin purchase")
-        obs.counter_inc("broker_withdrawals_total")
-        challenge, session = self._signer.start(info.hash_parts())
-        ticket_id = next(self._ticket_ids)
-        ticket = _WithdrawalTicket(info=info, session=session, paid_by=payer)
-        self._tickets[ticket_id] = ticket
-        if self.journal is not None:
-            self.journal.record_ticket(ticket_id, ticket)
+        with self._journal_scope():
+            if paid_by is None:
+                self.ledger.mint(payer, info.denomination, memo="coin purchase")
+            self.ledger.transfer(
+                payer, self.account, info.denomination, memo="coin purchase"
+            )
+            obs.counter_inc("broker_withdrawals_total")
+            challenge, session = self._signer.start(info.hash_parts())
+            ticket_id = next(self._ticket_ids)
+            ticket = _WithdrawalTicket(info=info, session=session, paid_by=payer)
+            self._tickets[ticket_id] = ticket
+            if self.journal is not None:
+                self.journal.record_ticket(ticket_id, ticket)
         return ticket_id, challenge
 
     def complete_withdrawal(self, ticket_id: int, e: int) -> SignerResponse:
@@ -300,44 +322,47 @@ class Broker:
                 raise ValueError(f"witness list version {info.list_version} not published")
         total = sum(info.denomination for info in infos)
         payer = paid_by if paid_by is not None else "anonymous-purchase"
-        if paid_by is None:
-            self.ledger.mint(payer, total, memo="coin batch purchase")
-        self.ledger.transfer(payer, self.account, total, memo="coin batch purchase")
-        challenges: list[SignerChallenge] = []
-        ticket_id = next(self._ticket_ids)
-        batch: list[_WithdrawalTicket] = []
-        pool = pool if pool is not None else perf.shared_pool()
-        if pool is not None and pool.active() and len(infos) > 1:
-            from repro.perf.parallel import replay_ops
+        with self._journal_scope():
+            if paid_by is None:
+                self.ledger.mint(payer, total, memo="coin batch purchase")
+            self.ledger.transfer(payer, self.account, total, memo="coin batch purchase")
+            challenges: list[SignerChallenge] = []
+            ticket_id = next(self._ticket_ids)
+            batch: list[_WithdrawalTicket] = []
+            pool = pool if pool is not None else perf.shared_pool()
+            if pool is not None and pool.active() and len(infos) > 1:
+                from repro.perf.parallel import replay_ops
 
-            signed = pool.sign_withdrawals(
-                self.params,
-                self._signer.secret,
-                [info.hash_parts() for info in infos],
-                seed=self._draw_seed(),
-            )
-            for info, challenge_out in zip(infos, signed):
-                replay_ops(challenge_out.ops)
-                challenges.append(
-                    SignerChallenge(a=challenge_out.a, b=challenge_out.b)
+                signed = pool.sign_withdrawals(
+                    self.params,
+                    self._signer.secret,
+                    [info.hash_parts() for info in infos],
+                    seed=self._draw_seed(),
                 )
-                session = SignerSession(
-                    u=challenge_out.u,
-                    s=challenge_out.s,
-                    d=challenge_out.d,
-                    z=challenge_out.z,
-                )
-                batch.append(
-                    _WithdrawalTicket(info=info, session=session, paid_by=payer)
-                )
-        else:
-            for info in infos:
-                challenge, session = self._signer.start(info.hash_parts())
-                challenges.append(challenge)
-                batch.append(_WithdrawalTicket(info=info, session=session, paid_by=payer))
-        self._batch_tickets[ticket_id] = batch
-        if self.journal is not None:
-            self.journal.record_batch(ticket_id, batch)
+                for info, challenge_out in zip(infos, signed):
+                    replay_ops(challenge_out.ops)
+                    challenges.append(
+                        SignerChallenge(a=challenge_out.a, b=challenge_out.b)
+                    )
+                    session = SignerSession(
+                        u=challenge_out.u,
+                        s=challenge_out.s,
+                        d=challenge_out.d,
+                        z=challenge_out.z,
+                    )
+                    batch.append(
+                        _WithdrawalTicket(info=info, session=session, paid_by=payer)
+                    )
+            else:
+                for info in infos:
+                    challenge, session = self._signer.start(info.hash_parts())
+                    challenges.append(challenge)
+                    batch.append(
+                        _WithdrawalTicket(info=info, session=session, paid_by=payer)
+                    )
+            self._batch_tickets[ticket_id] = batch
+            if self.journal is not None:
+                self.journal.record_batch(ticket_id, batch)
         return ticket_id, challenges
 
     def complete_batch_withdrawal(self, ticket_id: int, es: list[int]) -> list[SignerResponse]:
@@ -536,49 +561,62 @@ class Broker:
     def _settle_deposit(
         self, merchant_id: str, signed: SignedTranscript, now: int
     ) -> DepositResult:
-        """Algorithm 3 step 2: dedup against the transcript database and pay."""
+        """Algorithm 3 step 2: dedup against the transcript database and pay.
+
+        The whole settlement is one :meth:`_journal_scope`: the ledger
+        credit, the deposit (or fault) record and the witness counters
+        share one commit marker, so a crash at any instant recovers to
+        either the full settlement or none of it — never a credited
+        merchant account with no memory of the coin (the state a
+        retrying merchant could turn into a double credit).
+        """
         coin = signed.transcript.coin
         witness = self._require_merchant(coin.witness_id)
         previous = self._deposits.get(coin.bare)
-        if previous is None:
-            record = _DepositRecord(signed=signed, deposited_at=now)
-            self._deposits[coin.bare] = record
-            witness.coins_witnessed += 1
-            self._credit(merchant_id, coin.denomination, source=self.account)
+        with self._journal_scope():
+            if previous is None:
+                record = _DepositRecord(signed=signed, deposited_at=now)
+                self._deposits[coin.bare] = record
+                witness.coins_witnessed += 1
+                self._credit(merchant_id, coin.denomination, source=self.account)
+                if self.journal is not None:
+                    self.journal.record_deposit(coin.bare, record)
+                    self.journal.record_merchant(witness)
+                obs.counter_inc(
+                    "broker_deposits_total", outcome=DepositOutcome.CREDITED.value
+                )
+                return DepositResult(
+                    outcome=DepositOutcome.CREDITED, amount=coin.denomination
+                )
+            if previous.signed.transcript.merchant_id == merchant_id:
+                obs.counter_inc("broker_double_deposits_refused_total")
+                raise DoubleDepositError(
+                    f"merchant {merchant_id!r} already deposited this coin"
+                )
+            # Case 2-b: a second merchant deposits the same coin — both hold
+            # witness signatures, so the witness signed twice. The second
+            # merchant is still paid, from the witness's security deposit.
+            witness.incidents += 1
+            obs.counter_inc("witness_faults_detected_total")
+            obs.counter_inc(
+                "broker_deposits_total",
+                outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT.value,
+            )
+            proof = (previous.signed, signed)
+            self.witness_fault_log.append((coin.witness_id, *proof))
+            self._credit(
+                merchant_id, coin.denomination, source=self._escrow_account(coin.witness_id)
+            )
             if self.journal is not None:
-                self.journal.record_deposit(coin.bare, record)
                 self.journal.record_merchant(witness)
-            obs.counter_inc("broker_deposits_total", outcome=DepositOutcome.CREDITED.value)
-            return DepositResult(outcome=DepositOutcome.CREDITED, amount=coin.denomination)
-        if previous.signed.transcript.merchant_id == merchant_id:
-            obs.counter_inc("broker_double_deposits_refused_total")
-            raise DoubleDepositError(
-                f"merchant {merchant_id!r} already deposited this coin"
+                self.journal.record_fault(
+                    len(self.witness_fault_log) - 1, self.witness_fault_log[-1]
+                )
+            return DepositResult(
+                outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT,
+                amount=coin.denomination,
+                witness_fault_proof=proof,
             )
-        # Case 2-b: a second merchant deposits the same coin — both hold
-        # witness signatures, so the witness signed twice. The second
-        # merchant is still paid, from the witness's security deposit.
-        witness.incidents += 1
-        obs.counter_inc("witness_faults_detected_total")
-        obs.counter_inc(
-            "broker_deposits_total",
-            outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT.value,
-        )
-        proof = (previous.signed, signed)
-        self.witness_fault_log.append((coin.witness_id, *proof))
-        self._credit(
-            merchant_id, coin.denomination, source=self._escrow_account(coin.witness_id)
-        )
-        if self.journal is not None:
-            self.journal.record_merchant(witness)
-            self.journal.record_fault(
-                len(self.witness_fault_log) - 1, self.witness_fault_log[-1]
-            )
-        return DepositResult(
-            outcome=DepositOutcome.CREDITED_FROM_WITNESS_DEPOSIT,
-            amount=coin.denomination,
-            witness_fault_proof=proof,
-        )
 
     # ------------------------------------------------------------------
     # Renewal (Algorithm 4, broker side)
@@ -594,9 +632,13 @@ class Broker:
         """
         if new_info.list_version not in self.tables:
             raise ValueError(f"witness list version {new_info.list_version} not published")
-        challenge, session = self._signer.start(new_info.hash_parts())
-        ticket_id = next(self._ticket_ids)
-        self._tickets[ticket_id] = _WithdrawalTicket(info=new_info, session=session, paid_by=None)
+        with self._journal_scope():
+            challenge, session = self._signer.start(new_info.hash_parts())
+            ticket_id = next(self._ticket_ids)
+            ticket = _WithdrawalTicket(info=new_info, session=session, paid_by=None)
+            self._tickets[ticket_id] = ticket
+            if self.journal is not None:
+                self.journal.record_ticket(ticket_id, ticket)
         return ticket_id, challenge
 
     def complete_renewal(
@@ -662,10 +704,11 @@ class Broker:
         record = _RenewalRecord(
             bare=old_bare, challenge=d_star, response=response, renewed_at=now
         )
-        self._renewals[old_bare] = record
-        if self.journal is not None:
-            self.journal.record_renewal(record)
-            self.journal.drop_ticket(ticket_id)
+        with self._journal_scope():
+            self._renewals[old_bare] = record
+            if self.journal is not None:
+                self.journal.record_renewal(record)
+                self.journal.drop_ticket(ticket_id)
         return self._signer.respond(ticket.session, e)
 
     def _find_prior_use(
@@ -702,13 +745,17 @@ class Broker:
             Number of records removed.
         """
         removed = 0
-        for space, store in (("deposits", self._deposits), ("renewals", self._renewals)):
-            stale = [bare for bare in store if bare.info.is_void(now)]
-            for bare in stale:
-                del store[bare]
-                if self.journal is not None:
-                    self.journal.drop_record(space, bare)
-                removed += 1
+        with self._journal_scope():
+            for space, store in (
+                ("deposits", self._deposits),
+                ("renewals", self._renewals),
+            ):
+                stale = [bare for bare in store if bare.info.is_void(now)]
+                for bare in stale:
+                    del store[bare]
+                    if self.journal is not None:
+                        self.journal.drop_record(space, bare)
+                    removed += 1
         return removed
 
     def merchant_balance(self, merchant_id: str) -> int:

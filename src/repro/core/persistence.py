@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import itertools
 import json
+from contextlib import AbstractContextManager
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -308,17 +309,27 @@ def _bare_key(bare: BareCoin, params: SystemParams) -> str:
         return f"{bare.digest(params):x}"
 
 
+def _meta_record(broker: Broker) -> dict[str, object]:
+    """The ``meta`` singleton: account, keys, counters.
+
+    A tiny constant-size record, built directly — the journal re-writes
+    it on every counter advance (ticket opened, table published), so it
+    must never require serializing the broker's accumulated state.
+    """
+    return {
+        "account": broker.account,
+        "blind_secret": int_to_text(broker._signer._secret),
+        "sign_secret": int_to_text(broker._sign_key.secret),
+        "next_version": broker._next_version,
+        "next_ticket": _peek_ticket_counter(broker),
+    }
+
+
 def broker_spaces(broker: Broker) -> dict[str, dict[str, object]]:
     """The broker's complete logical state in the store space schema."""
     params = broker.params
     spaces: dict[str, dict[str, object]] = {
-        "meta": {
-            "account": broker.account,
-            "blind_secret": int_to_text(broker._signer._secret),
-            "sign_secret": int_to_text(broker._sign_key.secret),
-            "next_version": broker._next_version,
-            "next_ticket": _peek_ticket_counter(broker),
-        },
+        "meta": _meta_record(broker),
         "merchants": {
             merchant_id: _merchant_to_json(account)
             for merchant_id, account in broker.merchants.items()
@@ -528,109 +539,124 @@ class BrokerJournal:
     """Mirrors every broker mutation into a :class:`~repro.store.Store`.
 
     Hook methods are invoked by :class:`Broker` after each in-memory
-    mutation and *before* the mutating method returns; every hook ends
-    with :meth:`Store.ack` (WAL fsync), so by the time a caller sees a
-    reply the mutation is durable — journal-before-acknowledge.
+    mutation and *before* the mutating method returns. Each hook runs
+    inside a :meth:`Store.operation` scope, whose commit (WAL fsync plus
+    commit marker) is the durability point — journal-before-acknowledge.
+    When the broker opens an :meth:`operation` scope around a whole
+    protocol step, the hooks it fires *join* that scope, so everything
+    the step journals — ledger movements included — commits atomically:
+    recovery replays all of it or none of it, never a prefix.
     """
 
     def __init__(self, broker: Broker, store: "Store") -> None:
         self.broker = broker
         self.store = store
 
+    def operation(self) -> "AbstractContextManager[None]":
+        """One atomic durability unit (see :meth:`Store.operation`)."""
+        return self.store.operation()
+
     # -- hooks (called from Broker) ------------------------------------
     def record_meta(self) -> None:
         """Journal the key/counter singleton after a counter advance."""
-        spaces = broker_spaces(self.broker)
-        self.store.put("meta", "state", spaces["meta"])
-        self.store.ack()
+        with self.store.operation():
+            self._put_meta()
 
     def record_merchant(self, account: MerchantAccount) -> None:
         """Journal one merchant record (registration or counters)."""
-        self.store.put("merchants", account.merchant_id, _merchant_to_json(account))
-        self.store.ack()
+        with self.store.operation():
+            self.store.put(
+                "merchants", account.merchant_id, _merchant_to_json(account)
+            )
 
     def record_table(self, table: WitnessAssignmentTable) -> None:
         """Journal a newly published witness table and the version counter."""
-        self.store.put("tables", str(table.version), _table_to_json(table))
-        self._put_meta()
-        self.store.ack()
+        with self.store.operation():
+            self.store.put("tables", str(table.version), _table_to_json(table))
+            self._put_meta()
 
     def record_ticket(self, ticket_id: int, ticket: _WithdrawalTicket) -> None:
         """Journal an opened withdrawal/renewal session."""
-        self.store.put("tickets", str(ticket_id), _ticket_to_json(ticket))
-        self._put_meta()
-        self.store.ack()
+        with self.store.operation():
+            self.store.put("tickets", str(ticket_id), _ticket_to_json(ticket))
+            self._put_meta()
 
     def drop_ticket(self, ticket_id: int) -> None:
         """Journal the close of a withdrawal/renewal session."""
-        self.store.delete("tickets", str(ticket_id))
-        self.store.ack()
+        with self.store.operation():
+            self.store.delete("tickets", str(ticket_id))
 
     def record_batch(self, ticket_id: int, batch: list[_WithdrawalTicket]) -> None:
         """Journal an opened batch-withdrawal session."""
-        self.store.put(
-            "batches", str(ticket_id), [_ticket_to_json(ticket) for ticket in batch]
-        )
-        self._put_meta()
-        self.store.ack()
+        with self.store.operation():
+            self.store.put(
+                "batches", str(ticket_id), [_ticket_to_json(ticket) for ticket in batch]
+            )
+            self._put_meta()
 
     def drop_batch(self, ticket_id: int) -> None:
         """Journal the close of a batch-withdrawal session."""
-        self.store.delete("batches", str(ticket_id))
-        self.store.ack()
+        with self.store.operation():
+            self.store.delete("batches", str(ticket_id))
 
     def record_deposit(self, bare: BareCoin, record: _DepositRecord) -> None:
         """Journal a cleared deposit before the merchant is told."""
-        self.store.put(
-            "deposits", _bare_key(bare, self.broker.params), _deposit_to_json(record)
-        )
-        self.store.ack()
+        with self.store.operation():
+            self.store.put(
+                "deposits", _bare_key(bare, self.broker.params), _deposit_to_json(record)
+            )
 
     def record_renewal(self, record: _RenewalRecord) -> None:
         """Journal a renewal transcript before the response is sent."""
-        self.store.put(
-            "renewals",
-            _bare_key(record.bare, self.broker.params),
-            _renewal_to_json(record),
-        )
-        self.store.ack()
+        with self.store.operation():
+            self.store.put(
+                "renewals",
+                _bare_key(record.bare, self.broker.params),
+                _renewal_to_json(record),
+            )
 
     def record_fault(
         self, seq: int, entry: tuple[str, SignedTranscript, SignedTranscript]
     ) -> None:
         """Journal one witness-fault log entry."""
-        self.store.put("faults", _seq_key(seq), _fault_to_json(entry))
-        self.store.ack()
+        with self.store.operation():
+            self.store.put("faults", _seq_key(seq), _fault_to_json(entry))
 
     def drop_record(self, space: str, bare: BareCoin) -> None:
         """Journal a purge of one deposit/renewal record."""
-        self.store.delete(space, _bare_key(bare, self.broker.params))
-        self.store.ack()
+        with self.store.operation():
+            self.store.delete(space, _bare_key(bare, self.broker.params))
 
     def on_ledger_entry(self, seq: int, entry: tuple[str, str, str, int]) -> None:
-        """Journal one ledger movement (wired to :attr:`Ledger.on_entry`)."""
-        self.store.put("ledger", _seq_key(seq), _ledger_entry_to_json(entry))
-        self.store.ack()
+        """Journal one ledger movement (wired to :attr:`Ledger.on_entry`).
+
+        Inside a broker operation scope this joins it — the movement
+        commits together with the records of the step that caused it;
+        a ledger movement outside any scope commits on its own.
+        """
+        with self.store.operation():
+            self.store.put("ledger", _seq_key(seq), _ledger_entry_to_json(entry))
 
     # -- bulk -----------------------------------------------------------
     def write_baseline(self) -> None:
         """Journal the broker's entire current state (initial attach)."""
-        spaces = broker_spaces(self.broker)
-        for space, table in spaces.items():
-            if space == "meta":
-                self.store.put("meta", "state", table)
-                continue
-            for key, value in table.items():
-                self.store.put(space, key, value)
-        self.store.ack()
+        with self.store.operation():
+            spaces = broker_spaces(self.broker)
+            for space, table in spaces.items():
+                if space == "meta":
+                    self.store.put("meta", "state", table)
+                    continue
+                for key, value in table.items():
+                    self.store.put(space, key, value)
 
     def _put_meta(self) -> None:
-        self.store.put("meta", "state", broker_spaces(self.broker)["meta"])
+        self.store.put("meta", "state", _meta_record(self.broker))
 
 
 class WitnessJournal:
     """Mirrors a witness's table mutations into a store (same contract
-    as :class:`BrokerJournal`: hook, then fsync, then the method returns).
+    as :class:`BrokerJournal`: each hook is one atomic
+    :meth:`Store.operation`, committed before the method returns).
     """
 
     def __init__(self, witness: WitnessService, store: "Store") -> None:
@@ -642,31 +668,37 @@ class WitnessJournal:
 
     def record_commitment(self, coin_hash: int, record: _CommitmentRecord) -> None:
         """Journal an issued commitment."""
-        self.store.put(self._commit_space, f"{coin_hash:x}", _commitment_to_json(record))
-        self.store.ack()
+        with self.store.operation():
+            self.store.put(
+                self._commit_space, f"{coin_hash:x}", _commitment_to_json(record)
+            )
 
     def drop_commitment(self, coin_hash: int) -> None:
         """Journal a consumed or expired commitment."""
-        self.store.delete(self._commit_space, f"{coin_hash:x}")
-        self.store.ack()
+        with self.store.operation():
+            self.store.delete(self._commit_space, f"{coin_hash:x}")
 
     def record_spent(self, coin_hash: int, record: _SpentRecord) -> None:
-        """Journal a spent-coin record (first spend or extracted proof)."""
-        self.store.put(self._spent_space, f"{coin_hash:x}", _spent_to_json(record))
-        self.store.put(self._meta_space, "signed_count", self.witness.signed_count)
-        self.store.ack()
+        """Journal a spent-coin record (first spend or extracted proof).
+
+        The spent record (sharded by coin hash) and the signer counter
+        (pinned to shard 0) commit as one unit.
+        """
+        with self.store.operation():
+            self.store.put(self._spent_space, f"{coin_hash:x}", _spent_to_json(record))
+            self.store.put(self._meta_space, "signed_count", self.witness.signed_count)
 
     def drop_spent(self, coin_hash: int) -> None:
         """Journal a purged spent-coin record."""
-        self.store.delete(self._spent_space, f"{coin_hash:x}")
-        self.store.ack()
+        with self.store.operation():
+            self.store.delete(self._spent_space, f"{coin_hash:x}")
 
     def write_baseline(self) -> None:
         """Journal the witness's entire current tables (initial attach)."""
-        for space, table in witness_spaces(self.witness).items():
-            for key, value in table.items():
-                self.store.put(space, key, value)
-        self.store.ack()
+        with self.store.operation():
+            for space, table in witness_spaces(self.witness).items():
+                for key, value in table.items():
+                    self.store.put(space, key, value)
 
 
 def attach_journal(broker: Broker, store: "Store", *, baseline: bool = True) -> BrokerJournal:
@@ -698,23 +730,75 @@ def attach_witness_journal(
     return journal
 
 
+def reconcile_broker(broker: Broker) -> list[str]:
+    """Cross-check a recovered broker's ledger against its deposit records.
+
+    Every deposit/witness-fault record is created alongside exactly one
+    ``"coin deposit"`` ledger credit, inside the same atomic store
+    operation; purging expired records removes records but never ledger
+    history. The checkable invariant is therefore one-directional:
+
+        ``len(deposits) + len(faults) <= count(memo == "coin deposit")``
+
+    A violation means a transcript record was journaled without its
+    funding movement — exactly the half-journaled state atomic commit
+    exists to prevent — and the recovered state must not be trusted.
+
+    Returns:
+        Problem descriptions (empty when the invariant holds).
+    """
+    credits = sum(
+        1 for _src, _dst, memo, _amount in broker.ledger.history
+        if memo == "coin deposit"
+    )
+    records = len(broker._deposits) + len(broker.witness_fault_log)
+    problems: list[str] = []
+    if records > credits:
+        problems.append(
+            f"{records} deposit/witness-fault record(s) but only {credits} "
+            "'coin deposit' ledger credit(s) — a transcript record was "
+            "journaled without its funding movement"
+        )
+    if not broker.ledger.conserved():
+        problems.append(
+            "recovered ledger does not conserve money "
+            f"(minted={broker.ledger.minted} burned={broker.ledger.burned})"
+        )
+    return problems
+
+
+def _reconcile_or_raise(broker: Broker) -> None:
+    problems = reconcile_broker(broker)
+    if problems:
+        from repro.store import StoreCorruptError
+
+        raise StoreCorruptError(
+            "recovered broker state failed reconciliation: " + "; ".join(problems)
+        )
+
+
 def attach_broker_store(broker: Broker, store: "Store") -> "RecoveryStats":
     """Recover a store, restore its state into ``broker``, start journaling.
 
     The one call a restarting daemon (or chaos scenario) makes: replays
     snapshot + WAL, and — when the store holds broker state — rebuilds
-    the broker in place from it; a fresh store instead gets the broker's
-    current state as its baseline. Either way the broker journals every
-    subsequent mutation.
+    the broker in place from it (reconciling the recovered ledger against
+    the deposit records before trusting it); a fresh store instead gets
+    the broker's current state as its baseline. Either way the broker
+    journals every subsequent mutation.
 
     Returns:
         The recovery statistics (all-zero for a brand-new store).
+
+    Raises:
+        StoreCorruptError: the recovered state failed reconciliation.
     """
     stats = store.recover()
     spaces = store.dump()
     meta = spaces.get("meta", {}).get("state")
     if meta is not None:
         restore_broker(broker, {**spaces, "meta": meta})  # type: ignore[dict-item]
+        _reconcile_or_raise(broker)
         attach_journal(broker, store, baseline=False)
     else:
         attach_journal(broker, store, baseline=True)
@@ -726,6 +810,7 @@ def load_broker_from_store(store: "Store", params: SystemParams) -> Broker:
 
     Raises:
         ValueError: the store holds no broker state.
+        StoreCorruptError: the recovered state failed reconciliation.
     """
     with counters.suppressed():
         broker = Broker(params)
@@ -735,6 +820,7 @@ def load_broker_from_store(store: "Store", params: SystemParams) -> Broker:
     if meta is None:
         raise ValueError("store holds no broker state")
     restore_broker(broker, {**spaces, "meta": meta})  # type: ignore[dict-item]
+    _reconcile_or_raise(broker)
     return broker
 
 
@@ -777,6 +863,7 @@ __all__ = [
     "broker_spaces",
     "load_broker",
     "load_broker_from_store",
+    "reconcile_broker",
     "restore_broker",
     "restore_witness",
     "save_broker",

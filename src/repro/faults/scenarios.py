@@ -405,7 +405,8 @@ def _broker_crash_campaign(seed: int, backend: str) -> ScenarioResult:
             "restart: "
             f"snapshot={stats.snapshot_records} "
             f"replayed={stats.replayed_records} "
-            f"torn-bytes={stats.truncated_bytes}"
+            f"torn-bytes={stats.truncated_bytes} "
+            f"discarded={stats.discarded_records}"
         )
         outcomes.append(
             f"state preserved across crash: {broker_spaces(system.broker) == expected}"

@@ -46,12 +46,41 @@ SNAPSHOT_VERSION = 1
 
 @dataclass(frozen=True)
 class RecoveryStats:
-    """What one shard recovery did (summed per store by the caller)."""
+    """What one shard recovery did (summed per store by the caller).
+
+    ``discarded_records`` counts journal operations dropped because they
+    belong to a logical operation whose commit marker never made it to
+    disk — by construction these were never acknowledged to any caller.
+    """
 
     snapshot_records: int
     replayed_records: int
     truncated_bytes: int
     replay_ms: float
+    discarded_records: int = 0
+
+
+def committed_txns(
+    ops_lists: "list[list[dict[str, object]]]",
+) -> tuple[set[int], int]:
+    """Collect committed transaction ids (and the highest id seen).
+
+    A journal record tagged ``"txn": N`` belongs to logical operation
+    ``N`` and only takes effect if a ``{"op": "commit", "txn": N}``
+    marker exists — on *any* shard, which is why the caller passes every
+    shard's decoded operations together.
+    """
+    committed: set[int] = set()
+    highest = 0
+    for ops in ops_lists:
+        for op in ops:
+            txn = op.get("txn")
+            if txn is None:
+                continue
+            highest = max(highest, int(txn))  # type: ignore[call-overload]
+            if op.get("op") == "commit":
+                committed.add(int(txn))  # type: ignore[call-overload]
+    return committed, highest
 
 
 class Shard:
@@ -100,25 +129,46 @@ class Shard:
     # ------------------------------------------------------------------
     # Mutation (journal first, then apply)
     # ------------------------------------------------------------------
-    def put(self, space: str, key: str, value: object) -> None:
-        """Journal and apply an upsert of a JSON-encodable value."""
+    def put(
+        self, space: str, key: str, value: object, txn: int | None = None
+    ) -> None:
+        """Journal and apply an upsert of a JSON-encodable value.
+
+        With ``txn`` set, the record is tagged as part of logical
+        operation ``txn`` (effective on recovery only once its commit
+        marker lands) and its fsync is deferred to the commit point.
+        """
         blob = _encode(value)
+        record: dict[str, object] = {"op": "put", "space": space, "key": key, "value": value}
+        if txn is not None:
+            record["txn"] = txn
         self.wal.append(
-            json.dumps(
-                {"op": "put", "space": space, "key": key, "value": value},
-                sort_keys=True,
-            ).encode("utf-8")
+            json.dumps(record, sort_keys=True).encode("utf-8"), defer=txn is not None
         )
         self.backend.put(space, key, blob)
 
-    def delete(self, space: str, key: str) -> None:
+    def delete(self, space: str, key: str, txn: int | None = None) -> None:
         """Journal and apply a deletion (idempotent on replay)."""
+        record: dict[str, object] = {"op": "delete", "space": space, "key": key}
+        if txn is not None:
+            record["txn"] = txn
         self.wal.append(
-            json.dumps(
-                {"op": "delete", "space": space, "key": key}, sort_keys=True
-            ).encode("utf-8")
+            json.dumps(record, sort_keys=True).encode("utf-8"), defer=txn is not None
         )
         self.backend.delete(space, key)
+
+    def append_commit(self, txn: int) -> None:
+        """Append (without fsyncing) the commit marker for operation ``txn``.
+
+        The caller — :meth:`repro.store.store.Store.commit` — fsyncs every
+        shard holding the operation's records *before* this marker is
+        appended, then fsyncs this shard, so a durable marker implies
+        durable records.
+        """
+        self.wal.append(
+            json.dumps({"op": "commit", "txn": txn}, sort_keys=True).encode("utf-8"),
+            defer=True,
+        )
 
     def ack(self) -> None:
         """Durability barrier: fsync the WAL before acknowledging a caller."""
@@ -148,6 +198,11 @@ class Shard:
     def recover(self) -> RecoveryStats:
         """Rebuild the backend from snapshot + WAL replay.
 
+        A standalone shard resolves commit markers against its own WAL
+        only; a :class:`~repro.store.store.Store` orchestrates recovery
+        itself (via :meth:`load_base` / :meth:`apply_ops`) so markers on
+        one shard commit records on another.
+
         Returns:
             Per-shard :class:`RecoveryStats`.
 
@@ -156,21 +211,57 @@ class Shard:
                 a torn tail.
         """
         started = time.perf_counter()
-        self.backend.clear()
-        snapshot_records = self._load_snapshot()
-        payloads = self.wal.replay()
-        for payload in payloads:
-            self._apply(json.loads(payload.decode("utf-8")))
-        self.backend.flush()
+        snapshot_records, ops = self.load_base()
+        committed, _highest = committed_txns([ops])
+        applied, discarded = self.apply_ops(ops, committed)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         obs.observe("store_replay_ms", elapsed_ms)
-        obs.counter_inc("store_replayed_records_total", float(len(payloads)))
+        obs.counter_inc("store_replayed_records_total", float(applied))
         return RecoveryStats(
             snapshot_records=snapshot_records,
-            replayed_records=len(payloads),
+            replayed_records=applied,
             truncated_bytes=self.wal.truncated_bytes,
             replay_ms=elapsed_ms,
+            discarded_records=discarded,
         )
+
+    def load_base(self) -> tuple[int, list[dict[str, object]]]:
+        """Clear the backend, load the snapshot, read the healed WAL.
+
+        Returns:
+            ``(snapshot record count, decoded journal operations)`` —
+            the operations are *not* applied yet; the caller filters
+            them by commit status first.
+        """
+        self.backend.clear()
+        snapshot_records = self._load_snapshot()
+        ops = [
+            json.loads(payload.decode("utf-8")) for payload in self.wal.replay()
+        ]
+        return snapshot_records, ops
+
+    def apply_ops(
+        self, ops: list[dict[str, object]], committed: set[int]
+    ) -> tuple[int, int]:
+        """Apply decoded journal operations, honoring commit markers.
+
+        Returns:
+            ``(applied, discarded)`` record counts; commit markers
+            themselves count as neither.
+        """
+        applied = 0
+        discarded = 0
+        for op in ops:
+            if op.get("op") == "commit":
+                continue
+            txn = op.get("txn")
+            if txn is not None and int(txn) not in committed:  # type: ignore[call-overload]
+                discarded += 1
+                continue
+            self._apply(op)
+            applied += 1
+        self.backend.flush()
+        return applied, discarded
 
     def compact(self) -> None:
         """Snapshot current state atomically, then reset the WAL.
@@ -179,6 +270,17 @@ class Shard:
         between the replace and the WAL reset leaves the stale-snapshot +
         longer-WAL layout that :meth:`recover` handles idempotently.
         """
+        self.write_snapshot()
+        self.wal.reset()
+        self.backend.flush()
+
+    def write_snapshot(self) -> None:
+        """Write an atomic snapshot of current state, leaving the WAL alone.
+
+        Split from :meth:`compact` so the store can snapshot *every*
+        shard before resetting *any* WAL — commit markers must outlive
+        all journal records they commit, even across shards.
+        """
         payload = json.dumps(
             {"version": SNAPSHOT_VERSION, "spaces": self.dump()},
             sort_keys=True,
@@ -186,7 +288,7 @@ class Shard:
         ).encode("utf-8")
         tmp = self.snapshot_path.with_suffix(".json.tmp")
 
-        def write_snapshot() -> None:
+        def write_file() -> None:
             with open(tmp, "wb") as handle:
                 handle.write(payload)
                 handle.flush()
@@ -194,14 +296,12 @@ class Shard:
             os.replace(tmp, self.snapshot_path)
 
         with_retries(
-            write_snapshot,
+            write_file,
             policy=self.retry,
             rng=self.rng,
             describe=f"write snapshot {self.snapshot_path.name}",
             sleep=self.sleep,
         )
-        self.wal.reset()
-        self.backend.flush()
 
     def verify(self) -> list[str]:
         """Check snapshot parseability and WAL integrity without mutating."""
@@ -280,4 +380,4 @@ def _encode(value: object) -> bytes:
     return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
-__all__ = ["RecoveryStats", "SNAPSHOT_VERSION", "Shard"]
+__all__ = ["RecoveryStats", "SNAPSHOT_VERSION", "Shard", "committed_txns"]

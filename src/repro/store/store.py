@@ -20,16 +20,22 @@ the digest is invariant under both shard count and backend choice.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
+import os
 import random
+import time
 import zlib
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
+from repro import obs
 from repro.store.errors import StoreCorruptError
-from repro.store.retry import RetryPolicy
-from repro.store.shard import RecoveryStats, Shard
+from repro.store.retry import RetryPolicy, with_retries
+from repro.store.shard import RecoveryStats, Shard, committed_txns
+from repro.store.wal import scan_wal_bytes
 
 #: Base space names routed by key; every other space pins to shard 0.
 SHARDED_SPACES = frozenset({"deposits", "renewals", "commitments", "spent"})
@@ -91,7 +97,11 @@ class Store:
         self.backend_kind = backend
         self.retry = retry if retry is not None else RetryPolicy()
         self.rng = rng if rng is not None else random.Random("repro.store")
+        self._manifest_sleep = sleep
         self.shard_count = self._check_manifest(shards, backend)
+        self._active_txn: int | None = None
+        self._txn_touched: set[int] = set()
+        self._txn_counter: itertools.count[int] | None = None
         self.shards = [
             Shard(
                 self.directory / f"shard-{index:02d}",
@@ -114,30 +124,147 @@ class Store:
     # ------------------------------------------------------------------
     def shard_for(self, space: str, key: str) -> Shard:
         """The shard owning ``(space, key)`` under prefix routing."""
+        return self.shards[self._route(space, key)]
+
+    def _route(self, space: str, key: str) -> int:
         base = space.split(":", 1)[0]
         if base in SHARDED_SPACES:
-            return self.shards[shard_index(key, self.shard_count)]
-        return self.shards[0]
+            return shard_index(key, self.shard_count)
+        return 0
 
     # ------------------------------------------------------------------
     # Mutation / reads (delegate to the owning shard)
     # ------------------------------------------------------------------
     def put(self, space: str, key: str, value: object) -> None:
         """Journal and apply an upsert on the owning shard."""
-        self.shard_for(space, key).put(space, key, value)
+        index = self._route(space, key)
+        self.shards[index].put(space, key, value, txn=self._active_txn)
+        if self._active_txn is not None:
+            self._txn_touched.add(index)
 
     def delete(self, space: str, key: str) -> None:
         """Journal and apply a deletion on the owning shard."""
-        self.shard_for(space, key).delete(space, key)
+        index = self._route(space, key)
+        self.shards[index].delete(space, key, txn=self._active_txn)
+        if self._active_txn is not None:
+            self._txn_touched.add(index)
 
     def get(self, space: str, key: str) -> object | None:
         """Read the decoded value from the owning shard."""
         return self.shard_for(space, key).get(space, key)
 
     def ack(self) -> None:
-        """Durability barrier across all shards (fsync each dirty WAL)."""
+        """Durability barrier across all shards (fsync each dirty WAL).
+
+        Inside an open :meth:`operation` this is a no-op: the operation's
+        records must not become effective until its commit marker lands,
+        and :meth:`commit` is the single durability point.
+        """
+        if self._active_txn is not None:
+            return
         for shard in self.shards:
             shard.ack()
+
+    # ------------------------------------------------------------------
+    # Atomic logical operations
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def operation(self) -> Iterator[None]:
+        """Scope one atomic logical operation (re-entrant: inner scopes join).
+
+        Every ``put``/``delete`` inside the scope is journaled tagged
+        with one transaction id and becomes effective-on-recovery only
+        when the commit marker written at scope exit is durable — so a
+        crash anywhere inside the scope discards the *whole* operation
+        on replay, never a prefix of it. This is what makes a deposit's
+        ledger credit and its transcript record a single durability
+        unit even though they land in different shards' WALs.
+        """
+        if self._active_txn is not None:
+            yield  # join the enclosing operation
+            return
+        self.begin()
+        try:
+            yield
+        except BaseException:
+            self.abort()
+            raise
+        else:
+            self.commit()
+
+    def begin(self) -> None:
+        """Open a transaction scope (prefer :meth:`operation`).
+
+        Raises:
+            RuntimeError: an operation is already open.
+        """
+        if self._active_txn is not None:
+            raise RuntimeError("a store operation is already open")
+        if self._txn_counter is None:
+            self._txn_counter = itertools.count(self._scan_highest_txn() + 1)
+        self._active_txn = next(self._txn_counter)
+        self._txn_touched = set()
+
+    def commit(self) -> None:
+        """Make the open operation durable: fsync records, then the marker.
+
+        Ordering is the invariant: every shard holding the operation's
+        records is fsynced *before* the commit marker is appended and
+        fsynced, so a durable marker implies durable records — and an
+        absent marker means recovery discards the half-written operation.
+
+        Raises:
+            RuntimeError: no operation is open.
+        """
+        if self._active_txn is None:
+            raise RuntimeError("no store operation is open")
+        txn = self._active_txn
+        touched = sorted(self._txn_touched)
+        self._active_txn = None
+        self._txn_touched = set()
+        if not touched:
+            return
+        marker = touched[0]
+        for index in touched:
+            if index != marker:
+                self.shards[index].wal.flush()
+        self.shards[marker].append_commit(txn)
+        self.shards[marker].wal.flush()
+
+    def abort(self) -> None:
+        """Close the open operation without committing it.
+
+        Its journal records (flushed or not) carry no commit marker, so
+        recovery discards them; the in-memory backends may still hold the
+        aborted writes, which is why callers abort only on errors that
+        fail the whole enclosing request.
+        """
+        self._active_txn = None
+        self._txn_touched = set()
+
+    @property
+    def in_operation(self) -> bool:
+        """Whether an atomic operation scope is currently open."""
+        return self._active_txn is not None
+
+    def _scan_highest_txn(self) -> int:
+        """Highest transaction id in the on-disk WALs (0 when none).
+
+        Run once, lazily, so a store attached over a pre-existing
+        directory without an explicit :meth:`recover` never reissues a
+        transaction id an earlier life already committed.
+        """
+        highest = 0
+        for shard in self.shards:
+            if not shard.wal.path.exists():
+                continue
+            scanned = scan_wal_bytes(shard.wal.path.read_bytes())
+            for payload in scanned.payloads:
+                op = json.loads(payload.decode("utf-8"))
+                txn = op.get("txn")
+                if txn is not None:
+                    highest = max(highest, int(txn))
+        return highest
 
     def dump(self) -> dict[str, dict[str, object]]:
         """Merged logical state over all shards: ``{space: {key: value}}``."""
@@ -154,19 +281,54 @@ class Store:
     # Lifecycle
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryStats:
-        """Recover every shard; return summed :class:`RecoveryStats`."""
-        stats = [shard.recover() for shard in self.shards]
+        """Recover every shard; return summed :class:`RecoveryStats`.
+
+        Commit markers are resolved across *all* shards before any
+        journal record is applied: an operation's records may live on
+        one shard and its marker on another, and a record whose
+        operation never committed is discarded — it was never
+        acknowledged to any caller.
+        """
+        started = time.perf_counter()
+        bases = [shard.load_base() for shard in self.shards]
+        committed, highest = committed_txns([ops for _count, ops in bases])
+        self._txn_counter = itertools.count(highest + 1)
+        applied_total = 0
+        discarded_total = 0
+        for shard, (_count, ops) in zip(self.shards, bases):
+            applied, discarded = shard.apply_ops(ops, committed)
+            applied_total += applied
+            discarded_total += discarded
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        obs.observe("store_replay_ms", elapsed_ms)
+        obs.counter_inc("store_replayed_records_total", float(applied_total))
         return RecoveryStats(
-            snapshot_records=sum(s.snapshot_records for s in stats),
-            replayed_records=sum(s.replayed_records for s in stats),
-            truncated_bytes=sum(s.truncated_bytes for s in stats),
-            replay_ms=sum(s.replay_ms for s in stats),
+            snapshot_records=sum(count for count, _ops in bases),
+            replayed_records=applied_total,
+            truncated_bytes=sum(shard.wal.truncated_bytes for shard in self.shards),
+            replay_ms=elapsed_ms,
+            discarded_records=discarded_total,
         )
 
     def compact(self) -> None:
-        """Snapshot and reset the WAL on every shard."""
+        """Snapshot every shard, then reset every WAL — in that order.
+
+        Two phases, not per-shard compaction: a commit marker on shard A
+        may commit records on shard B, so no WAL may be reset until
+        *every* shard's records are safe in a snapshot. A crash between
+        the phases leaves stale-snapshot + longer-WAL layouts that
+        recovery already replays idempotently.
+
+        Raises:
+            RuntimeError: called inside an open :meth:`operation`.
+        """
+        if self._active_txn is not None:
+            raise RuntimeError("cannot compact inside an open store operation")
         for shard in self.shards:
-            shard.compact()
+            shard.write_snapshot()
+        for shard in self.shards:
+            shard.wal.reset()
+            shard.backend.flush()
 
     def verify(self) -> list[str]:
         """Collect integrity problems from the manifest and every shard."""
@@ -228,13 +390,38 @@ class Store:
                     f"{recorded} shard(s), reopened with {shards} — "
                     "resharding requires an explicit migration"
                 )
+            recorded_backend = str(manifest.get("backend", backend))
+            if recorded_backend != backend:
+                raise StoreCorruptError(
+                    f"{self.manifest_path}: store was created with the "
+                    f"{recorded_backend!r} backend, reopened with "
+                    f"{backend!r} — use open_store() to reuse the "
+                    "recorded layout"
+                )
             return recorded
-        self.manifest_path.write_text(
-            json.dumps(
-                {"version": MANIFEST_VERSION, "shards": shards, "backend": backend},
-                sort_keys=True,
-            ),
-            "utf-8",
+        # Written like a snapshot — tmp file + fsync + os.replace — so a
+        # crash during store creation leaves either no manifest (a fresh
+        # start) or a complete one, never a truncated file every later
+        # open would reject as corrupt.
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "shards": shards, "backend": backend},
+            sort_keys=True,
+        ).encode("utf-8")
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+
+        def write_manifest() -> None:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.manifest_path)
+
+        with_retries(
+            write_manifest,
+            policy=self.retry,
+            rng=self.rng,
+            describe=f"write manifest {self.manifest_path.name}",
+            sleep=self._manifest_sleep,
         )
         return shards
 

@@ -147,8 +147,14 @@ class WriteAheadLog:
             return self.path.stat().st_size
         return self._size if self._file is not None else 0
 
-    def append(self, payload: bytes) -> None:
+    def append(self, payload: bytes, *, defer: bool = False) -> None:
         """Append one checksummed record (buffered; see ``fsync_every``).
+
+        Args:
+            payload: the record body.
+            defer: skip the automatic group-commit flush — the caller is
+                inside a multi-record logical operation and will issue
+                one :meth:`flush` at its commit point.
 
         Raises:
             StoreIOError: the write kept failing after retries.
@@ -168,7 +174,7 @@ class WriteAheadLog:
         self._size = offset + len(record)
         self._pending += 1
         self.appended_records += 1
-        if self._pending >= self.fsync_every:
+        if not defer and self._pending >= self.fsync_every:
             self.flush()
 
     def flush(self) -> None:
@@ -289,8 +295,25 @@ class WriteAheadLog:
                 handle = open(self.path, "w+b")
                 handle.write(MAGIC)
                 handle.flush()
-            else:
-                handle = open(self.path, "r+b")
+                return handle
+            # A pre-existing file may end in a torn record (crash during
+            # a previous life). Appending after damaged bytes would turn
+            # a healable torn tail into unhealable mid-file corruption,
+            # so validate and truncate to the last good record first.
+            data = self.path.read_bytes()
+            scanned = scan_wal_bytes(data)
+            if scanned.problem is not None:
+                raise StoreCorruptError(f"{self.path}: {scanned.problem}")
+            handle = open(self.path, "r+b")
+            if scanned.torn_bytes:
+                self.truncated_bytes += scanned.torn_bytes
+                obs.counter_inc("store_wal_torn_bytes_total", scanned.torn_bytes)
+                handle.truncate(scanned.good_size)
+                if scanned.good_size == 0:
+                    # Torn creation: shorter than the magic itself.
+                    handle.write(MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
             handle.seek(0, os.SEEK_END)
             return handle
 

@@ -220,6 +220,101 @@ def test_load_broker_from_empty_store_is_an_error(system, tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Atomic settlement: a half-journaled deposit never survives recovery
+# ----------------------------------------------------------------------
+
+class PowerLoss(Exception):
+    """Simulated crash between the record fsyncs and the commit marker."""
+
+
+@pytest.mark.parametrize("backend", ("memory", "sqlite"))
+def test_crashed_deposit_is_discarded_whole_and_safe_to_retry(
+    system, funded_client, tmp_path, backend
+):
+    """A crash mid-settlement must not leave the merchant credited
+    without a deposit record — the retry would double-credit."""
+    store = Store(tmp_path / "state", backend=backend, shards=4, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    signed = run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+
+    def crash_before_marker():
+        raise PowerLoss()
+
+    store.commit = crash_before_marker  # the marker never reaches disk
+    with pytest.raises(PowerLoss):
+        system.broker.deposit(merchant.merchant_id, signed, now=20)
+    store.close()  # flushes the orphaned records; still no marker
+
+    reopened = Store(tmp_path / "state", backend=backend, shards=4, **NO_SLEEP)
+    restored = load_broker_from_store(reopened, system.params)
+    # Neither half of the settlement survived: no credit, no record.
+    assert restored.merchant_balance(merchant.merchant_id) == 0
+    assert not restored._deposits
+    assert restored.ledger.conserved()
+    # The retry is then an ordinary first deposit: exactly one credit.
+    restored.deposit(merchant.merchant_id, signed, now=30)
+    assert restored.merchant_balance(merchant.merchant_id) == 25
+    with pytest.raises(DoubleDepositError):
+        restored.deposit(merchant.merchant_id, signed, now=40)
+    reopened.close()
+
+
+def test_begin_renewal_journals_its_ticket(system, tmp_path):
+    store = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    ticket_id, _challenge = system.broker.begin_renewal(
+        system.standard_info(50, now=30)
+    )
+    assert store.get("tickets", str(ticket_id)) is not None
+    meta = store.get("meta", "state")
+    assert meta["next_ticket"] == ticket_id + 1
+    store.close()
+
+    reopened = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    restored = load_broker_from_store(reopened, system.params)
+    # The in-flight ticket survived, and the counter moved past it.
+    assert ticket_id in restored._tickets
+    fresh_ticket, _ = restored.begin_withdrawal(system.standard_info(25, now=31))
+    assert fresh_ticket > ticket_id
+    reopened.close()
+
+
+def test_journaled_meta_matches_the_full_snapshot(system, tmp_path):
+    """The incremental meta record equals the one a full dump produces."""
+    store = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    system.broker.begin_withdrawal(system.standard_info(25, now=0))
+    assert store.get("meta", "state") == broker_spaces(system.broker)["meta"]
+    store.close()
+
+
+def test_recovery_rejects_a_record_without_its_funding_credit(
+    system, funded_client, tmp_path
+):
+    from repro.store import StoreCorruptError
+
+    store = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    attach_broker_store(system.broker, store)
+    client, stored = funded_client
+    merchant = system.merchant(other_merchant(system, stored.coin.witness_id))
+    run_payment(client, stored, merchant, system.witness_of(stored), now=10)
+    run_deposit(merchant, system.broker, now=20)
+    # Surgically remove the funding movement, leaving the deposit record.
+    ledger_table = store.dump()["ledger"]
+    key = next(k for k, v in ledger_table.items() if v["memo"] == "coin deposit")
+    store.delete("ledger", key)
+    store.ack()
+    store.close()
+
+    reopened = Store(tmp_path / "state", backend="memory", shards=2, **NO_SLEEP)
+    with pytest.raises(StoreCorruptError, match="without its funding movement"):
+        load_broker_from_store(reopened, system.params)
+    reopened.close()
+
+
+# ----------------------------------------------------------------------
 # Witness journaling round-trips
 # ----------------------------------------------------------------------
 

@@ -199,10 +199,120 @@ def test_store_recovers_after_abrupt_close_with_torn_tail(tmp_path, backend):
     reopened.close()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_operation_commits_atomically_across_shards(tmp_path, backend):
+    """One operation spanning two shards survives recovery as a whole."""
+    store = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    with store.operation():
+        store.put("ledger", "merchant/acme", {"balance": 25})  # shard 0
+        store.put("deposits", "00000001", {"amount": 25})  # shard 1
+    store.close()
+
+    reopened = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    stats = reopened.recover()
+    assert stats.discarded_records == 0
+    assert reopened.get("ledger", "merchant/acme") == {"balance": 25}
+    assert reopened.get("deposits", "00000001") == {"amount": 25}
+    reopened.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_uncommitted_operation_is_discarded_whole_on_recovery(tmp_path, backend):
+    """A crash before the commit marker lands erases the whole operation.
+
+    This is the double-credit window the operation scope exists to close:
+    without it, a ledger credit could survive a crash that lost the
+    deposit record journaled to a different shard's WAL.
+    """
+    store = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    store.put("merchants", "acme", {"registered": True})
+    store.ack()
+    store.begin()
+    store.put("ledger", "merchant/acme", {"balance": 25})
+    store.put("deposits", "00000001", {"amount": 25})
+    store.close()  # fsyncs the records but never writes the marker
+
+    reopened = Store(tmp_path, backend=backend, shards=4, **NO_SLEEP)
+    stats = reopened.recover()
+    assert stats.discarded_records == 2
+    assert reopened.get("ledger", "merchant/acme") is None
+    assert reopened.get("deposits", "00000001") is None
+    assert reopened.get("merchants", "acme") == {"registered": True}
+    reopened.close()
+
+
+def test_operation_scope_aborts_on_exception(tmp_path):
+    store = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    with pytest.raises(RuntimeError, match="request failed"):
+        with store.operation():
+            store.put("deposits", "00000001", {"amount": 25})
+            raise RuntimeError("request failed")
+    assert not store.in_operation
+    store.close()
+
+    reopened = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    reopened.recover()
+    assert reopened.get("deposits", "00000001") is None
+    reopened.close()
+
+
+def test_nested_operation_scopes_join_into_one_commit(tmp_path):
+    store = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    with store.operation():
+        with store.operation():
+            store.put("deposits", "00000001", {"amount": 25})
+        # Still open: the inner scope must not have committed.
+        assert store.in_operation
+        store.put("ledger", "merchant/acme", {"balance": 25})
+    assert not store.in_operation
+    store.close()
+
+    reopened = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    assert reopened.recover().discarded_records == 0
+    assert reopened.get("deposits", "00000001") == {"amount": 25}
+    assert reopened.get("ledger", "merchant/acme") == {"balance": 25}
+    reopened.close()
+
+
+def test_txn_ids_never_collide_after_reopen_without_recover(tmp_path):
+    """A fresh store over old WALs must not reissue a committed txn id."""
+    store = Store(tmp_path, backend="memory", shards=1, **NO_SLEEP)
+    with store.operation():
+        store.put("deposits", "00000001", {"amount": 25})
+    store.close()
+
+    # Attach without recover(), run a new operation, crash before commit.
+    attached = Store(tmp_path, backend="memory", shards=1, **NO_SLEEP)
+    attached.begin()
+    attached.put("deposits", "00000002", {"amount": 50})
+    attached.close()
+
+    reopened = Store(tmp_path, backend="memory", shards=1, **NO_SLEEP)
+    stats = reopened.recover()
+    assert stats.discarded_records == 1  # only the uncommitted put
+    assert reopened.get("deposits", "00000001") == {"amount": 25}
+    assert reopened.get("deposits", "00000002") is None
+    reopened.close()
+
+
 def test_manifest_pins_the_shard_count(tmp_path):
     Store(tmp_path, backend="memory", shards=4, **NO_SLEEP).close()
     with pytest.raises(StoreCorruptError, match="explicit migration"):
         Store(tmp_path, backend="memory", shards=8, **NO_SLEEP)
+
+
+def test_manifest_pins_the_backend(tmp_path):
+    Store(tmp_path, backend="sqlite", shards=2, **NO_SLEEP).close()
+    with pytest.raises(StoreCorruptError, match="use open_store"):
+        Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+
+
+def test_manifest_is_written_atomically(tmp_path):
+    store = Store(tmp_path, backend="memory", shards=2, **NO_SLEEP)
+    assert not list(tmp_path.glob("*.tmp"))  # no temp file left behind
+    manifest = json.loads(store.manifest_path.read_text("utf-8"))
+    assert manifest["backend"] == "memory"
+    store.close()
 
 
 def test_open_store_reuses_the_recorded_layout(tmp_path):

@@ -134,6 +134,40 @@ def test_reset_truncates_to_header_only(tmp_path):
     assert make_wal(tmp_path).replay() == []
 
 
+def test_open_heals_torn_tail_before_appending(tmp_path):
+    """Appending to a damaged log must not bury the torn bytes mid-file."""
+    wal = make_wal(tmp_path)
+    wal.append(b"durable")
+    wal.close()
+    with open(tmp_path / "wal.log", "ab") as handle:
+        handle.write(b"\x00\x00\x00")  # power died mid-header
+    appender = make_wal(tmp_path)
+    appender.append(b"after-the-crash")  # no replay() first
+    appender.close()
+    fresh = make_wal(tmp_path)
+    assert fresh.replay() == [b"durable", b"after-the-crash"]
+    assert fresh.truncated_bytes == 0
+
+
+def test_open_refuses_to_append_past_bad_magic(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"XXXXX-not-a-wal-file")
+    wal = make_wal(tmp_path)
+    with pytest.raises(StoreCorruptError, match="bad file magic"):
+        wal.append(b"must-not-land")
+    assert path.read_bytes() == b"XXXXX-not-a-wal-file"
+
+
+def test_open_heals_a_torn_creation(tmp_path):
+    """A crash during file creation leaves a partial magic; open rewrites it."""
+    path = tmp_path / "wal.log"
+    path.write_bytes(MAGIC[:2])
+    wal = make_wal(tmp_path)
+    wal.append(b"first")
+    wal.close()
+    assert make_wal(tmp_path).replay() == [b"first"]
+
+
 class FlakyFile:
     """Wraps a real file handle; the next ``fail`` writes are cut short."""
 
