@@ -20,7 +20,7 @@ import itertools
 import random
 import secrets
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ContextManager, Mapping
+from typing import TYPE_CHECKING, Callable, ContextManager, Mapping, cast
 
 from repro import obs, perf
 from repro.core.bank import Ledger
@@ -100,6 +100,32 @@ class _WithdrawalTicket:
     info: CoinInfo
     session: SignerSession
     paid_by: str | None
+
+
+#: Protocol order of the claim-certified stages in a bulk verification:
+#: a correction at an earlier stage wins because the naive per-item path
+#: would have raised there first and never reached the later checks.
+_DEPOSIT_STAGE_ORDER = {"coin": 0, "wsig": 1}
+
+#: The exception each certified stage raises on the naive path.
+_DEPOSIT_STAGE_ERRORS: dict[str, Callable[[], EcashError]] = {
+    "coin": lambda: InvalidCoinError(
+        "broker signature on deposited coin failed to verify"
+    ),
+    "wsig": lambda: InvalidPaymentError(
+        "witness signature on transcript failed to verify"
+    ),
+}
+
+
+def _earliest_claim_failures(tokens: list[object]) -> dict[int, str]:
+    """Collapse ``(index, stage)`` claim tokens to each item's earliest stage."""
+    worst: dict[int, str] = {}
+    for token in tokens:
+        index, stage = cast("tuple[int, str]", token)
+        if index not in worst or _DEPOSIT_STAGE_ORDER[stage] < _DEPOSIT_STAGE_ORDER[worst[index]]:
+            worst[index] = stage
+    return worst
 
 
 class Broker:
@@ -476,10 +502,11 @@ class Broker:
             return results  # type: ignore[return-value]
 
         group = self.params.group
+        claims = perf.ClaimSet()
         checked: list[tuple[int, SignedTranscript, perf.RepresentationCheck]] = []
         for index, signed in enumerate(items):
             try:
-                self._verify_deposit_structure(merchant_id, signed, now)
+                self._verify_deposit_structure(merchant_id, signed, now, claims, index)
             except EcashError as exc:
                 results[index] = exc
                 continue
@@ -526,6 +553,16 @@ class Broker:
                         "representation proof A*B^d == g1^r1*g2^r2 failed"
                     )
             checked = survivors
+        # Certify the batch's fast-path signature recoveries (coin and
+        # witness-signature stages) in one combined equation before any
+        # money moves. A definitively-bad token overrides whatever the
+        # glitched fast path concluded — mapped back to the exception the
+        # naive path would have raised at that (earlier) protocol stage.
+        corrected = _earliest_claim_failures(claims.certify(group.p, group.q, self.rng))
+        if corrected:
+            for index, stage in corrected.items():
+                results[index] = _DEPOSIT_STAGE_ERRORS[stage]()
+            checked = [entry for entry in checked if entry[0] not in corrected]
         for index, signed, _ in checked:
             try:
                 results[index] = self._settle_deposit(merchant_id, signed, now)
@@ -534,28 +571,55 @@ class Broker:
         return results  # type: ignore[return-value]
 
     def _verify_deposit_structure(
-        self, merchant_id: str, signed: SignedTranscript, now: int
+        self,
+        merchant_id: str,
+        signed: SignedTranscript,
+        now: int,
+        claims: "perf.ClaimSet | None" = None,
+        index: int | None = None,
     ) -> None:
         """Algorithm 3 step 1 minus the representation check.
 
         Raises the same exceptions, in the same order, as the front half
         of :meth:`deposit` always has; shared by the single and batched
-        pipelines.
+        pipelines. Batched callers pass a claim set and the item's batch
+        ``index``: the coin-signature and witness-signature fast paths
+        then register their recovery claims under ``(index, stage)``
+        tokens for combined certification after the whole batch is
+        structurally checked.
         """
         self._require_merchant(merchant_id)
         transcript = signed.transcript
         coin = transcript.coin
         if transcript.merchant_id != merchant_id:
             raise InvalidPaymentError("transcript names a different depositing merchant")
-        if not self._signer.verify_with_secret(
-            coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
-        ):
+        if claims is not None and perf.is_enabled():
+            coin_ok, recovered = self._signer.check_with_secret(
+                coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+            )
+            if coin_ok and recovered:
+                claims.add(
+                    (index, "coin"),
+                    recovered,
+                    lambda: self._signer.verify_with_secret(
+                        coin.info.hash_parts(),
+                        coin.bare.message_parts(),
+                        coin.bare.signature,
+                    ),
+                )
+        else:
+            coin_ok = self._signer.verify_with_secret(
+                coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+            )
+        if not coin_ok:
             raise InvalidCoinError("broker signature on deposited coin failed to verify")
         if not coin.info.is_spendable(now):
             raise ExpiredCoinError("coin is past its soft expiry and no longer cashable")
         self._check_witness_assignment(coin)
         witness = self._require_merchant(coin.witness_id)
-        if not signed.verify_witness_signature(self.params, witness.public_key):
+        if not signed.verify_witness_signature(
+            self.params, witness.public_key, claims, (index, "wsig")
+        ):
             raise InvalidPaymentError("witness signature on transcript failed to verify")
 
     def _settle_deposit(

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 
 from repro import obs, perf
 from repro.core.coin import Coin
-from repro.core.exceptions import DoubleSpendError, EcashError, InvalidPaymentError
+from repro.core.exceptions import (
+    DoubleSpendError,
+    EcashError,
+    InvalidCoinError,
+    InvalidPaymentError,
+)
 from repro.core.params import SystemParams
 from repro.core.transcripts import (
     DoubleSpendProof,
@@ -205,10 +210,11 @@ class Merchant:
         from repro.crypto.representation import verify_response
 
         group = self.params.group
+        claims = perf.ClaimSet()
         checked: list[tuple[int, SignedTranscript, perf.RepresentationCheck]] = []
         for index, signed in enumerate(items):
             try:
-                self._verify_transcript_structure(signed, now)
+                self._verify_transcript_structure(signed, now, claims, index)
             except EcashError as exc:
                 results[index] = exc
                 continue
@@ -244,15 +250,42 @@ class Merchant:
                     results[index] = InvalidPaymentError(
                         "representation proof A*B^d == g1^r1*g2^r2 failed"
                     )
+        # Certify every fast-path signature recovery in one combined
+        # equation; a definitively-bad token overrides the glitched fast
+        # path's verdict with the exception the naive path would have
+        # raised at that (earlier) stage.
+        stage_order = {"coin": 0, "wsig": 1}
+        worst: dict[int, str] = {}
+        for token in claims.certify(group.p, group.q, self.rng):
+            index, stage = token  # type: ignore[misc]
+            if index not in worst or stage_order[stage] < stage_order[worst[index]]:
+                worst[index] = stage
+        for index, stage in worst.items():
+            if stage == "coin":
+                results[index] = InvalidCoinError(
+                    "broker's partially blind signature failed to verify"
+                )
+            else:
+                results[index] = InvalidPaymentError(
+                    "witness signature on transcript failed to verify"
+                )
         return results
 
-    def _verify_transcript_structure(self, signed: SignedTranscript, now: int) -> None:
+    def _verify_transcript_structure(
+        self,
+        signed: SignedTranscript,
+        now: int,
+        claims: "perf.ClaimSet | None" = None,
+        index: int | None = None,
+    ) -> None:
         """The non-NIZK checks of :meth:`verify_payment_bulk` for one item.
 
         Mirrors the per-item half of the parallel engine's payment chunk
         (:func:`repro.perf.parallel.run_payment_chunk`) — same checks,
         same order, same exceptions — so serial and pooled bulk
-        verification agree item for item.
+        verification agree item for item. Bulk callers thread a claim set
+        through so the coin- and witness-signature fast paths register
+        their recovery claims under ``(index, stage)`` tokens.
 
         Raises:
             InvalidCoinError, ExpiredCoinError, WrongWitnessError,
@@ -260,7 +293,9 @@ class Merchant:
         """
         transcript = signed.transcript
         coin = transcript.coin
-        coin.ensure_valid_signature(self.params, self.broker_blind_public)
+        coin.ensure_valid_signature(
+            self.params, self.broker_blind_public, claims, (index, "coin")
+        )
         coin.ensure_spendable(now)
         verify_entry_matches(
             self.params,
@@ -274,7 +309,9 @@ class Merchant:
             raise InvalidPaymentError(
                 f"no verification key for witness {coin.witness_id!r}"
             )
-        if not signed.verify_witness_signature(self.params, witness_public):
+        if not signed.verify_witness_signature(
+            self.params, witness_public, claims, (index, "wsig")
+        ):
             raise InvalidPaymentError(
                 "witness signature on transcript failed to verify"
             )

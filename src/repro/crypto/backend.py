@@ -1,0 +1,230 @@
+"""Pluggable bigint backend: pure-python ``pow`` or gmpy2/GMP limbs.
+
+Every hot path in the system bottoms out in 1024-bit modular arithmetic —
+comb-table lookups, Straus multi-exponentiation chains, Miller-Rabin
+witnesses, Fermat inversions. This module is the single switch point for
+*how* that arithmetic executes:
+
+* the **python** backend is the CPython builtin ``pow``/``%`` machinery —
+  the reference implementation, always available;
+* the **gmpy2** backend routes the same operations through GMP limbs
+  (``gmpy2.powmod``, ``mpz`` operands), typically 10-30x faster at
+  1024-bit, and is selected only when the optional ``gmpy2`` package is
+  importable.
+
+Both backends compute the *same function*: results are plain ``int``
+values, bit-identical between backends, so protocol outputs, wire bytes
+and the Table 1 logical-operation accounting are invariant under the
+switch — only wall-clock time changes.
+
+Selection: the ``REPRO_BACKEND`` environment variable (``auto`` —
+the default — picks gmpy2 when installed, else python; ``python`` and
+``gmpy2`` force a backend, with ``gmpy2`` falling back gracefully to
+python when the package is absent). :func:`set_backend` switches at
+runtime; listeners registered through :func:`on_change` (the fixed-base
+table registry, the group-validation memo) are notified so derived state
+never straddles two backends.
+
+Hot loops do not call :func:`powmod` per multiplication — they
+:func:`wrap` their operands once (``mpz`` under gmpy2, identity under
+python) and use native ``*``/``%`` operators on the wrapped values,
+then :func:`unwrap` the result back to ``int`` at the module boundary.
+
+Layering: this is a **leaf module** — it imports nothing from ``repro``,
+so any layer (``repro.perf`` included) may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Any, Callable
+
+#: Canonical backend names, in preference order for ``auto``.
+BACKEND_GMPY2 = "gmpy2"
+BACKEND_PYTHON = "python"
+
+_gmpy2: Any
+try:
+    _gmpy2 = importlib.import_module("gmpy2")
+except ImportError:  # pragma: no cover - exercised only without gmpy2
+    _gmpy2 = None
+
+
+# ----------------------------------------------------------------------
+# Backend implementations
+# ----------------------------------------------------------------------
+
+
+def _py_identity(value: int) -> Any:
+    """Lift/lower for the python backend: plain ``int`` in, same out."""
+    return value
+
+
+def _py_powmod(base: Any, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` via the CPython builtin ``pow``."""
+    return pow(base, exponent, modulus)
+
+
+def _py_invert(value: int, modulus: int) -> int:
+    """Modular inverse via builtin ``pow(value, -1, modulus)``.
+
+    Raises:
+        ZeroDivisionError: when ``value`` is not invertible (uniform
+            error contract across both backends).
+    """
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as error:
+        raise ZeroDivisionError(f"{value} is not invertible modulo {modulus}") from error
+
+
+def _gmp_wrap(value: int) -> Any:
+    """Lift an ``int`` into a GMP ``mpz`` for native-limb hot loops."""
+    return _gmpy2.mpz(value)
+
+
+def _gmp_unwrap(value: Any) -> int:
+    """Lower an ``mpz`` (or ``int``) back to a plain ``int``."""
+    return int(value)
+
+
+def _gmp_powmod(base: Any, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` via ``gmpy2.powmod``, as plain ``int``."""
+    return int(_gmpy2.powmod(base, exponent, modulus))
+
+
+def _gmp_invert(value: int, modulus: int) -> int:
+    """Modular inverse via ``gmpy2.invert``, with the uniform error contract.
+
+    Raises:
+        ZeroDivisionError: when ``value`` is not invertible.
+    """
+    try:
+        return int(_gmpy2.invert(value, modulus))
+    except ZeroDivisionError:
+        raise ZeroDivisionError(f"{value} is not invertible modulo {modulus}") from None
+
+
+# ----------------------------------------------------------------------
+# Active-backend state (module-level rebindable functions)
+# ----------------------------------------------------------------------
+
+#: ``base^exponent mod modulus`` as a plain ``int``. ``base`` may be a
+#: wrapped value; ``exponent`` must already be reduced by the caller.
+powmod: Callable[[Any, int, int], int] = _py_powmod
+
+#: Modular inverse as a plain ``int``; raises ``ZeroDivisionError`` when
+#: the value is not invertible (both backends, uniformly).
+invert: Callable[[int, int], int] = _py_invert
+
+#: Lift an ``int`` into the backend's native bigint type for hot loops.
+wrap: Callable[[int], Any] = _py_identity
+
+#: Lower a (possibly wrapped) value back to a plain ``int``.
+unwrap: Callable[[Any], int] = _py_identity
+
+_active = BACKEND_PYTHON
+_listeners: list[Callable[[str], None]] = []
+
+
+def available() -> tuple[str, ...]:
+    """Backends importable in this process, preference order first."""
+    if _gmpy2 is not None:
+        return (BACKEND_GMPY2, BACKEND_PYTHON)
+    return (BACKEND_PYTHON,)
+
+
+def name() -> str:
+    """The active backend: ``"python"`` or ``"gmpy2"``."""
+    return _active
+
+
+def gmp_version() -> str | None:
+    """The gmpy2 version string when that backend is active, else ``None``.
+
+    Recorded next to bench results so two BENCH_payment.json runs can be
+    told apart by the arithmetic that produced them.
+    """
+    if _active == BACKEND_GMPY2 and _gmpy2 is not None:
+        return str(_gmpy2.version())
+    return None
+
+
+def on_change(listener: Callable[[str], None]) -> None:
+    """Register a callback fired (with the new name) after every switch.
+
+    Used by caches of backend-derived state — the fixed-base comb tables
+    wrap their block matrices in the active backend's type, so they drop
+    themselves on a switch rather than serve stale-typed entries.
+    """
+    _listeners.append(listener)
+
+
+def set_backend(requested: str, strict: bool = True) -> str:
+    """Activate a backend by name; returns the name actually activated.
+
+    Args:
+        requested: ``"python"``, ``"gmpy2"`` or ``"auto"`` (prefer gmpy2,
+            fall back to python).
+        strict: when ``True``, asking for ``gmpy2`` without the package
+            installed raises; when ``False`` (the environment-variable
+            path) it falls back to python silently.
+
+    Raises:
+        ValueError: unknown backend name.
+        RuntimeError: ``strict`` and gmpy2 is not importable.
+    """
+    global powmod, invert, wrap, unwrap, _active
+    choice = requested.strip().lower()
+    if choice == "auto":
+        choice = BACKEND_GMPY2 if _gmpy2 is not None else BACKEND_PYTHON
+    if choice not in (BACKEND_PYTHON, BACKEND_GMPY2):
+        raise ValueError(f"unknown bigint backend {requested!r}")
+    if choice == BACKEND_GMPY2 and _gmpy2 is None:
+        if strict:
+            raise RuntimeError("gmpy2 backend requested but gmpy2 is not installed")
+        choice = BACKEND_PYTHON
+    if choice == _active:
+        return _active
+    if choice == BACKEND_GMPY2:
+        powmod, invert, wrap, unwrap = _gmp_powmod, _gmp_invert, _gmp_wrap, _gmp_unwrap
+    else:
+        powmod, invert, wrap, unwrap = (
+            _py_powmod,
+            _py_invert,
+            _py_identity,
+            _py_identity,
+        )
+    _active = choice
+    for listener in list(_listeners):
+        listener(choice)
+    return _active
+
+
+def _init_from_env() -> None:
+    requested = os.environ.get("REPRO_BACKEND", "auto").strip() or "auto"
+    try:
+        set_backend(requested, strict=False)
+    except ValueError:
+        # An unrecognized REPRO_BACKEND value must not take the whole
+        # process down at import time; the reference backend always works.
+        set_backend(BACKEND_PYTHON)
+
+
+_init_from_env()
+
+
+__all__ = [
+    "BACKEND_GMPY2",
+    "BACKEND_PYTHON",
+    "available",
+    "gmp_version",
+    "invert",
+    "name",
+    "on_change",
+    "powmod",
+    "set_backend",
+    "unwrap",
+    "wrap",
+]

@@ -166,13 +166,40 @@ class PartiallyBlindSigner:
         ``g^rho y^omega = g^(rho + x*omega)``, so the broker verifies with
         3 ``Exp`` + 2 ``Hash`` instead of the public 4 ``Exp`` + 2 ``Hash``.
         """
+        ok, _ = self.check_with_secret(info_parts, message_parts, signature)
+        return ok
+
+    def check_with_secret(
+        self,
+        info_parts: tuple[HashInput, ...],
+        message_parts: tuple[HashInput, ...],
+        signature: PartiallyBlindSignature,
+    ) -> "tuple[bool, tuple[perf.CommitmentClaim, ...]]":
+        """:meth:`verify_with_secret` plus the fast-path recovery claims.
+
+        Identical verdict and identical Table 1 accounting; additionally
+        returns the :class:`~repro.perf.batch.CommitmentClaim` pair behind
+        the two recovered sides of the verification equation (empty while
+        the perf engine is off — there is no fast path to certify then),
+        so bulk deposit callers can audit a whole batch's arithmetic with
+        one combined equation.
+        """
         group = self.group
         z = self.hashes.F(*info_parts)
         exponent = (signature.rho + self._secret * signature.omega) % group.q
         left = group.exp(group.g, exponent)
         right = group.commit2(group.g, signature.sigma, z, signature.delta)
         expected = self.hashes.H(left, right, z, *message_parts)
-        return (signature.omega + signature.delta) % group.q == expected
+        ok = (signature.omega + signature.delta) % group.q == expected
+        if not perf.is_enabled():
+            return ok, ()
+        return ok, (
+            perf.CommitmentClaim(commitment=left, pairs=((group.g, exponent),)),
+            perf.CommitmentClaim(
+                commitment=right,
+                pairs=((group.g, signature.sigma), (z, signature.delta)),
+            ),
+        )
 
 
 class BlindSession:
@@ -292,11 +319,44 @@ def verify(
     This is the check every merchant, witness and third party runs on a
     coin: ``omega + delta == H(g^rho y^omega || g^sigma z^delta || z || A || B)``.
     """
+    ok, _ = check(group, hashes, signer_public, info_parts, message_parts, signature)
+    return ok
+
+
+def check(
+    group: SchnorrGroup,
+    hashes: HashSuite,
+    signer_public: int,
+    info_parts: tuple[HashInput, ...],
+    message_parts: tuple[HashInput, ...],
+    signature: PartiallyBlindSignature,
+) -> "tuple[bool, tuple[perf.CommitmentClaim, ...]]":
+    """:func:`verify` plus the fast-path recovery claims.
+
+    Same verdict and same logical operation counts as :func:`verify`; the
+    returned claims record how ``g^rho y^omega`` and ``g^sigma z^delta``
+    were recovered (empty while the perf engine is off), letting bulk
+    verifiers certify a whole batch's comb-table/backend arithmetic with
+    one random linear combination instead of trusting each recovery
+    individually.
+    """
     q = group.q
     if not all(0 <= v < q for v in (signature.rho, signature.omega, signature.sigma, signature.delta)):
-        return False
+        return False, ()
     z = hashes.F(*info_parts)
     left = group.commit2(group.g, signature.rho, signer_public, signature.omega)
     right = group.commit2(group.g, signature.sigma, z, signature.delta)
     expected = hashes.H(left, right, z, *message_parts)
-    return (signature.omega + signature.delta) % q == expected
+    ok = (signature.omega + signature.delta) % q == expected
+    if not perf.is_enabled():
+        return ok, ()
+    return ok, (
+        perf.CommitmentClaim(
+            commitment=left,
+            pairs=((group.g, signature.rho), (signer_public, signature.omega)),
+        ),
+        perf.CommitmentClaim(
+            commitment=right,
+            pairs=((group.g, signature.sigma), (z, signature.delta)),
+        ),
+    )

@@ -17,8 +17,15 @@ import random
 from dataclasses import dataclass, field
 
 from repro import perf
-from repro.crypto import counters
+from repro.crypto import backend, counters
 from repro.crypto.numbers import inverse_mod, is_probable_prime, random_scalar
+
+#: Parameter tuples that already passed the full :meth:`SchnorrGroup.validate`
+#: battery. Validation is pure number theory — backend-independent — so the
+#: memo survives :func:`repro.crypto.backend.set_backend` switches; equal
+#: groups reconstructed from wire bytes or pickles skip the three
+#: Miller-Rabin runs and three subgroup checks.
+_VALIDATED_PARAMS: set[tuple[int, int, int, int, int]] = set()
 
 
 @dataclass(frozen=True)
@@ -43,9 +50,12 @@ class SchnorrGroup:
     def validate(self) -> None:
         """Check the group parameters for consistency.
 
-        The result is memoized on the instance: a group that has passed
-        once is not re-subjected to the three Miller-Rabin runs and three
-        subgroup checks on later calls.
+        The result is memoized twice over: on the instance, and in a
+        module-level table keyed by ``(p, q, g, g1, g2)`` — so *equal*
+        groups (rebuilt from wire bytes, pickles or test fixtures) skip
+        the three Miller-Rabin runs and three subgroup checks too. Both
+        memos are backend-independent and survive
+        :func:`repro.crypto.backend.set_backend` switches.
 
         Raises:
             ValueError: if ``p``/``q`` are not prime, ``q`` does not divide
@@ -53,15 +63,18 @@ class SchnorrGroup:
         """
         if self._validated:
             return
-        if not is_probable_prime(self.p):
-            raise ValueError("p is not prime")
-        if not is_probable_prime(self.q):
-            raise ValueError("q is not prime")
-        if (self.p - 1) % self.q != 0:
-            raise ValueError("q does not divide p - 1")
-        for name, gen in (("g", self.g), ("g1", self.g1), ("g2", self.g2)):
-            if gen in (0, 1) or pow(gen, self.q, self.p) != 1:
-                raise ValueError(f"{name} does not generate the order-q subgroup")
+        key = (self.p, self.q, self.g, self.g1, self.g2)
+        if key not in _VALIDATED_PARAMS:
+            if not is_probable_prime(self.p):
+                raise ValueError("p is not prime")
+            if not is_probable_prime(self.q):
+                raise ValueError("q is not prime")
+            if (self.p - 1) % self.q != 0:
+                raise ValueError("q does not divide p - 1")
+            for name, gen in (("g", self.g), ("g1", self.g1), ("g2", self.g2)):
+                if gen in (0, 1) or backend.powmod(gen, self.q, self.p) != 1:
+                    raise ValueError(f"{name} does not generate the order-q subgroup")
+            _VALIDATED_PARAMS.add(key)
         # A validated group's generators are the hottest fixed bases in the
         # whole system; mark them for the perf engine's comb tables.
         for gen in (self.g, self.g1, self.g2):
@@ -111,7 +124,7 @@ class SchnorrGroup:
         counters.record_exp()
         if perf.is_enabled():
             return perf.fpow(base, exponent, self.p, self.q)
-        return pow(base, exponent % self.q, self.p)
+        return backend.powmod(base, exponent % self.q, self.p)
 
     def mul(self, *elements: int) -> int:
         """Return the product of group elements modulo ``p``.
@@ -161,7 +174,7 @@ class SchnorrGroup:
         if not 1 <= value < self.p:
             return False
         with counters.suppressed():
-            return pow(value, self.q, self.p) == 1
+            return backend.powmod(value, self.q, self.p) == 1
 
     def commit2(self, base_a: int, exp_a: int, base_b: int, exp_b: int) -> int:
         """Return ``base_a^exp_a * base_b^exp_b mod p`` (two ``Exp`` events).
@@ -179,8 +192,8 @@ class SchnorrGroup:
                 self.p, self.q, ((base_a, exp_a), (base_b, exp_b))
             )
         return (
-            pow(base_a, exp_a % self.q, self.p)
-            * pow(base_b, exp_b % self.q, self.p)
+            backend.powmod(base_a, exp_a % self.q, self.p)
+            * backend.powmod(base_b, exp_b % self.q, self.p)
         ) % self.p
 
     def element_bytes(self) -> int:

@@ -1,8 +1,10 @@
 """Modular-arithmetic helpers and primality testing.
 
-The library depends only on the standard library; every number-theoretic
-building block the protocols need (Miller-Rabin, modular inverse, random
-scalars, DSA-style parameter generation) lives here.
+Every number-theoretic building block the protocols need (Miller-Rabin,
+modular inverse, random scalars, DSA-style parameter generation) lives
+here; the heavy modular arithmetic dispatches through
+:mod:`repro.crypto.backend` so it runs on GMP limbs when the optional
+gmpy2 backend is active, with bit-identical results either way.
 """
 
 from __future__ import annotations
@@ -10,10 +12,19 @@ from __future__ import annotations
 import random
 import secrets
 
+from repro.crypto import backend
+
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
     71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
 )
+
+#: Default Miller-Rabin witness source. Module-level so repeated
+#: validation calls draw fresh witnesses from one deterministic stream
+#: instead of re-seeding (and re-paying RNG construction) per call; the
+#: 2^-80 error bound holds for any witness sequence, so sharing the
+#: stream does not weaken the test.
+_DEFAULT_MR_RNG = random.Random(0xC0FFEE)
 
 
 def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
@@ -37,14 +48,14 @@ def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None
     while d % 2 == 0:
         d //= 2
         r += 1
-    rng = rng or random.Random(0xC0FFEE)
+    rng = rng or _DEFAULT_MR_RNG
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
-        x = pow(a, d, n)
+        x = backend.powmod(a, d, n)
         if x in (1, n - 1):
             continue
         for _ in range(r - 1):
-            x = pow(x, 2, n)
+            x = backend.powmod(x, 2, n)
             if x == n - 1:
                 break
         else:
@@ -58,10 +69,7 @@ def inverse_mod(a: int, m: int) -> int:
     Raises:
         ZeroDivisionError: if ``a`` is not invertible modulo ``m``.
     """
-    try:
-        return pow(a, -1, m)
-    except ValueError as error:
-        raise ZeroDivisionError(f"{a} is not invertible modulo {m}") from error
+    return backend.invert(a, m)
 
 
 def random_scalar(q: int, rng: random.Random | None = None) -> int:
@@ -125,7 +133,7 @@ def generate_group_parameters(
             generators: list[int] = []
             while len(generators) < 3:
                 h = rng.randrange(2, p - 1)
-                candidate = pow(h, (p - 1) // q, p)
+                candidate = backend.powmod(h, (p - 1) // q, p)
                 if candidate != 1 and candidate not in generators:
                     generators.append(candidate)
             g, g1, g2 = generators

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from typing import Callable, Sequence, cast
 
 from repro import perf
 from repro.crypto import counters
@@ -105,23 +106,141 @@ def verify(
     counters.record_ver()
     message = encode_for_hash(*message_parts)
     with counters.suppressed():
-        if not (0 <= signature.e < group.q and 0 <= signature.s < group.q):
-            return False
         if perf.is_enabled():
-            # Same membership predicate as group.is_element, memoized:
-            # verification keys recur across thousands of signatures.
-            if not perf.is_subgroup_member(group.p, group.q, public_key):
-                return False
-            commitment = perf.multi_exp(
-                group.p,
-                group.q,
-                ((group.g, signature.s), (public_key, (group.q - signature.e) % group.q)),
-            )
-        else:
-            if not group.is_element(public_key):
-                return False
-            commitment = (
-                pow(group.g, signature.s, group.p)
-                * pow(pow(public_key, signature.e, group.p), group.p - 2, group.p)
-            ) % group.p
-        return _challenge(group, commitment, public_key, message) == signature.e
+            ok, _ = _fast_check(group, public_key, signature, message)
+            return ok
+        return _naive_check(group, public_key, signature, message)
+
+
+def check(
+    group: SchnorrGroup,
+    public_key: int,
+    signature: SchnorrSignature,
+    *message_parts: HashInput,
+) -> "tuple[bool, perf.CommitmentClaim | None]":
+    """:func:`verify` plus the fast-path recovery claim (one ``Ver``).
+
+    Same verdict and same logical accounting as :func:`verify`; the extra
+    claim (``None`` while the perf engine is off, or when verification
+    rejected before recovering a commitment) lets bulk callers certify
+    the batch's fast-path arithmetic in one combined equation instead of
+    trusting each recovery individually.
+    """
+    counters.record_ver()
+    message = encode_for_hash(*message_parts)
+    with counters.suppressed():
+        if perf.is_enabled():
+            return _fast_check(group, public_key, signature, message)
+        return _naive_check(group, public_key, signature, message), None
+
+
+def _fast_check(
+    group: SchnorrGroup,
+    public_key: int,
+    signature: SchnorrSignature,
+    message: bytes,
+) -> tuple[bool, "perf.CommitmentClaim | None"]:
+    """Engine-on verification core; counter-free.
+
+    Returns the verdict together with the :class:`~repro.perf.batch.
+    CommitmentClaim` recording how the commitment was recovered, so bulk
+    callers can certify the fast-path arithmetic of a whole batch in one
+    combined equation. The claim is ``None`` when verification failed
+    before any recovery happened (range or membership reject).
+    """
+    if not (0 <= signature.e < group.q and 0 <= signature.s < group.q):
+        return False, None
+    # Same membership predicate as group.is_element, memoized:
+    # verification keys recur across thousands of signatures.
+    if not perf.is_subgroup_member(group.p, group.q, public_key):
+        return False, None
+    pairs = ((group.g, signature.s), (public_key, (group.q - signature.e) % group.q))
+    commitment = perf.multi_exp(group.p, group.q, pairs)
+    ok = _challenge(group, commitment, public_key, message) == signature.e
+    return ok, perf.CommitmentClaim(commitment=commitment, pairs=pairs)
+
+
+def _naive_check(
+    group: SchnorrGroup,
+    public_key: int,
+    signature: SchnorrSignature,
+    message: bytes,
+) -> bool:
+    """Reference verification on builtin ``pow``; counter-free."""
+    if not (0 <= signature.e < group.q and 0 <= signature.s < group.q):
+        return False
+    if not group.is_element(public_key):
+        return False
+    commitment = (
+        pow(group.g, signature.s, group.p)
+        * pow(pow(public_key, signature.e, group.p), group.p - 2, group.p)
+    ) % group.p
+    return _challenge(group, commitment, public_key, message) == signature.e
+
+
+def verify_batch(
+    group: SchnorrGroup,
+    items: Sequence[tuple[int, SchnorrSignature, tuple[HashInput, ...]]],
+    rng: random.Random | None = None,
+) -> list[bool]:
+    """Verify many Schnorr signatures, certifying the batch arithmetic once.
+
+    Hash-challenge signatures cannot be merged into a single verification
+    equation — each item's challenge pins its own recovered commitment —
+    so every item still pays one fast-path recovery and one hash
+    comparison (and records one ``Ver`` event, exactly as a loop of
+    :func:`verify` would). What *is* batched is the audit of the fast
+    path itself: all recoveries are certified by one random linear
+    combination whose shared bases (``g`` and recurring public keys)
+    collapse to a single accumulated exponent each. On certification
+    failure, binary splitting plus naive builtin-``pow`` re-verification
+    pinpoints and definitively re-judges the implicated items, so a batch
+    never accepts a signature the naive path would reject. Items that
+    fail the fast check are naively re-judged immediately, so machinery
+    faults cannot cause spurious rejections either.
+
+    Args:
+        group: the signature group.
+        items: ``(public_key, signature, message_parts)`` triples.
+        rng: optional deterministic randomness for the certification
+            exponents (tests); cryptographically secure when omitted.
+
+    Returns:
+        One verdict per item, in input order — identical to
+        ``[verify(group, pk, sig, *parts) for ...]`` under every
+        ``REPRO_PERF``/``REPRO_BACKEND`` combination.
+    """
+    if not perf.is_enabled():
+        return [verify(group, pk, sig, *parts) for pk, sig, parts in items]
+    results: list[bool] = []
+    claims = perf.ClaimSet()
+    for index, (public_key, signature, parts) in enumerate(items):
+        counters.record_ver()
+        message = encode_for_hash(*parts)
+        with counters.suppressed():
+            ok, claim = _fast_check(group, public_key, signature, message)
+            if ok and claim is not None:
+                claims.add(
+                    index,
+                    (claim,),
+                    _recheck_callback(group, public_key, signature, message),
+                )
+            elif not ok:
+                with perf.disabled():
+                    ok = _naive_check(group, public_key, signature, message)
+        results.append(ok)
+    for token in claims.certify(group.p, group.q, rng):
+        results[cast(int, token)] = False
+    return results
+
+
+def _recheck_callback(
+    group: SchnorrGroup,
+    public_key: int,
+    signature: SchnorrSignature,
+    message: bytes,
+) -> Callable[[], bool]:
+    def recheck() -> bool:
+        return _naive_check(group, public_key, signature, message)
+
+    return recheck

@@ -32,10 +32,11 @@ sites record logical operation counts before dispatching to either
 implementation, and cache hits replay the logical counts of the work
 they skip.
 
-Layering: this package depends only on :mod:`repro.obs` (plus a lazy,
-call-time import of :mod:`repro.crypto.counters` inside
-:func:`verify_memo`); the crypto and core layers depend on it, never the
-reverse.
+Layering: this package depends only on :mod:`repro.obs` and the leaf
+bigint-backend module :mod:`repro.crypto.backend` (plus lazy, call-time
+imports of :mod:`repro.crypto.counters` inside :func:`verify_memo` and
+:meth:`~repro.perf.batch.ClaimSet.certify`); the rest of the crypto and
+core layers depend on it, never the reverse.
 """
 
 from __future__ import annotations
@@ -47,7 +48,15 @@ from typing import Callable, Iterator
 from repro import obs
 from repro.perf import cache as _cache_module
 from repro.perf import fixed_base as _fixed_base_module
-from repro.perf.batch import RepresentationCheck, is_subgroup_member, verify_batch
+from repro.perf.batch import (
+    ClaimSet,
+    CommitmentClaim,
+    RepresentationCheck,
+    certify_claims,
+    false_claims,
+    is_subgroup_member,
+    verify_batch,
+)
 from repro.perf.cache import MemoCache, cache, memoized
 from repro.perf.fixed_base import FixedBaseTable, fpow, register, table_for
 from repro.perf.multiexp import multi_exp
@@ -186,6 +195,8 @@ def reset() -> None:
 
 
 __all__ = [
+    "ClaimSet",
+    "CommitmentClaim",
     "CryptoPool",
     "DepositPipeline",
     "FixedBaseTable",
@@ -195,6 +206,8 @@ __all__ = [
     "build_fixed_base",
     "cache",
     "cache_stats",
+    "certify_claims",
+    "false_claims",
     "disabled",
     "export_metrics",
     "forced",

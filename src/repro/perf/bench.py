@@ -41,6 +41,8 @@ from repro.core.protocols import run_payment, run_withdrawal
 from repro.core.system import EcashSystem
 from repro.core.transcripts import SignedTranscript, verify_payment_response
 from repro.core.witness_ranges import verify_entry_matches
+from repro.crypto import backend as bigint_backend
+from repro.crypto.schnorr import verify_batch as schnorr_verify_batch
 from repro.perf.parallel import (
     CryptoPool,
     default_workers,
@@ -151,10 +153,11 @@ def run_bench(
             ``parallel`` section.
 
     Returns:
-        ``{"group_bits": ..., "payment_verify": {...}, "withdrawal":
-        {...}, "deposit_bulk": {...}}`` with naive/perf throughputs and
-        speedup ratios per section (plus ``parallel`` when ``workers``
-        was requested).
+        ``{"group_bits": ..., "backend": ..., "payment_verify": {...},
+        "witness_sig_batch": {...}, "withdrawal": {...}, "deposit_bulk":
+        {...}}`` with naive/perf throughputs and speedup ratios per
+        section (plus ``gmpy2_version`` under the gmpy2 backend and
+        ``parallel`` when ``workers`` was requested).
     """
     if params is None:
         params = test_params() if quick else default_params()
@@ -175,7 +178,16 @@ def run_bench(
     naive_deposit = transcripts[warm_n + verify_n : warm_n + verify_n + deposit_n]
     perf_deposit = transcripts[warm_n + verify_n + deposit_n :]
 
-    results: dict[str, Any] = {"group_bits": params.group.p.bit_length()}
+    results: dict[str, Any] = {
+        "group_bits": params.group.p.bit_length(),
+        # Which bigint arithmetic produced these numbers: gmpy2 and pure
+        # python differ by an order of magnitude, so runs are only
+        # comparable backend-to-backend (tools/bench_diff.py enforces it).
+        "backend": bigint_backend.name(),
+    }
+    gmp = bigint_backend.gmp_version()
+    if gmp is not None:
+        results["gmpy2_version"] = gmp
 
     # The flat sections benchmark the *serial* engines so the ratios are
     # comparable across hosts; without this, REPRO_PARALLEL/REPRO_WORKERS
@@ -197,6 +209,31 @@ def run_bench(
             lambda: [_verify_payment(system, signed) for signed in verify_items]
         )
     results["payment_verify"] = _section(naive_seconds, perf_seconds, verify_n)
+
+    # --- witness_sig_batch ----------------------------------------------
+    # The batched Schnorr verifier in isolation: per-item recovery plus
+    # one combined certification equation, versus a plain verify loop.
+    def _sig_items(
+        batch: list[SignedTranscript],
+    ) -> list[tuple[int, Any, tuple[Any, ...]]]:
+        return [
+            (
+                system.merchant(signed.transcript.coin.witness_id).public_key,
+                signed.witness_signature,
+                signed.transcript.hash_parts(),
+            )
+            for signed in batch
+        ]
+
+    sig_items = _sig_items(verify_items)
+    with perf.forced(False), parallel_disabled():
+        naive_seconds = _timed(lambda: schnorr_verify_batch(params.group, sig_items))
+    with perf.forced(True), parallel_disabled():
+        perf.reset()
+        _register_long_lived_bases(system)
+        schnorr_verify_batch(params.group, _sig_items(warm))
+        perf_seconds = _timed(lambda: schnorr_verify_batch(params.group, sig_items))
+    results["witness_sig_batch"] = _section(naive_seconds, perf_seconds, verify_n)
 
     # --- withdrawal -----------------------------------------------------
     client = system.new_client()

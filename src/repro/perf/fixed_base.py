@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro import obs
+from repro.crypto import backend
 
 #: Number of times a registered base is exponentiated the slow way before
 #: its table is built (the build costs ~2^window multiplications per
@@ -49,7 +50,7 @@ class FixedBaseTable:
         window: block width in bits (default 8: 256-entry blocks).
     """
 
-    __slots__ = ("base", "p", "q", "window", "_blocks")
+    __slots__ = ("base", "p", "q", "window", "_blocks", "_pw")
 
     def __init__(self, base: int, p: int, q: int, window: int = 8) -> None:
         if not 1 <= window <= 16:
@@ -62,19 +63,25 @@ class FixedBaseTable:
         self.window = window
         radix = 1 << window
         n_blocks = (q.bit_length() + window - 1) // window
-        blocks: list[list[int]] = []
-        block_base = self.base
+        # The block matrix and the modulus are held in the active bigint
+        # backend's native type (mpz under gmpy2, plain int otherwise) so
+        # the table-build and lookup loops run entirely on native limbs;
+        # pow() unwraps back to int at the boundary.
+        pw = backend.wrap(p)
+        blocks: list[list[object]] = []
+        block_base = backend.wrap(self.base)
         for _ in range(n_blocks):
-            row = [1, block_base]
+            row: list[object] = [1, block_base]
             acc = block_base
             for _ in range(radix - 2):
-                acc = acc * block_base % p
+                acc = acc * block_base % pw
                 row.append(acc)
             blocks.append(row)
             # base of the next block: this one raised to 2^window.
             for _ in range(window):
-                block_base = block_base * block_base % p
+                block_base = block_base * block_base % pw
         self._blocks = blocks
+        self._pw = pw
 
     def __getstate__(self) -> tuple[int, int, int, int]:
         """Pickle only the defining tuple; the blocks are recomputed.
@@ -92,17 +99,17 @@ class FixedBaseTable:
     def pow(self, exponent: int) -> int:
         """Return ``base^(exponent mod q) mod p`` via table lookups."""
         e = exponent % self.q
-        p = self.p
+        pw = self._pw
         mask = (1 << self.window) - 1
-        out = 1
+        out = backend.wrap(1)
         index = 0
         while e:
             digit = e & mask
             if digit:
-                out = out * self._blocks[index][digit] % p
+                out = out * self._blocks[index][digit] % pw
             e >>= self.window
             index += 1
-        return out
+        return backend.unwrap(out)
 
 
 # ----------------------------------------------------------------------
@@ -207,6 +214,21 @@ def reset() -> None:
     """Drop every table and registration (tests and benchmarks)."""
     _tables.clear()
     _candidates.clear()
+
+
+def _on_backend_change(_name: str) -> None:
+    """Drop built tables on a bigint-backend switch.
+
+    Block matrices are stored in the previous backend's native type;
+    mixed-type arithmetic would still be *correct* (mpz and int
+    interoperate), but rebuilt tables keep the hot loops homogeneous —
+    and cheap registrations survive, so the promoted bases come back on
+    their next few uses.
+    """
+    _tables.clear()
+
+
+backend.on_change(_on_backend_change)
 
 
 __all__ = [

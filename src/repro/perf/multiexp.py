@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.crypto import backend
 from repro.perf import fixed_base
 
 #: Straus window width in bits (16-entry per-base tables).
@@ -36,7 +37,8 @@ def multi_exp(p: int, q: int, pairs: Sequence[tuple[int, int]]) -> int:
     """
     if not pairs:
         raise ValueError("multi_exp of an empty sequence (empty product bug?)")
-    out = 1
+    pw = backend.wrap(p)
+    out = backend.wrap(1)
     loose: list[tuple[int, int]] = []
     for base, exponent in pairs:
         e = exponent % q
@@ -44,40 +46,48 @@ def multi_exp(p: int, q: int, pairs: Sequence[tuple[int, int]]) -> int:
             continue
         table = fixed_base.touch(base, p)
         if table is not None:
-            out = out * table.pow(e) % p
+            out = out * table.pow(e) % pw
         else:
             loose.append((base % p, e))
     if loose:
-        out = out * _straus(p, loose) % p
-    return out
+        out = out * _straus(pw, loose) % pw
+    return backend.unwrap(out)
 
 
-def _straus(p: int, pairs: list[tuple[int, int]]) -> int:
-    """Interleaved fixed-window product over bases without tables."""
+def _straus(pw: object, pairs: list[tuple[int, int]]) -> object:
+    """Interleaved fixed-window product over bases without tables.
+
+    ``pw`` is the modulus already lifted into the active bigint backend;
+    the per-base window tables and the accumulator live in the same type,
+    so the shared squaring chain runs on native limbs end to end.
+    """
     radix = 1 << _WINDOW
-    tables: list[list[int]] = []
+    tables: list[list[object]] = []
     max_bits = 0
     for base, exponent in pairs:
-        row = [1, base]
-        acc = base
+        bw = backend.wrap(base)
+        row: list[object] = [1, bw]
+        acc = bw
         for _ in range(radix - 2):
-            acc = acc * base % p
+            acc = acc * bw % pw
             row.append(acc)
         tables.append(row)
         if exponent.bit_length() > max_bits:
             max_bits = exponent.bit_length()
     n_digits = (max_bits + _WINDOW - 1) // _WINDOW
     mask = radix - 1
-    out = 1
+    out = backend.wrap(1)
+    started = False
     for position in range(n_digits - 1, -1, -1):
-        if out != 1:
+        if started:
             for _ in range(_WINDOW):
-                out = out * out % p
+                out = out * out % pw
         shift = position * _WINDOW
         for (base, exponent), row in zip(pairs, tables):
             digit = (exponent >> shift) & mask
             if digit:
-                out = out * row[digit] % p
+                out = out * row[digit] % pw
+                started = True
     return out
 
 

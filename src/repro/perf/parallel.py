@@ -252,6 +252,22 @@ def _capture(counter: Any) -> tuple[int, int, int, int]:
     return counter.snapshot()
 
 
+def _certified_failures(claims: Any, p: int, q: int, rng: Any) -> dict[int, str]:
+    """Certify a chunk's claim set; map failed items to their earliest stage.
+
+    Tokens are ``(index, stage)`` pairs; when both of an item's signature
+    stages were implicated, the earlier one wins because the naive
+    per-item path would have raised there first.
+    """
+    stage_order = {"coin": 0, "wsig": 1}
+    worst: dict[int, str] = {}
+    for token in claims.certify(p, q, rng):
+        index, stage = token
+        if index not in worst or stage_order[stage] < stage_order[worst[index]]:
+            worst[index] = stage
+    return worst
+
+
 def run_deposit_chunk(task: DepositChunkTask) -> list[ItemOutcome]:
     """Execute one deposit chunk (worker side, also the serial fallback).
 
@@ -265,7 +281,7 @@ def run_deposit_chunk(task: DepositChunkTask) -> list[ItemOutcome]:
     import random
 
     import repro.perf as perf
-    from repro.core.exceptions import EcashError, InvalidPaymentError
+    from repro.core.exceptions import EcashError, InvalidCoinError, InvalidPaymentError
     from repro.crypto import counters
     from repro.crypto.representation import verify_response
 
@@ -275,6 +291,7 @@ def run_deposit_chunk(task: DepositChunkTask) -> list[ItemOutcome]:
     outcomes: list[ItemOutcome | None] = [None] * len(task.items)
     checked: list[tuple[int, Any, "perf.RepresentationCheck"]] = []
     ops: list[tuple[int, int, int, int]] = [(0, 0, 0, 0)] * len(task.items)
+    claims = perf.ClaimSet()
     for index, signed in enumerate(task.items):
         counter = counters.OpCounter()
         with counter:
@@ -287,6 +304,8 @@ def run_deposit_chunk(task: DepositChunkTask) -> list[ItemOutcome]:
                     task.merchant_id,
                     signed,
                     task.now,
+                    claims,
+                    index,
                 )
             except EcashError as exc:
                 outcomes[index] = ItemOutcome(error=exc, ops=_capture(counter))
@@ -329,6 +348,20 @@ def run_deposit_chunk(task: DepositChunkTask) -> list[ItemOutcome]:
                     ops=ops[index],
                 )
         checked = survivors
+    worst = _certified_failures(claims, group.p, group.q, rng)
+    if worst:
+        checked = [entry for entry in checked if entry[0] not in worst]
+        for bad_index, stage in worst.items():
+            error: EcashError
+            if stage == "coin":
+                error = InvalidCoinError(
+                    "broker signature on deposited coin failed to verify"
+                )
+            else:
+                error = InvalidPaymentError(
+                    "witness signature on transcript failed to verify"
+                )
+            outcomes[bad_index] = ItemOutcome(error=error, ops=ops[bad_index])
     for index, _, _ in checked:
         outcomes[index] = ItemOutcome(error=None, ops=ops[index])
     return list(outcomes)  # type: ignore[arg-type]
@@ -345,7 +378,7 @@ def run_payment_chunk(task: PaymentChunkTask) -> list[ItemOutcome]:
     import random
 
     import repro.perf as perf
-    from repro.core.exceptions import EcashError, InvalidPaymentError
+    from repro.core.exceptions import EcashError, InvalidCoinError, InvalidPaymentError
     from repro.core.witness_ranges import verify_entry_matches
     from repro.crypto import counters
     from repro.crypto.representation import verify_response
@@ -356,13 +389,16 @@ def run_payment_chunk(task: PaymentChunkTask) -> list[ItemOutcome]:
     outcomes: list[ItemOutcome | None] = [None] * len(task.items)
     checked: list[tuple[int, Any, "perf.RepresentationCheck"]] = []
     ops: list[tuple[int, int, int, int]] = [(0, 0, 0, 0)] * len(task.items)
+    claims = perf.ClaimSet()
     for index, signed in enumerate(task.items):
         counter = counters.OpCounter()
         with counter:
             try:
                 transcript = signed.transcript
                 coin = transcript.coin
-                coin.ensure_valid_signature(params, task.broker_blind_public)
+                coin.ensure_valid_signature(
+                    params, task.broker_blind_public, claims, (index, "coin")
+                )
                 coin.ensure_spendable(task.now)
                 verify_entry_matches(
                     params,
@@ -376,7 +412,9 @@ def run_payment_chunk(task: PaymentChunkTask) -> list[ItemOutcome]:
                     raise InvalidPaymentError(
                         f"no verification key for witness {coin.witness_id!r}"
                     )
-                if not signed.verify_witness_signature(params, witness_public):
+                if not signed.verify_witness_signature(
+                    params, witness_public, claims, (index, "wsig")
+                ):
                     raise InvalidPaymentError(
                         "witness signature on transcript failed to verify"
                     )
@@ -420,6 +458,20 @@ def run_payment_chunk(task: PaymentChunkTask) -> list[ItemOutcome]:
                     ops=ops[index],
                 )
         checked = survivors
+    worst = _certified_failures(claims, group.p, group.q, rng)
+    if worst:
+        checked = [entry for entry in checked if entry[0] not in worst]
+        for bad_index, stage in worst.items():
+            error: EcashError
+            if stage == "coin":
+                error = InvalidCoinError(
+                    "broker's partially blind signature failed to verify"
+                )
+            else:
+                error = InvalidPaymentError(
+                    "witness signature on transcript failed to verify"
+                )
+            outcomes[bad_index] = ItemOutcome(error=error, ops=ops[bad_index])
     for index, _, _ in checked:
         outcomes[index] = ItemOutcome(error=None, ops=ops[index])
     return list(outcomes)  # type: ignore[arg-type]
@@ -466,6 +518,8 @@ def verify_deposit_structure(
     merchant_id: str,
     signed: "SignedTranscript",
     now: int,
+    claims: Any = None,
+    index: int | None = None,
 ) -> None:
     """Algorithm 3 step 1 minus the representation check, state-free.
 
@@ -473,12 +527,16 @@ def verify_deposit_structure(
     :meth:`repro.core.broker.Broker._verify_deposit_structure` expressed
     over an explicit state snapshot, so the broker process and pool
     workers run the same checks in the same order (same exceptions, same
-    logical op counts).
+    logical op counts). Chunk runners thread a
+    :class:`~repro.perf.batch.ClaimSet` plus the item's chunk ``index``
+    through so the signature fast paths register their recovery claims
+    under ``(index, stage)`` tokens.
 
     Raises:
         UnknownMerchantError, InvalidCoinError, ExpiredCoinError,
         WrongWitnessError, InvalidPaymentError: per failed check.
     """
+    import repro.perf as perf
     from repro.core.exceptions import (
         ExpiredCoinError,
         InvalidCoinError,
@@ -493,9 +551,23 @@ def verify_deposit_structure(
     coin = transcript.coin
     if transcript.merchant_id != merchant_id:
         raise InvalidPaymentError("transcript names a different depositing merchant")
-    if not signer.verify_with_secret(
-        coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
-    ):
+    if claims is not None and perf.is_enabled():
+        coin_ok, recovered = signer.check_with_secret(
+            coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+        )
+        if coin_ok and recovered:
+            claims.add(
+                (index, "coin"),
+                recovered,
+                lambda: signer.verify_with_secret(
+                    coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+                ),
+            )
+    else:
+        coin_ok = signer.verify_with_secret(
+            coin.info.hash_parts(), coin.bare.message_parts(), coin.bare.signature
+        )
+    if not coin_ok:
         raise InvalidCoinError("broker signature on deposited coin failed to verify")
     if not coin.info.is_spendable(now):
         raise ExpiredCoinError("coin is past its soft expiry and no longer cashable")
@@ -511,7 +583,7 @@ def verify_deposit_structure(
     witness_public = merchant_keys.get(coin.witness_id)
     if witness_public is None:
         raise UnknownMerchantError(f"merchant {coin.witness_id!r} is not registered")
-    if not signed.verify_witness_signature(params, witness_public):
+    if not signed.verify_witness_signature(params, witness_public, claims, (index, "wsig")):
         raise InvalidPaymentError("witness signature on transcript failed to verify")
 
 

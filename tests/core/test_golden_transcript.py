@@ -1,0 +1,55 @@
+"""Golden-transcript test: protocol bytes are backend-invariant.
+
+A fully deterministic (seeded) withdrawal + payment lifecycle is run and
+its wire serialization hashed. The digest below was recorded under the
+pure-python backend; the suite also runs in CI under ``REPRO_BACKEND=
+gmpy2``, so any arithmetic divergence between the backends — or any
+perf-engine shortcut that changes a protocol value — shows up here as a
+digest mismatch, not as a subtle interop break later.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import perf
+from repro.core.params import test_params as make_test_params
+from repro.core.protocols import run_payment, run_withdrawal
+from repro.core.system import EcashSystem
+
+
+GOLDEN_SHA256 = "96c8cd47fb63cf416e792eaf143d2a784b7b7467cb87ae6d7cb88419f39aff40"
+
+
+def _lifecycle_digest() -> str:
+    system = EcashSystem(
+        merchant_ids=("gold-shop", "gold-witness-a", "gold-witness-b"),
+        params=make_test_params(),
+        seed=20070625,
+    )
+    client = system.new_client()
+    now = 10
+    wires = []
+    for _ in range(3):
+        stored = run_withdrawal(client, system.broker, system.standard_info(100, now))
+        merchant_id = next(
+            mid for mid in system.nodes if mid != stored.coin.witness_id
+        )
+        signed = run_payment(
+            client,
+            stored,
+            system.merchant(merchant_id),
+            system.witness_of(stored),
+            now,
+        )
+        wires.append(signed.to_wire())
+    payload = json.dumps(wires, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("engine", [False, True])
+def test_lifecycle_bytes_match_golden_digest(engine):
+    perf.reset()
+    with perf.forced(engine):
+        assert _lifecycle_digest() == GOLDEN_SHA256

@@ -1,0 +1,122 @@
+"""Tests for the pluggable bigint backend."""
+
+import random
+
+import pytest
+
+from repro.crypto import backend
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Leave the process on the backend it entered with."""
+    active = backend.name()
+    yield
+    backend.set_backend(active)
+
+
+def test_python_backend_always_available():
+    assert backend.BACKEND_PYTHON in backend.available()
+    assert backend.name() in backend.available()
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown bigint backend"):
+        backend.set_backend("fpga")
+
+
+def test_set_backend_returns_active_name():
+    assert backend.set_backend("python") == backend.BACKEND_PYTHON
+    assert backend.name() == backend.BACKEND_PYTHON
+
+
+def test_auto_prefers_gmpy2_when_available():
+    chosen = backend.set_backend("auto")
+    assert chosen == backend.available()[0]
+
+
+def test_strict_gmpy2_request_without_package_raises():
+    if backend.BACKEND_GMPY2 in backend.available():
+        pytest.skip("gmpy2 is installed in this environment")
+    with pytest.raises(RuntimeError, match="gmpy2 backend requested"):
+        backend.set_backend("gmpy2", strict=True)
+
+
+def test_non_strict_gmpy2_request_falls_back():
+    chosen = backend.set_backend("gmpy2", strict=False)
+    if backend.BACKEND_GMPY2 in backend.available():
+        assert chosen == backend.BACKEND_GMPY2
+    else:
+        assert chosen == backend.BACKEND_PYTHON
+
+
+def test_env_init_survives_bogus_value(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "definitely-not-a-backend")
+    backend._init_from_env()
+    assert backend.name() in backend.available()
+
+
+def test_gmp_version_matches_active_backend():
+    version = backend.gmp_version()
+    if backend.name() == backend.BACKEND_GMPY2:
+        assert isinstance(version, str) and version
+    else:
+        assert version is None
+
+
+@pytest.mark.parametrize("requested", ["python", "auto"])
+def test_powmod_matches_builtin_pow(requested):
+    backend.set_backend(requested, strict=False)
+    rng = random.Random(2007)
+    modulus = 0xFFFFFFFFFFFFFFC5  # a 64-bit prime
+    for _ in range(50):
+        base = rng.randrange(1, modulus)
+        exponent = rng.randrange(0, modulus)
+        assert backend.powmod(base, exponent, modulus) == pow(base, exponent, modulus)
+        assert backend.powmod(backend.wrap(base), exponent, modulus) == pow(
+            base, exponent, modulus
+        )
+
+
+@pytest.mark.parametrize("requested", ["python", "auto"])
+def test_invert_matches_builtin_pow(requested):
+    backend.set_backend(requested, strict=False)
+    rng = random.Random(2008)
+    modulus = 0xFFFFFFFFFFFFFFC5
+    for _ in range(50):
+        value = rng.randrange(1, modulus)
+        inverse = backend.invert(value, modulus)
+        assert (value * inverse) % modulus == 1
+        assert inverse == pow(value, -1, modulus)
+
+
+@pytest.mark.parametrize("requested", ["python", "auto"])
+def test_invert_error_contract(requested):
+    backend.set_backend(requested, strict=False)
+    with pytest.raises(ZeroDivisionError):
+        backend.invert(0, 97)
+    with pytest.raises(ZeroDivisionError):
+        backend.invert(6, 9)
+
+
+def test_wrap_unwrap_roundtrip():
+    for requested in backend.available():
+        backend.set_backend(requested)
+        value = 2**521 - 1
+        assert backend.unwrap(backend.wrap(value)) == value
+        assert isinstance(backend.unwrap(backend.wrap(value)), int)
+
+
+def test_on_change_fires_only_on_real_switch():
+    fired: list[str] = []
+    listener = fired.append
+    backend.on_change(listener)
+    try:
+        backend.set_backend(backend.name())
+        assert fired == []
+        others = [b for b in backend.available() if b != backend.name()]
+        if others:
+            backend.set_backend(others[0])
+            assert fired == [others[0]]
+    finally:
+        backend._listeners.remove(listener)

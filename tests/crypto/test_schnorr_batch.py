@@ -1,0 +1,116 @@
+"""Tests for batched Schnorr verification (`schnorr.verify_batch`)."""
+
+import random
+
+import pytest
+
+from repro import perf
+from repro.core.params import test_params as make_test_params
+from repro.crypto.counters import OpCounter
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrSignature, verify, verify_batch
+
+
+@pytest.fixture(autouse=True)
+def cold_perf_engine():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+@pytest.fixture(scope="module")
+def group():
+    return make_test_params().group
+
+
+@pytest.fixture(scope="module")
+def keypairs(group):
+    rng = random.Random(11)
+    return [SchnorrKeyPair.generate(group, rng) for _ in range(4)]
+
+
+def _make_items(keypairs, count, tag="msg"):
+    items = []
+    for index in range(count):
+        pair = keypairs[index % len(keypairs)]
+        signature = pair.sign(tag, index)
+        items.append((pair.public, signature, (tag, index)))
+    return items
+
+
+def test_all_valid_batch_accepted(group, keypairs):
+    items = _make_items(keypairs, 16)
+    with perf.forced(True):
+        assert verify_batch(group, items, rng=random.Random(1)) == [True] * 16
+
+
+def test_bad_signature_in_batch_of_64_pinpointed(group, keypairs):
+    items = _make_items(keypairs, 64)
+    bad_index = 41
+    public, signature, parts = items[bad_index]
+    items[bad_index] = (
+        public,
+        SchnorrSignature(e=signature.e, s=(signature.s + 1) % group.q),
+        parts,
+    )
+    with perf.forced(True):
+        results = verify_batch(group, items, rng=random.Random(2))
+    assert results == [index != bad_index for index in range(64)]
+
+
+def test_multiple_bad_signatures_pinpointed(group, keypairs):
+    items = _make_items(keypairs, 32)
+    bad = {3, 17, 30}
+    for index in bad:
+        public, signature, parts = items[index]
+        items[index] = (public, SchnorrSignature(e=signature.e ^ 1, s=signature.s), parts)
+    with perf.forced(True):
+        results = verify_batch(group, items, rng=random.Random(3))
+    assert results == [index not in bad for index in range(32)]
+
+
+def test_outcome_identical_with_perf_off(group, keypairs):
+    items = _make_items(keypairs, 24)
+    for index in (0, 7, 23):
+        public, signature, parts = items[index]
+        items[index] = (public, SchnorrSignature(e=signature.e + 1, s=signature.s), parts)
+    with perf.forced(True):
+        fast = verify_batch(group, items, rng=random.Random(4))
+    with perf.forced(False):
+        naive = verify_batch(group, items, rng=random.Random(4))
+    loop = [verify(group, pk, sig, *parts) for pk, sig, parts in items]
+    assert fast == naive == loop
+
+
+def test_empty_batch(group):
+    with perf.forced(True):
+        assert verify_batch(group, [], rng=random.Random(5)) == []
+    with perf.forced(False):
+        assert verify_batch(group, []) == []
+
+
+def test_singleton_batch(group, keypairs):
+    good = _make_items(keypairs, 1)
+    public, signature, parts = good[0]
+    bad = [(public, SchnorrSignature(e=signature.e, s=signature.s ^ 1), parts)]
+    for enabled in (True, False):
+        with perf.forced(enabled):
+            assert verify_batch(group, good, rng=random.Random(6)) == [True]
+            assert verify_batch(group, bad, rng=random.Random(6)) == [False]
+
+
+def test_batch_records_one_ver_per_item(group, keypairs):
+    items = _make_items(keypairs, 8)
+    with perf.forced(True), OpCounter() as fast_ops:
+        verify_batch(group, items, rng=random.Random(7))
+    with perf.forced(False), OpCounter() as naive_ops:
+        for public, signature, parts in items:
+            verify(group, public, signature, *parts)
+    assert fast_ops.snapshot() == naive_ops.snapshot()
+
+
+def test_seeded_batches_are_deterministic(group, keypairs):
+    items = _make_items(keypairs, 12)
+    with perf.forced(True):
+        first = verify_batch(group, items, rng=random.Random(42))
+        second = verify_batch(group, items, rng=random.Random(42))
+    assert first == second == [True] * 12

@@ -1,0 +1,107 @@
+"""Tests for commitment-claim certification and binary-split pinpointing."""
+
+import random
+
+import pytest
+
+from repro.core.params import test_params as make_test_params
+from repro.perf.batch import ClaimSet, CommitmentClaim, certify_claims, false_claims
+
+
+@pytest.fixture(scope="module")
+def group():
+    return make_test_params().group
+
+
+def _good_claim(group, rng):
+    a = rng.randrange(1, group.q)
+    b = rng.randrange(1, group.q)
+    commitment = (pow(group.g, a, group.p) * pow(group.g1, b, group.p)) % group.p
+    return CommitmentClaim(commitment=commitment, pairs=((group.g, a), (group.g1, b)))
+
+
+def _bad_claim(group, rng):
+    claim = _good_claim(group, rng)
+    return CommitmentClaim(
+        commitment=(claim.commitment * group.g) % group.p, pairs=claim.pairs
+    )
+
+
+def test_certify_empty_claim_list(group):
+    assert certify_claims(group.p, group.q, [], rng=random.Random(1))
+
+
+def test_certify_valid_claims(group):
+    rng = random.Random(2)
+    claims = [_good_claim(group, rng) for _ in range(64)]
+    assert certify_claims(group.p, group.q, claims, rng=random.Random(3))
+
+
+def test_certify_detects_single_bad_claim(group):
+    rng = random.Random(4)
+    claims = [_good_claim(group, rng) for _ in range(64)]
+    claims[29] = _bad_claim(group, rng)
+    assert not certify_claims(group.p, group.q, claims, rng=random.Random(5))
+
+
+def test_claim_with_no_pairs_certifies_trivially(group):
+    claim = CommitmentClaim(commitment=1, pairs=())
+    assert certify_claims(group.p, group.q, [claim], rng=random.Random(6))
+
+
+def test_binary_split_pinpoints_one_bad_in_64(group):
+    rng = random.Random(7)
+    claims = [_good_claim(group, rng) for _ in range(64)]
+    claims[41] = _bad_claim(group, rng)
+    assert false_claims(group.p, group.q, claims, rng=random.Random(8)) == [41]
+
+
+def test_binary_split_pinpoints_multiple_offenders(group):
+    rng = random.Random(9)
+    claims = [_good_claim(group, rng) for _ in range(32)]
+    bad = [0, 15, 31]
+    for index in bad:
+        claims[index] = _bad_claim(group, rng)
+    assert sorted(false_claims(group.p, group.q, claims, rng=random.Random(10))) == bad
+
+
+def test_binary_split_on_all_valid_claims(group):
+    rng = random.Random(11)
+    claims = [_good_claim(group, rng) for _ in range(8)]
+    assert false_claims(group.p, group.q, claims, rng=random.Random(12)) == []
+
+
+def test_binary_split_singleton(group):
+    rng = random.Random(13)
+    assert false_claims(group.p, group.q, [_bad_claim(group, rng)]) == [0]
+    assert false_claims(group.p, group.q, [_good_claim(group, rng)]) == []
+
+
+def test_claim_set_reports_bad_tokens(group):
+    rng = random.Random(14)
+    claims = ClaimSet()
+    for index in range(16):
+        claim = _bad_claim(group, rng) if index == 9 else _good_claim(group, rng)
+        claims.add(("item", index), (claim,), lambda: False)
+    assert claims.certify(group.p, group.q, random.Random(15)) == [("item", 9)]
+
+
+def test_claim_set_recheck_overrules_false_claim(group):
+    # A wrong claim whose recheck passes models a fast-path bookkeeping
+    # glitch over a genuinely valid item: the item must NOT be failed.
+    rng = random.Random(16)
+    claims = ClaimSet()
+    claims.add("glitched", (_bad_claim(group, rng),), lambda: True)
+    claims.add("fine", (_good_claim(group, rng),), lambda: True)
+    assert claims.certify(group.p, group.q, random.Random(17)) == []
+
+
+def test_claim_set_empty(group):
+    assert ClaimSet().certify(group.p, group.q, random.Random(18)) == []
+
+
+def test_claim_set_multiple_claims_per_token(group):
+    rng = random.Random(19)
+    claims = ClaimSet()
+    claims.add("left-and-right", (_good_claim(group, rng), _bad_claim(group, rng)), lambda: False)
+    assert claims.certify(group.p, group.q, random.Random(20)) == ["left-and-right"]

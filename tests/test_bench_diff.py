@@ -9,10 +9,13 @@ ROOT = Path(__file__).resolve().parent.parent
 TOOL = ROOT / "tools" / "bench_diff.py"
 
 
-def _bench_file(tmp_path, name, payment_speedup, pool_speedup, host_cpus=4):
+def _bench_file(
+    tmp_path, name, payment_speedup, pool_speedup, host_cpus=4, backend="python"
+):
     data = {
         "full": {
             "group_bits": 1024,
+            "backend": backend,
             "payment_verify": {
                 "items": 16,
                 "naive_ops_per_s": 10.0,
@@ -67,6 +70,34 @@ def test_cross_host_parallel_sections_are_skipped(tmp_path):
     result = _run(baseline, current)
     assert result.returncode == 0, result.stderr
     assert "parallel sections skipped" in result.stdout
+
+
+def test_cross_backend_comparison_is_refused(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0, backend="python")
+    current = _bench_file(tmp_path, "cur.json", 4.0, 3.0, backend="gmpy2")
+    result = _run(baseline, current)
+    assert result.returncode == 2
+    assert "not comparable across bigint backends" in result.stderr
+
+
+def test_allow_backend_change_overrides_refusal(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0, backend="python")
+    current = _bench_file(tmp_path, "cur.json", 4.0, 3.0, backend="gmpy2")
+    result = _run(baseline, current, "--allow-backend-change")
+    assert result.returncode == 0, result.stderr
+    assert "payment_verify" in result.stdout
+
+
+def test_missing_backend_field_defaults_to_python(tmp_path):
+    # Pre-backend-stamp baselines must stay comparable to python runs.
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    data = json.loads(baseline.read_text())
+    del data["full"]["backend"]
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(json.dumps(data))
+    current = _bench_file(tmp_path, "cur.json", 4.0, 3.0, backend="python")
+    result = _run(legacy, current)
+    assert result.returncode == 0, result.stderr
 
 
 def test_disjoint_modes_exit_two(tmp_path):

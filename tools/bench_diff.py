@@ -13,6 +13,12 @@ Parallel speedups are only compared when both runs report the same
 ``host_cpus``: pool-vs-serial ratios scale with the physical core count,
 so a cross-host comparison says nothing about the code.
 
+Modes recorded under different bigint backends (``backend`` field:
+``python`` vs ``gmpy2``) are refused outright unless
+``--allow-backend-change`` is passed — naive-vs-perf ratios shift when
+the underlying arithmetic gets 10-30x faster, so such a diff measures
+the backend swap, not the code change.
+
 Run:  python tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.3]
 """
 
@@ -104,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.3,
         help="max tolerated relative speedup drop (default 0.3 = 30%%)",
     )
+    parser.add_argument(
+        "--allow-backend-change",
+        action="store_true",
+        help="compare modes even when baseline and current were recorded "
+        "under different bigint backends (python vs gmpy2)",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
@@ -112,6 +124,19 @@ def main(argv: list[str] | None = None) -> int:
     if not shared_modes:
         print("no common modes between the two files", file=sys.stderr)
         return 2
+    if not args.allow_backend_change:
+        for mode in shared_modes:
+            base_backend = baseline[mode].get("backend", "python")
+            cur_backend = current[mode].get("backend", "python")
+            if base_backend != cur_backend:
+                print(
+                    f"{mode}: baseline backend {base_backend!r} != current "
+                    f"backend {cur_backend!r}; speedup ratios are not "
+                    "comparable across bigint backends "
+                    "(pass --allow-backend-change to override)",
+                    file=sys.stderr,
+                )
+                return 2
     for mode in shared_modes:
         print(f"[{mode}]")
         lines, regressions = diff_modes(baseline[mode], current[mode], args.tolerance)
