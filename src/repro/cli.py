@@ -13,6 +13,7 @@ Usage::
     python -m repro metrics              # instrumented run, telemetry dump
     python -m repro chaos --quick        # fault-injection suite, 3 seeds
     python -m repro bench --quick        # perf engine before/after numbers
+    python -m repro campaign --quick     # seeded large-overlay campaign
 """
 
 from __future__ import annotations
@@ -312,6 +313,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.scale import CampaignConfig, identity_check, run_campaign
+
+    nodes = args.nodes if args.nodes is not None else (200 if args.quick else 10_000)
+    duration = (
+        args.duration if args.duration is not None else (10.0 if args.quick else 60.0)
+    )
+    config = CampaignConfig(seed=args.seed, nodes=nodes, duration=duration)
+    if args.metrics:
+        obs.enable()
+
+    failures: list[str] = []
+    reports = []
+    for run in range(max(1, args.runs)):
+        reports.append(run_campaign(config, scaling_workers=args.workers or 0))
+    report = reports[0]
+    digests = {r["digest"] for r in reports}
+    if len(digests) > 1:
+        failures.append(f"digest differs across {len(reports)} runs: {sorted(digests)}")
+    elif len(reports) > 1:
+        report["byte_identity_runs"] = len(reports)
+
+    results = report["results"]
+    violations = results.get("protocol", {}).get("violations", 0)
+    if violations:
+        failures.append(f"{violations} safety-invariant violation(s)")
+
+    if args.check_identity:
+        small = CampaignConfig(
+            seed=args.seed,
+            nodes=min(nodes, args.identity_nodes),
+            duration=min(duration, 10.0),
+        )
+        verdict = identity_check(small)
+        report["identity_check"] = verdict
+        if not verdict["match"]:
+            failures.append("perf-vs-naive digest mismatch at small n")
+
+    print(
+        f"campaign seed={config.seed} nodes={config.nodes} "
+        f"duration={config.duration}s"
+    )
+    hops = results["lookups"]["hops"]
+    print(
+        f"  lookups {results['lookups']['count']}: mean hops {hops['mean']} "
+        f"(p99 {hops['p99']}, bound {results['lookups']['mean_hops_bound']}, "
+        f"within={results['lookups']['within_bound']})"
+    )
+    print(
+        f"  membership: {results['membership']['joins']} joins, "
+        f"{results['membership']['leaves']} leaves, "
+        f"{results['membership']['rebalance_bytes']} rebalance bytes"
+    )
+    print(
+        f"  engine: table_builds={report['engine']['table_builds']} "
+        f"repair_ops={report['engine']['ring_repair_ops_total']} "
+        f"wall={report['engine']['wall_seconds']}s"
+    )
+    print(f"  digest {report['digest']}")
+    if args.metrics:
+        _print_metrics()
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"(written to {args.out})")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import baseline as lint_baseline
     from repro.lint import engine as lint_engine
@@ -595,6 +667,62 @@ def build_parser() -> argparse.ArgumentParser:
         "(adds a 'parallel' section to the results)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a seeded large-overlay workload campaign under churn, "
+        "write BENCH_campaign.json",
+    )
+    campaign.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="overlay size (default 10000, or 200 with --quick)",
+    )
+    campaign.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="campaign horizon in simulated seconds (default 60, 10 with --quick)",
+    )
+    campaign.add_argument(
+        "--quick", action="store_true", help="small overlay + short horizon (CI smoke)"
+    )
+    campaign.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat the campaign N times and assert byte-identical digests",
+    )
+    campaign.add_argument(
+        "--check-identity",
+        action="store_true",
+        help="also run a small-n perf-vs-naive byte-identity check",
+    )
+    campaign.add_argument(
+        "--identity-nodes",
+        type=int,
+        default=120,
+        help="overlay size for the identity check (default 120)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append a scaling-efficiency section at 1/2/4..N workers "
+        "(informative when host_cpus >= 4)",
+    )
+    campaign.add_argument(
+        "--out",
+        default="BENCH_campaign.json",
+        help="report file (default BENCH_campaign.json)",
+    )
+    campaign.add_argument(
+        "--metrics", action="store_true", help="print the telemetry snapshot after"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     lint = subparsers.add_parser(
         "lint",

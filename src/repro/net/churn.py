@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -38,6 +39,18 @@ class AvailabilityTimeline:
         flips = bisect.bisect_right(self.transitions, time)
         up = self.initially_up
         return up if flips % 2 == 0 else not up
+
+    def events(self) -> Iterator[tuple[float, bool]]:
+        """Yield ``(time, state_after_flip)`` pairs in time order.
+
+        The event-stream view of the schedule, for consumers (the scale
+        campaign runner) that merge many nodes' flips into one timeline
+        instead of point-sampling ``is_up``.
+        """
+        up = self.initially_up
+        for time in self.transitions:
+            up = not up
+            yield (time, up)
 
 
 @dataclass

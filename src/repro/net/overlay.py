@@ -163,6 +163,14 @@ class GossipOverlay:
         self.fanout = fanout
         self.rng = random.Random(seed)
         self.states = {mid: GossipState(merchant_id=mid) for mid in member_ids}
+        # Per-member peer lists, precomputed once: membership is fixed for
+        # the overlay's lifetime, and rebuilding this list every gossip
+        # round is O(n) per member per round — the dominant cost at scale.
+        # Order matches the old per-round construction exactly, so the
+        # seeded rng.sample stream (and every chaos report) is unchanged.
+        self._peers = {
+            mid: [m for m in member_ids if m != mid] for mid in member_ids
+        }
         self.messages_exchanged = 0
         for merchant_id in member_ids:
             self._register_handlers(merchant_id)
@@ -210,7 +218,7 @@ class GossipOverlay:
         while True:
             if self.network.node(merchant_id).up:
                 round_failed = False
-                peers = [m for m in self.states if m != merchant_id]
+                peers = self._peers[merchant_id]
                 for peer in self.rng.sample(peers, min(self.fanout, len(peers))):
                     try:
                         yield from self._exchange(merchant_id, peer)

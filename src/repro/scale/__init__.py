@@ -1,0 +1,49 @@
+"""The scale engine: seeded campaign workloads for 10k-node overlays.
+
+Three layers, all deterministic under one seed:
+
+* :mod:`repro.scale.stats` — constant-memory streaming estimators
+  (reservoir sampling + P² percentiles) so million-event campaigns never
+  hold per-sample lists;
+* :mod:`repro.scale.workload` — seeded arrival processes (Poisson
+  payments, Zipf merchant popularity, renewal storms at expiry
+  boundaries) with a byte-identity schedule digest;
+* :mod:`repro.scale.campaign` — the runner: a large Chord overlay under
+  availability and membership churn, per-event witness lookups, range
+  rebalancing in bytes, a real-crypto protocol slice with the safety
+  invariant checker, and a digested engine-independent report.
+
+Entry point: ``python -m repro campaign`` (see ``repro.cli``).
+"""
+
+from repro.scale.campaign import (
+    CampaignConfig,
+    identity_check,
+    results_digest,
+    run_campaign,
+)
+from repro.scale.stats import P2Quantile, ReservoirSample, StreamingStats
+from repro.scale.workload import (
+    Event,
+    WorkloadConfig,
+    ZipfSampler,
+    event_counts,
+    generate_events,
+    schedule_digest,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "Event",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingStats",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "event_counts",
+    "generate_events",
+    "identity_check",
+    "results_digest",
+    "run_campaign",
+    "schedule_digest",
+]

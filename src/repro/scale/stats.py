@@ -1,0 +1,234 @@
+"""Streaming statistics for million-event campaigns.
+
+A 10k-node campaign produces one hop count per lookup and one cost per
+churn event — holding every sample in a list is exactly the O(events)
+memory the scale engine must avoid. Two classic streaming estimators keep
+the campaign report O(1) in the event count:
+
+* :class:`ReservoirSample` — Vitter's Algorithm R: a uniform fixed-size
+  sample of the stream, used for exact small-stream percentiles and as a
+  cross-check of the P² estimates;
+* :class:`P2Quantile` — the Jain/Chlamtac P² algorithm: five markers
+  tracking a single quantile with piecewise-parabolic interpolation,
+  O(1) per observation, no buffering.
+
+:class:`StreamingStats` bundles count/mean (Welford), min/max, three P²
+quantiles (p50/p90/p99) and a reservoir into one sink with a
+deterministic, rounded :meth:`~StreamingStats.summary` — the property the
+campaign's byte-identical reports rely on. Everything is seeded; nothing
+reads a wall clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+
+
+class ReservoirSample:
+    """Vitter's Algorithm R: a uniform ``capacity``-sized stream sample.
+
+    Args:
+        capacity: reservoir size.
+        seed: replacement randomness (deterministic campaigns seed this).
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._rng = random.Random(f"reservoir:{seed}")
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the reservoir."""
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    def values(self) -> list[float]:
+        """The current sample (insertion order)."""
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the sample (nearest-rank, 0 if empty)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+
+class P2Quantile:
+    """The P² single-quantile estimator (Jain & Chlamtac, 1985).
+
+    Five markers track the minimum, the target quantile, the maximum and
+    two intermediates; marker heights are nudged by piecewise-parabolic
+    (falling back to linear) interpolation as desired positions drift.
+    Until five observations arrive the estimate is exact (sorted buffer).
+
+    Args:
+        q: the quantile in (0, 1), e.g. ``0.99``.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0 < q < 1:
+            raise ValueError("quantile must be strictly inside (0, 1)")
+        self.q = q
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        """Observations absorbed so far."""
+        return len(self._initial) if not self._heights else int(self._positions[4])
+
+    def add(self, value: float) -> None:
+        """Absorb one observation in O(1)."""
+        value = float(value)
+        if not self._heights:
+            bisect.insort(self._initial, value)
+            if len(self._initial) == 5:
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 2.0 * self.q,
+                    1.0 + 4.0 * self.q,
+                ]
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * self.q,
+                    1.0 + 4.0 * self.q,
+                    3.0 + 2.0 * self.q,
+                    5.0,
+                ]
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        for index in (1, 2, 3):
+            drift = self._desired[index] - positions[index]
+            step_up = positions[index + 1] - positions[index]
+            step_down = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and step_up > 1.0) or (drift <= -1.0 and step_down < -1.0):
+                sign = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, sign)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, sign)
+                positions[index] += sign
+
+    def _parabolic(self, index: int, sign: float) -> float:
+        heights, positions = self._heights, self._positions
+        span = positions[index + 1] - positions[index - 1]
+        upper = (positions[index] - positions[index - 1] + sign) * (
+            heights[index + 1] - heights[index]
+        ) / (positions[index + 1] - positions[index])
+        lower = (positions[index + 1] - positions[index] - sign) * (
+            heights[index] - heights[index - 1]
+        ) / (positions[index] - positions[index - 1])
+        return heights[index] + sign / span * (upper + lower)
+
+    def _linear(self, index: int, sign: float) -> float:
+        heights, positions = self._heights, self._positions
+        step = int(sign)
+        return heights[index] + sign * (heights[index + step] - heights[index]) / (
+            positions[index + step] - positions[index]
+        )
+
+    def value(self) -> float:
+        """The current quantile estimate (0 if no observations)."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        rank = min(len(self._initial) - 1, int(self.q * len(self._initial)))
+        return self._initial[rank]
+
+
+@dataclass
+class StreamingStats:
+    """A constant-memory sink for one metric's sample stream.
+
+    Args:
+        name: metric label (appears in the summary).
+        reservoir_size: uniform-sample size kept alongside the P² markers.
+        seed: reservoir-replacement randomness.
+    """
+
+    name: str
+    reservoir_size: int = 512
+    seed: int = 0
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def __post_init__(self) -> None:
+        self._p50 = P2Quantile(0.5)
+        self._p90 = P2Quantile(0.9)
+        self._p99 = P2Quantile(0.99)
+        self._reservoir = ReservoirSample(self.reservoir_size, seed=self.seed)
+
+    def add(self, value: float) -> None:
+        """Absorb one observation (O(1) time and memory)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self._p50.add(value)
+        self._p90.add(value)
+        self._p99.add(value)
+        self._reservoir.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the stream (0 if empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Reservoir-based quantile (exact for streams under the size)."""
+        return self._reservoir.quantile(q)
+
+    def summary(self) -> dict[str, float | int]:
+        """Deterministic rounded digest for campaign reports."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": round(self.minimum, 6),
+            "max": round(self.maximum, 6),
+            "p50": round(self._p50.value(), 6),
+            "p90": round(self._p90.value(), 6),
+            "p99": round(self._p99.value(), 6),
+        }
+
+
+__all__ = ["P2Quantile", "ReservoirSample", "StreamingStats"]

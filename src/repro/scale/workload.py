@@ -1,0 +1,211 @@
+"""Seeded campaign workloads: arrival processes for 10k-node overlays.
+
+The generator turns a :class:`WorkloadConfig` into a deterministic,
+time-ordered stream of :class:`Event` records:
+
+* **Poisson payments** — exponential inter-arrival times at
+  ``payment_rate`` events/sec; each payment picks its merchant from a
+  Zipf-skewed popularity distribution (a few hot merchants absorb most
+  traffic, the regime where witness-set load balancing matters);
+* **renewal storms** — the paper's soft/hard expiry windows concentrate
+  renewal traffic near deadline boundaries, so renewals arrive in
+  Gaussian bursts centred just before each configured boundary rather
+  than uniformly;
+* **withdraw / deposit flanks** — every payer withdraws before its first
+  payment and merchants deposit on a Poisson drain, closing the
+  withdraw→pay→deposit loop the protocol slice replays with real crypto.
+
+Determinism contract: ``generate_events(config)`` depends only on the
+config (seed included). ``schedule_digest(events)`` is the sha256 of the
+canonical one-line renderings — two runs (or two worker counts) with the
+same seed must produce byte-identical digests; tests pin this.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+#: Event kinds in canonical serialization order.
+EVENT_KINDS = ("withdraw", "pay", "deposit", "renew")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled campaign action.
+
+    Attributes:
+        time: simulated seconds from campaign start.
+        kind: one of :data:`EVENT_KINDS`.
+        actor: initiating party (client or merchant index label).
+        merchant: target merchant label (payments/renewals) or ``"-"``.
+        seq: tie-breaking sequence number (schedule-unique).
+    """
+
+    time: float
+    kind: str
+    actor: str
+    merchant: str
+    seq: int
+
+    def render(self) -> str:
+        """Canonical one-line form (the unit of the schedule digest)."""
+        return f"{self.time:.6f} {self.kind} {self.actor} {self.merchant} {self.seq}"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a campaign's arrival processes.
+
+    Attributes:
+        seed: master seed; every stream below derives from it.
+        duration: campaign horizon in simulated seconds.
+        clients: number of paying clients.
+        merchants: number of merchants (Zipf-ranked by popularity).
+        payment_rate: aggregate Poisson payment arrivals per second.
+        deposit_rate: aggregate Poisson merchant-deposit drain per second.
+        zipf_s: Zipf skew exponent (1.0 ≈ classic web popularity).
+        renewal_boundaries: times (seconds) of soft/hard expiry deadlines.
+        renewal_storm_size: renewals clustered at each boundary.
+        renewal_storm_spread: std-dev (seconds) of each storm's Gaussian
+            cluster; storms land just *before* their boundary.
+    """
+
+    seed: int = 2007
+    duration: float = 60.0
+    clients: int = 8
+    merchants: int = 8
+    payment_rate: float = 5.0
+    deposit_rate: float = 1.0
+    zipf_s: float = 1.0
+    renewal_boundaries: tuple[float, ...] = ()
+    renewal_storm_size: int = 10
+    renewal_storm_spread: float = 1.5
+
+
+class ZipfSampler:
+    """Zipf-distributed rank sampling via an inverse-CDF bisect.
+
+    Rank ``k`` (0-based) carries probability proportional to
+    ``1 / (k + 1) ** s``. The cumulative table is built once; each draw
+    is one uniform variate plus a binary search — O(log n) per sample,
+    which matters when the campaign draws millions of merchant picks.
+
+    Args:
+        n: number of ranks.
+        s: skew exponent (larger ⇒ more mass on rank 0).
+        rng: the seeded generator to consume uniforms from.
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ValueError("ZipfSampler needs at least one rank")
+        self._rng = rng
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float undershoot
+
+    def sample(self) -> int:
+        """Draw one rank (0-based)."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+
+def _poisson_times(
+    rng: random.Random, rate: float, duration: float
+) -> list[float]:
+    """Arrival instants of a homogeneous Poisson process on [0, duration)."""
+    times: list[float] = []
+    if rate <= 0:
+        return times
+    t = rng.expovariate(rate)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def generate_events(config: WorkloadConfig) -> list[Event]:
+    """Materialize the full time-ordered event schedule for ``config``.
+
+    Each arrival process consumes its own child generator seeded from
+    ``config.seed`` so adding one process never perturbs another — the
+    property the byte-identity tests lean on.
+    """
+    payments_rng = random.Random(f"workload:payments:{config.seed}")
+    zipf_rng = random.Random(f"workload:zipf:{config.seed}")
+    deposit_rng = random.Random(f"workload:deposits:{config.seed}")
+    renewal_rng = random.Random(f"workload:renewals:{config.seed}")
+
+    zipf = ZipfSampler(config.merchants, config.zipf_s, zipf_rng)
+    pending: list[tuple[float, str, str, str]] = []
+
+    # Poisson payments, Zipf-ranked merchants, round-robin payers.
+    seen_payers: set[str] = set()
+    for i, t in enumerate(
+        _poisson_times(payments_rng, config.payment_rate, config.duration)
+    ):
+        payer = f"client-{i % config.clients:04d}"
+        merchant = f"merchant-{zipf.sample():04d}"
+        if payer not in seen_payers:
+            seen_payers.add(payer)
+            # A client's first payment is preceded by its withdrawal.
+            pending.append((max(0.0, t - 1e-6), "withdraw", payer, "-"))
+        pending.append((t, "pay", payer, merchant))
+
+    # Poisson deposit drain over merchants (round-robin).
+    for i, t in enumerate(
+        _poisson_times(deposit_rng, config.deposit_rate, config.duration)
+    ):
+        merchant = f"merchant-{i % config.merchants:04d}"
+        pending.append((t, "deposit", merchant, merchant))
+
+    # Renewal storms: Gaussian clusters just before each expiry boundary.
+    for boundary in config.renewal_boundaries:
+        for _ in range(config.renewal_storm_size):
+            offset = abs(renewal_rng.gauss(0.0, config.renewal_storm_spread))
+            t = boundary - offset
+            if not 0.0 <= t < config.duration:
+                continue
+            merchant = f"merchant-{zipf.sample():04d}"
+            pending.append((t, "renew", merchant, merchant))
+
+    pending.sort(key=lambda row: (row[0], EVENT_KINDS.index(row[1]), row[2]))
+    return [
+        Event(time=t, kind=kind, actor=actor, merchant=merchant, seq=seq)
+        for seq, (t, kind, actor, merchant) in enumerate(pending)
+    ]
+
+
+def schedule_digest(events: list[Event]) -> str:
+    """sha256 over the canonical renderings — the byte-identity anchor."""
+    h = hashlib.sha256()
+    for event in events:
+        h.update(event.render().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def event_counts(events: list[Event]) -> dict[str, int]:
+    """Events per kind, in canonical kind order (zero-filled)."""
+    counts = {kind: 0 for kind in EVENT_KINDS}
+    for event in events:
+        counts[event.kind] += 1
+    return counts
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "event_counts",
+    "generate_events",
+    "schedule_digest",
+]

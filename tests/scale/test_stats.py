@@ -1,0 +1,134 @@
+"""Streaming-estimator tests: reservoir sampling and P² quantiles."""
+
+import random
+
+import pytest
+
+from repro.scale.stats import P2Quantile, ReservoirSample, StreamingStats
+
+
+class TestReservoirSample:
+    def test_small_stream_kept_verbatim(self):
+        res = ReservoirSample(capacity=10, seed=1)
+        for v in range(5):
+            res.add(v)
+        assert res.values() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert res.seen == 5
+
+    def test_capacity_never_exceeded(self):
+        res = ReservoirSample(capacity=16, seed=2)
+        for v in range(1000):
+            res.add(v)
+        assert len(res.values()) == 16
+        assert res.seen == 1000
+
+    def test_uniformity_over_many_reservoirs(self):
+        """Every element should land in the sample with probability k/n."""
+        hits = [0] * 50
+        for trial in range(300):
+            res = ReservoirSample(capacity=10, seed=trial)
+            for v in range(50):
+                res.add(v)
+            for v in res.values():
+                hits[int(v)] += 1
+        expected = 300 * 10 / 50
+        assert all(0.5 * expected < h < 1.5 * expected for h in hits)
+
+    def test_same_seed_same_sample(self):
+        def build(seed):
+            res = ReservoirSample(capacity=8, seed=seed)
+            for v in range(200):
+                res.add(v)
+            return res.values()
+
+        assert build(7) == build(7)
+        assert build(7) != build(8)
+
+    def test_quantile_nearest_rank(self):
+        res = ReservoirSample(capacity=100, seed=0)
+        for v in range(100):
+            res.add(v)
+        assert res.quantile(0.0) == 0.0
+        assert res.quantile(0.5) == 50.0
+        assert res.quantile(1.0) == 99.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+        with pytest.raises(ValueError):
+            ReservoirSample(4).quantile(1.5)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        q = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            q.add(v)
+        assert q.value() == 3.0
+
+    def test_median_of_uniform_stream(self):
+        rng = random.Random(13)
+        q = P2Quantile(0.5)
+        for _ in range(20_000):
+            q.add(rng.random())
+        assert abs(q.value() - 0.5) < 0.02
+
+    @pytest.mark.parametrize("target", [0.9, 0.99])
+    def test_tail_quantiles_of_uniform_stream(self, target):
+        rng = random.Random(29)
+        q = P2Quantile(target)
+        for _ in range(20_000):
+            q.add(rng.random())
+        assert abs(q.value() - target) < 0.02
+
+    def test_exponential_stream_tracks_exact(self):
+        """P² stays close to the exact empirical quantile on skewed data."""
+        rng = random.Random(5)
+        samples = [rng.expovariate(1.0) for _ in range(10_000)]
+        q = P2Quantile(0.9)
+        for v in samples:
+            q.add(v)
+        exact = sorted(samples)[int(0.9 * len(samples))]
+        assert abs(q.value() - exact) / exact < 0.1
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestStreamingStats:
+    def test_summary_matches_exact_on_small_stream(self):
+        stats = StreamingStats("s", seed=3)
+        for v in [4.0, 1.0, 3.0, 2.0]:
+            stats.add(v)
+        summary = stats.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_empty_summary_is_all_zero(self):
+        assert StreamingStats("e").summary() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_summary_deterministic_across_instances(self):
+        def build():
+            rng = random.Random(77)
+            stats = StreamingStats("d", seed=9)
+            for _ in range(5000):
+                stats.add(rng.expovariate(0.5))
+            return stats.summary()
+
+        assert build() == build()
+
+    def test_constant_memory(self):
+        """The sink must not accumulate per-sample state beyond the reservoir."""
+        stats = StreamingStats("m", reservoir_size=32, seed=1)
+        for v in range(100_000):
+            stats.add(v % 997)
+        assert len(stats._reservoir.values()) == 32
+        assert stats.count == 100_000

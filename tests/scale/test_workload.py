@@ -1,0 +1,115 @@
+"""Workload-generator tests: arrival shapes and byte-identity."""
+
+import random
+
+import pytest
+
+from repro.scale.workload import (
+    Event,
+    WorkloadConfig,
+    ZipfSampler,
+    event_counts,
+    generate_events,
+    schedule_digest,
+)
+
+
+class TestZipfSampler:
+    def test_rank_zero_dominates(self):
+        rng = random.Random(3)
+        sampler = ZipfSampler(20, 1.0, rng)
+        draws = [sampler.sample() for _ in range(5000)]
+        counts = [draws.count(rank) for rank in range(3)]
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[0] > 5000 / 10  # far above uniform share
+
+    def test_all_ranks_in_range(self):
+        rng = random.Random(4)
+        sampler = ZipfSampler(5, 1.2, rng)
+        assert all(0 <= sampler.sample() < 5 for _ in range(2000))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(0))
+
+
+class TestGenerateEvents:
+    def test_sorted_by_time_with_unique_seqs(self):
+        events = generate_events(WorkloadConfig(seed=11, duration=30.0))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_poisson_count_scales_with_rate(self):
+        slow = generate_events(
+            WorkloadConfig(seed=5, duration=100.0, payment_rate=2.0)
+        )
+        fast = generate_events(
+            WorkloadConfig(seed=5, duration=100.0, payment_rate=20.0)
+        )
+        assert 100 < event_counts(slow)["pay"] < 300
+        assert 1600 < event_counts(fast)["pay"] < 2400
+
+    def test_withdraw_precedes_each_clients_first_pay(self):
+        events = generate_events(WorkloadConfig(seed=8, duration=40.0, clients=4))
+        seen_withdraw = set()
+        for event in events:
+            if event.kind == "withdraw":
+                seen_withdraw.add(event.actor)
+            elif event.kind == "pay":
+                assert event.actor in seen_withdraw
+
+    def test_renewal_storms_cluster_at_boundaries(self):
+        config = WorkloadConfig(
+            seed=6,
+            duration=100.0,
+            payment_rate=0.0,
+            deposit_rate=0.0,
+            renewal_boundaries=(50.0, 90.0),
+            renewal_storm_size=40,
+            renewal_storm_spread=2.0,
+        )
+        renews = [e for e in generate_events(config) if e.kind == "renew"]
+        assert renews
+        # Every storm renewal lands before its boundary, within a few
+        # standard deviations.
+        assert all(
+            (t <= 50.0 and t > 35.0) or (t <= 90.0 and t > 75.0)
+            for t in (e.time for e in renews)
+        )
+
+    def test_merchant_popularity_is_zipf_skewed(self):
+        events = generate_events(
+            WorkloadConfig(seed=9, duration=200.0, payment_rate=10.0, merchants=10)
+        )
+        pays = [e for e in events if e.kind == "pay"]
+        top = sum(1 for e in pays if e.merchant == "merchant-0000")
+        assert top > len(pays) / 5  # rank 0 gets far more than 1/10
+
+
+class TestByteIdentity:
+    def test_same_seed_same_digest(self):
+        config = WorkloadConfig(seed=21, duration=60.0)
+        assert schedule_digest(generate_events(config)) == schedule_digest(
+            generate_events(config)
+        )
+
+    def test_different_seed_different_digest(self):
+        a = schedule_digest(generate_events(WorkloadConfig(seed=1)))
+        b = schedule_digest(generate_events(WorkloadConfig(seed=2)))
+        assert a != b
+
+    def test_render_round_trips_fields(self):
+        event = Event(time=1.25, kind="pay", actor="client-0001",
+                      merchant="merchant-0002", seq=7)
+        assert event.render() == "1.250000 pay client-0001 merchant-0002 7"
+
+    def test_independent_streams(self):
+        """Turning one process off must not perturb the others' times."""
+        with_renewals = generate_events(
+            WorkloadConfig(seed=31, duration=50.0, renewal_boundaries=(30.0,))
+        )
+        without = generate_events(WorkloadConfig(seed=31, duration=50.0))
+        pays = lambda evs: [(e.time, e.actor, e.merchant)
+                            for e in evs if e.kind == "pay"]
+        assert pays(with_renewals) == pays(without)

@@ -107,3 +107,54 @@ def test_disjoint_modes_exit_two(tmp_path):
     b.write_text(json.dumps({"quick": {}}))
     result = _run(a, b)
     assert result.returncode == 2
+
+
+def test_section_missing_from_current_is_tolerated(tmp_path):
+    # A baseline-only workload (e.g. recorded before a section was
+    # retired) is reported but must not flag a regression.
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    data = json.loads(baseline.read_text())
+    data["full"]["withdrawal"] = {"items": 8, "speedup": 6.0}
+    grown = tmp_path / "grown.json"
+    grown.write_text(json.dumps(data))
+    current = _bench_file(tmp_path, "cur.json", 4.0, 3.0)
+    result = _run(grown, current)
+    assert result.returncode == 0, result.stderr
+    assert "baseline only" in result.stdout
+    assert "REGRESSION" not in result.stderr
+
+
+def test_section_new_in_current_is_tolerated(tmp_path):
+    # The symmetric case: a current-only section (a freshly added
+    # campaign/bench workload) diffs cleanly against an old baseline.
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    current = _bench_file(tmp_path, "cur.json", 4.0, 3.0)
+    data = json.loads(current.read_text())
+    data["full"]["witness_sig_batch"] = {"items": 64, "speedup": 7.9}
+    grown = tmp_path / "grown.json"
+    grown.write_text(json.dumps(data))
+    result = _run(baseline, grown)
+    assert result.returncode == 0, result.stderr
+    assert "(new, 7.90x)" in result.stdout
+
+
+def test_section_filter_limits_comparison(tmp_path):
+    # With --section payment_verify the regressed deposit pool row is
+    # excluded from the comparison entirely.
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    current = _bench_file(tmp_path, "cur.json", 4.0, 0.5)
+    flagged = _run(baseline, current)
+    assert flagged.returncode == 1
+    filtered = _run(baseline, current, "--section", "payment_verify")
+    assert filtered.returncode == 0, filtered.stderr
+    assert "payment_verify" in filtered.stdout
+    assert "deposit_bulk" not in filtered.stdout
+
+
+def test_section_filter_matches_parallel_rows(tmp_path):
+    baseline = _bench_file(tmp_path, "base.json", 4.0, 3.0)
+    current = _bench_file(tmp_path, "cur.json", 0.5, 3.0)
+    filtered = _run(baseline, current, "--section", "deposit_bulk")
+    assert filtered.returncode == 0, filtered.stderr
+    assert "parallel.deposit_bulk[4w]" in filtered.stdout
+    assert "payment_verify" not in filtered.stdout

@@ -9,6 +9,13 @@ whose speedup dropped by more than ``--tolerance`` (default 30%) are
 flagged as regressions and make the script exit non-zero, which is how
 CI turns a bench run into a pass/fail signal.
 
+Workloads present in only one file are reported but never treated as
+regressions: results files grow new sections over time (``campaign``,
+``witness_sig_batch``, ...), and a diff against a pre-section baseline
+must stay meaningful in both directions. Use ``--section`` (repeatable)
+to restrict the comparison to named sections, e.g.
+``--section payment_verify --section parallel``.
+
 Parallel speedups are only compared when both runs report the same
 ``host_cpus``: pool-vs-serial ratios scale with the physical core count,
 so a cross-host comparison says nothing about the code.
@@ -53,8 +60,29 @@ def _parallel_rows(results: dict[str, Any]) -> Iterator[tuple[str, float]]:
             yield f"parallel.{workload}[{level}w]", float(entry["speedup"])
 
 
+def _matches_section(name: str, sections: list[str] | None) -> bool:
+    """True when the row belongs to one of the requested sections.
+
+    A row is named either ``section`` or ``parallel.section[Nw]``; a
+    filter matches the bare section name, the ``parallel`` umbrella, or
+    any dotted/bracketed extension of the filter.
+    """
+    if not sections:
+        return True
+    return any(
+        name == wanted
+        or name.startswith(f"{wanted}.")
+        or name.startswith(f"{wanted}[")
+        or name.startswith(f"parallel.{wanted}")
+        for wanted in sections
+    )
+
+
 def diff_modes(
-    baseline: dict[str, Any], current: dict[str, Any], tolerance: float
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+    sections: list[str] | None = None,
 ) -> tuple[list[str], list[str]]:
     """Compare one mode's results; return (report lines, regression lines)."""
     lines: list[str] = []
@@ -77,10 +105,12 @@ def diff_modes(
             f"{base_par.get('host_cpus') if isinstance(base_par, dict) else '?'} vs "
             f"{cur_par.get('host_cpus') if isinstance(cur_par, dict) else '?'})"
         )
+    base_rows = {k: v for k, v in base_rows.items() if _matches_section(k, sections)}
+    cur_rows = {k: v for k, v in cur_rows.items() if _matches_section(k, sections)}
     for name, base_speedup in base_rows.items():
         cur_speedup = cur_rows.get(name)
         if cur_speedup is None:
-            regressions.append(f"{name}: missing from current results")
+            lines.append(f"  {name:<40} (baseline only, {base_speedup:.2f}x)")
             continue
         change = cur_speedup / base_speedup - 1.0 if base_speedup else 0.0
         marker = ""
@@ -111,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         help="max tolerated relative speedup drop (default 0.3 = 30%%)",
     )
     parser.add_argument(
+        "--section",
+        action="append",
+        metavar="NAME",
+        help="only compare this section (repeatable); matches bare "
+        "workload names and their parallel.* worker rows",
+    )
+    parser.add_argument(
         "--allow-backend-change",
         action="store_true",
         help="compare modes even when baseline and current were recorded "
@@ -139,7 +176,9 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
     for mode in shared_modes:
         print(f"[{mode}]")
-        lines, regressions = diff_modes(baseline[mode], current[mode], args.tolerance)
+        lines, regressions = diff_modes(
+            baseline[mode], current[mode], args.tolerance, sections=args.section
+        )
         print("\n".join(lines) if lines else "  (nothing comparable)")
         all_regressions.extend(f"{mode}: {entry}" for entry in regressions)
     if all_regressions:
