@@ -384,47 +384,134 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _changed_python_files(ref: str) -> set[str] | None:
+    """Repo-relative ``.py`` paths changed vs ``ref`` (plus untracked)."""
+    import subprocess
+
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff + untracked).splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.lint import baseline as lint_baseline
     from repro.lint import engine as lint_engine
     from repro.lint import report as lint_report
+    from repro.lint.program import run_program, select_program_rules
     from repro.lint.rules import all_rules
 
     if args.list_rules:
+        print("per-file rules:")
         for rule_id, rule in sorted(all_rules().items()):
-            print(f"{rule_id:16} {rule.description}")
+            print(f"  {rule_id:16} {rule.description}")
+        print("program rules (--program):")
+        for rule_id, program_rule in sorted(select_program_rules().items()):
+            print(f"  {rule_id:16} {program_rule.description}")
         return 0
+
+    only = args.rule or None
     engine = lint_engine.LintEngine()
     try:
-        only = args.rule or None
-        if only:
+        if only and not args.program:
             engine.select_rules(only)  # validate ids before scanning
+        if only and args.program:
+            select_program_rules(only)
     except KeyError as error:
         print(f"unknown rule: {error.args[0]}", file=sys.stderr)
         return 2
-    paths = args.paths or ["src"]
-    files = list(lint_engine.iter_python_files(paths))
-    findings = engine.lint(paths, only)
+    paths: list[str] = args.paths or ["src"]
 
-    baseline_file = args.use_baseline or "LINT_baseline.json"
+    changed: set[str] | None = None
+    if args.changed is not None:
+        changed = _changed_python_files(args.changed)
+        if changed is None:
+            print(f"cannot diff against git ref '{args.changed}'", file=sys.stderr)
+            return 2
+
+    baseline_file = args.use_baseline or lint_baseline.DEFAULT_BASELINE
     if args.write_baseline:
-        accepted = lint_baseline.Baseline.from_findings(findings)
+        # Regenerate both namespaces in one pass so the file stays whole.
+        file_findings = engine.lint(paths, None)
+        program_run = run_program(paths)
+        accepted = lint_baseline.BaselineFile(
+            files=lint_baseline.Baseline.from_findings(file_findings),
+            program=lint_baseline.Baseline.from_findings(program_run.findings),
+        )
         accepted.save(baseline_file)
         print(
-            f"wrote {baseline_file}: {sum(accepted.counts.values())} "
-            f"grandfathered finding(s)"
+            f"wrote {baseline_file}: "
+            f"{sum(accepted.files.counts.values())} per-file + "
+            f"{sum(accepted.program.counts.values())} program "
+            "grandfathered finding(s)"
         )
         return 0
+
+    scanned: set[str] | None = None
+    if args.program:
+        # The program tier is whole-program by construction: a changed
+        # run keeps the full file set (correctness) and leans on the
+        # summary cache for speed instead of narrowing the scan.
+        cache_dir = ".lint_cache" if changed is not None else None
+        run = run_program(paths, only=only, cache_dir=cache_dir)
+        findings, checked = run.findings, run.checked_files
+        if changed is not None:
+            print(
+                f"summary cache: {run.cache_hits} hit(s), "
+                f"{run.cache_misses} miss(es)",
+                file=sys.stderr,
+            )
+    else:
+        root = Path.cwd()
+        files = [
+            file
+            for file in lint_engine.iter_python_files(paths)
+            if changed is None
+            or lint_engine._relative_posix(file, root) in changed
+        ]
+        findings = engine.lint([str(file) for file in files], only) if files else []
+        checked = len(files)
+        scanned = {lint_engine._relative_posix(file, root) for file in files}
 
     stale: list[str] = []
     baseline = None
     if args.use_baseline:
-        baseline = lint_baseline.Baseline.load(baseline_file)
+        try:
+            stored = lint_baseline.BaselineFile.load(baseline_file)
+        except lint_baseline.BaselineError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        baseline = stored.program if args.program else stored.files
         findings, stale = lint_baseline.diff_against_baseline(findings, baseline)
+        if changed is not None and scanned is not None:
+            # A narrowed scan cannot prove absence in unscanned files.
+            stale = [
+                fingerprint
+                for fingerprint in stale
+                if baseline.context.get(fingerprint, {}).get("path") in scanned
+            ]
     render = (
         lint_report.render_json if args.format == "json" else lint_report.render_console
     )
-    print(render(findings, stale, baseline, checked_files=len(files)))
+    print(render(findings, stale, baseline, checked_files=checked))
     return lint_report.exit_code(findings, stale)
 
 
@@ -759,7 +846,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-baseline",
         action="store_true",
-        help="accept the current findings: regenerate the baseline file",
+        help="accept the current findings: regenerate the baseline file "
+        "(runs both tiers, rewrites both schema-v2 sections)",
+    )
+    lint.add_argument(
+        "--program",
+        action="store_true",
+        help="run the whole-program analyses (wire-schema, journal-first, "
+        "async-safety, exception-wire) instead of the per-file rules",
+    )
+    lint.add_argument(
+        "--changed",
+        metavar="REF",
+        default=None,
+        help="fast incremental mode: per-file rules scan only files that "
+        "differ from git REF (plus untracked); --program runs whole-program "
+        "but caches module summaries under .lint_cache/",
     )
     lint.add_argument("--list-rules", action="store_true", help="list rule ids")
     lint.set_defaults(func=_cmd_lint)

@@ -156,7 +156,9 @@ def _parse_stats(reply: Mapping[str, Any]) -> dict[str, Any]:
 async def _run_daemon_scenario(directory: Path, seed: int) -> dict[str, Any]:
     """The four scripted steps over real sockets; returns the evidence."""
     config = write_deployment(directory, seed)
-    system = _build_system(seed)
+    # One-shot demo driver: blocking system construction happens before
+    # any protocol traffic is in flight, so stalling the loop is fine.
+    system = _build_system(seed)  # lint: ignore[async-safety]
     client = system.new_client()
     identity = load_identity(directory, CLIENT)
     authorized = load_authorized(directory)
@@ -200,6 +202,7 @@ async def _run_daemon_scenario(directory: Path, seed: int) -> dict[str, Any]:
         await _pin_clocks(transport, daemons, T_DEPOSIT)
         deposit = await transport.call(MERCHANT, "admin/deposit", {})
         outcomes["deposited"] = {
+            "count": registry.as_int(deposit["count"]),
             "outcome": str(deposit["r0"]["outcome"]),
             "amount": registry.as_int(deposit["r0"]["amount"]),
         }
@@ -278,6 +281,7 @@ def run_sim_twin(seed: int) -> dict[str, Any]:
     _advance_to(dep, float(T_DEPOSIT))
     results = dep.run(dep.deposit_process(MERCHANT))
     outcomes["deposited"] = {
+        "count": len(results),
         "outcome": str(results[0]["outcome"]),
         "amount": registry.as_int(results[0]["amount"]),
     }

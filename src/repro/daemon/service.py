@@ -185,7 +185,10 @@ class DaemonNode:
             writer.close()
 
     async def _run_handler(self, handler: registry.Handler, payload: dict[str, Any]) -> Any:
-        outcome = handler(payload)
+        # Handlers run the synchronous protocol core (journal writes
+        # included) on the loop by design: one daemon serves one party,
+        # and the reproduction depends on strictly ordered handling.
+        outcome = handler(payload)  # lint: ignore[async-safety]
         if isinstance(outcome, Generator):
             # Generator handlers (the storefront's ``pay``) yield
             # awaitables from the transport's rpc hook; drive them here.
@@ -530,7 +533,9 @@ async def serve(
     store_shards: int = 4,
 ) -> None:
     """Run one daemon until ``admin/shutdown`` — the ``serve`` CLI body."""
-    daemon = build_daemon(
+    # Store open/recovery happens once, before the listener accepts its
+    # first connection; nothing concurrent exists yet to starve.
+    daemon = build_daemon(  # lint: ignore[async-safety]
         directory,
         name,
         host,

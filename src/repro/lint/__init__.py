@@ -17,32 +17,49 @@ The pieces:
   determinism, broad-except);
 * :mod:`repro.lint.config` — per-rule path scoping and the protocol
   lexicons (secret names, digest names, sim-clock allowances);
+* :mod:`repro.lint.program` — the second tier: whole-program analyses
+  (module summaries, interprocedural call graph) checking wire-schema
+  consistency, journal-first durability, async-safety and
+  exception-wire totality across module boundaries;
 * :mod:`repro.lint.baseline` — the checked-in grandfather file: known
-  findings that do not fail the build, with staleness detection;
+  findings that do not fail the build, with staleness detection and
+  separate per-file / program namespaces (schema v2);
 * :mod:`repro.lint.report` — console and JSON renderings plus the
   CI exit-code contract (0 clean, 1 findings, 2 usage error).
 
-Run it as ``python -m repro lint src/`` (see ``--help`` for the
-baseline workflow).
+Run it as ``python -m repro lint src/`` for the per-file tier and
+``python -m repro lint --program src/repro`` for the program tier (see
+``--help`` for the baseline and ``--changed`` workflows).
 """
 
 from __future__ import annotations
 
-from repro.lint.baseline import Baseline, diff_against_baseline
-from repro.lint.config import LintConfig, RuleConfig, default_config
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    BaselineFile,
+    diff_against_baseline,
+)
+from repro.lint.config import LintConfig, ProgramConfig, RuleConfig, default_config
 from repro.lint.engine import LintEngine, lint_paths
 from repro.lint.findings import Finding, Severity
+from repro.lint.program import ProgramRun, all_program_rules, run_program
 from repro.lint.report import render_console, render_json
 from repro.lint.rules import Rule, all_rules, get_rule
 
 __all__ = [
     "Baseline",
+    "BaselineError",
+    "BaselineFile",
     "Finding",
     "LintConfig",
     "LintEngine",
+    "ProgramConfig",
+    "ProgramRun",
     "Rule",
     "RuleConfig",
     "Severity",
+    "all_program_rules",
     "all_rules",
     "default_config",
     "diff_against_baseline",
@@ -50,4 +67,5 @@ __all__ = [
     "lint_paths",
     "render_console",
     "render_json",
+    "run_program",
 ]

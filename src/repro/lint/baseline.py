@@ -10,8 +10,17 @@ churn it) to occurrence counts. A fresh run is compared group-wise:
   suppressions and also fail — a fixed finding must leave the baseline
   in the same commit, so the file never accretes dead entries.
 
+Schema v2 keeps the two analysis tiers in separate namespaces:
+``"findings"`` holds per-file rule entries and ``"program_findings"``
+holds whole-program entries. They must never mix — the tiers run over
+different file sets (``lint --changed`` restricts the per-file tier but
+always re-runs the program tier whole), so diffing them against one
+shared pool would let a per-file entry mask a program regression.
+:meth:`BaselineFile.load` rejects v1 files outright with a regeneration
+hint rather than guessing which tier the old entries belonged to.
+
 Regenerate with ``python -m repro lint src --write-baseline`` after
-deliberately accepting or fixing findings.
+deliberately accepting or fixing findings (this rewrites both sections).
 """
 
 from __future__ import annotations
@@ -20,16 +29,28 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.lint.findings import Finding
 
 #: Default checked-in location, repo-root relative.
 DEFAULT_BASELINE = "LINT_baseline.json"
 
+#: The only schema this loader accepts.
+BASELINE_VERSION = 2
+
+
+class BaselineError(ValueError):
+    """A baseline file exists but cannot be used (wrong schema/corrupt)."""
+
 
 @dataclass
 class Baseline:
-    """Fingerprint -> (count, human-readable context) of accepted findings."""
+    """Fingerprint -> (count, human-readable context) of accepted findings.
+
+    One instance holds one namespace (per-file or program); the on-disk
+    container pairing the two is :class:`BaselineFile`.
+    """
 
     counts: Counter[str] = field(default_factory=Counter)
     context: dict[str, dict[str, str]] = field(default_factory=dict)
@@ -51,15 +72,22 @@ class Baseline:
             )
         return baseline
 
+    def entries(self) -> list[dict[str, Any]]:
+        """Sorted JSON-ready entries, one per fingerprint."""
+        return [
+            {
+                "fingerprint": fingerprint,
+                "count": self.counts[fingerprint],
+                **self.context.get(fingerprint, {}),
+            }
+            for fingerprint in sorted(self.counts)
+        ]
+
     @classmethod
-    def load(cls, path: str | Path) -> "Baseline":
-        """Read a baseline file (an empty baseline if the file is absent)."""
-        file = Path(path)
-        if not file.exists():
-            return cls()
-        data = json.loads(file.read_text())
+    def from_entries(cls, entries: list[Any]) -> "Baseline":
+        """Rebuild one namespace from its JSON entry list."""
         baseline = cls()
-        for entry in data.get("findings", []):
+        for entry in entries:
             fingerprint = str(entry["fingerprint"])
             baseline.counts[fingerprint] = int(entry.get("count", 1))
             baseline.context[fingerprint] = {
@@ -69,19 +97,6 @@ class Baseline:
             }
         return baseline
 
-    def save(self, path: str | Path) -> None:
-        """Write the baseline file (sorted, one entry per fingerprint)."""
-        entries = [
-            {
-                "fingerprint": fingerprint,
-                "count": self.counts[fingerprint],
-                **self.context.get(fingerprint, {}),
-            }
-            for fingerprint in sorted(self.counts)
-        ]
-        payload = {"version": 1, "findings": entries}
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-
     def describe(self, fingerprint: str) -> str:
         """Human-readable ``rule path: snippet`` for a stale entry."""
         entry = self.context.get(fingerprint, {})
@@ -89,6 +104,46 @@ class Baseline:
         path = entry.get("path", "?")
         snippet = entry.get("snippet", "")
         return f"{rule} {path}: {snippet}" if snippet else f"{rule} {path}"
+
+
+@dataclass
+class BaselineFile:
+    """The on-disk baseline: per-file and program namespaces, schema v2."""
+
+    files: Baseline = field(default_factory=Baseline)
+    program: Baseline = field(default_factory=Baseline)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BaselineFile":
+        """Read a baseline file (empty if absent; BaselineError on v1)."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        try:
+            data = json.loads(file.read_text())
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})") from error
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: baseline schema v{version!r} is not supported "
+                f"(expected v{BASELINE_VERSION}, which separates per-file "
+                "and program-rule entries); regenerate it with "
+                "'python -m repro lint src --write-baseline'"
+            )
+        return cls(
+            files=Baseline.from_entries(data.get("findings", [])),
+            program=Baseline.from_entries(data.get("program_findings", [])),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the v2 baseline file (both namespaces, sorted)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": self.files.entries(),
+            "program_findings": self.program.entries(),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def diff_against_baseline(

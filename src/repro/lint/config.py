@@ -128,6 +128,113 @@ class RuleConfig:
         return not any(fnmatch(anchored, pattern) for pattern in self.exclude)
 
 
+#: Journaled state fields per class: field name -> the journal hooks
+#: that persist it. A mutation of one of these fields is compliant when
+#: it happens inside a journal scope, or the mutating function also
+#: invokes one of the listed hooks, or every caller holds a scope.
+JOURNALED_FIELDS: dict[str, dict[str, tuple[str, ...]]] = {
+    "Broker": {
+        "merchants": ("record_merchant",),
+        "tables": ("record_table",),
+        "_tickets": ("record_ticket", "drop_ticket"),
+        "_batch_tickets": ("record_batch", "drop_batch"),
+        "_deposits": ("record_deposit", "drop_record"),
+        "_renewals": ("record_renewal", "drop_record"),
+        "witness_fault_log": ("record_fault",),
+    },
+    "WitnessService": {
+        "_commitments": ("record_commitment", "drop_commitment"),
+        "_spent": ("record_spent", "drop_spent"),
+    },
+    "Ledger": {
+        "history": ("_notify", "on_entry"),
+    },
+}
+
+#: Alias-expanded call targets that block the event loop outright.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "select.select",
+    }
+)
+
+#: Function ids treated as primitively blocking. The store's synchronous
+#: I/O surface is listed here instead of being chased through untyped
+#: shard lists — the ISSUE's blocking-call classes name "synchronous
+#: Store I/O" explicitly, and every one of these methods fsyncs or
+#: touches SQLite on some backend.
+BLOCKING_QUALNAMES: frozenset[str] = frozenset(
+    {
+        "repro.store.store.Store.__init__",
+        "repro.store.store.Store.put",
+        "repro.store.store.Store.delete",
+        "repro.store.store.Store.commit",
+        "repro.store.store.Store.flush",
+        "repro.store.store.Store.compact",
+        "repro.store.store.Store.recover",
+        "repro.store.store.Store.close",
+        "repro.store.store.Store.operation",
+    }
+)
+
+#: Repo exceptions that deliberately travel as opaque internal-error
+#: frames (never rebuilt by name on the client): the store's corruption
+#: family is an operational failure of the serving node, not a protocol
+#: outcome the peer should interpret.
+OPAQUE_EXCEPTIONS: frozenset[str] = frozenset(
+    {"StoreError", "StoreIOError", "StoreCorruptError", "StoreConfigError"}
+)
+
+
+@dataclass
+class ProgramConfig:
+    """Knobs for the whole-program analyses (``repro.lint.program``).
+
+    Module names below default to the real tree; fixture tests override
+    them to point at mini-packages.
+    """
+
+    #: modules whose coroutine functions are async-safety roots.
+    async_root_modules: tuple[str, ...] = ("repro.daemon",)
+    #: alias-expanded call targets that block the event loop.
+    blocking_calls: frozenset[str] = field(default_factory=lambda: BLOCKING_CALLS)
+    #: function ids treated as primitively blocking.
+    blocking_qualnames: frozenset[str] = field(
+        default_factory=lambda: BLOCKING_QUALNAMES
+    )
+    #: journaled class fields and their persistence hooks.
+    journaled_fields: dict[str, dict[str, tuple[str, ...]]] = field(
+        default_factory=lambda: {
+            cls: dict(fields) for cls, fields in JOURNALED_FIELDS.items()
+        }
+    )
+    #: module whose EcashError subclasses the daemon can rebuild by name.
+    exception_module: str = "repro.core.exceptions"
+    #: base class of wire-mappable protocol errors.
+    error_base: str = "EcashError"
+    #: (module, constant) naming proof-carrying error classes that must
+    #: never escape a handler as a generic error frame.
+    proof_carrying_const: tuple[str, str] = ("repro.daemon.wire", "PROOF_CARRYING")
+    #: repo exceptions allowed to escape handlers as opaque frames.
+    opaque_exceptions: frozenset[str] = field(
+        default_factory=lambda: OPAQUE_EXCEPTIONS
+    )
+    #: (module, constant) of the long->short wire-key abbreviation table.
+    abbreviation_const: tuple[str, str] = (
+        "repro.crypto.serialize",
+        "KEY_ABBREVIATIONS",
+    )
+    #: module-level string tuples with this suffix define the RPC method
+    #: universe (``BROKER_METHODS`` etc.).
+    methods_const_suffix: str = "_METHODS"
+    #: methods under this prefix are part of the universe even without a
+    #: ``*_METHODS`` entry (daemon admin plane).
+    admin_prefix: str = "admin/"
+
+
 @dataclass
 class LintConfig:
     """The full engine configuration: lexicons plus per-rule scoping."""
@@ -139,6 +246,7 @@ class LintConfig:
     wall_clock_calls: frozenset[tuple[str, str]] = WALL_CLOCK_CALLS
     global_random_functions: frozenset[str] = GLOBAL_RANDOM_FUNCTIONS
     allowed_wire_egress: frozenset[str] = ALLOWED_WIRE_EGRESS
+    program: ProgramConfig = field(default_factory=ProgramConfig)
 
     def rule_config(self, rule_id: str) -> RuleConfig:
         """The scoping for ``rule_id`` (a default-everything scope if unset)."""
@@ -171,5 +279,31 @@ def default_config() -> LintConfig:
             "broad-except": RuleConfig(
                 include=("*/net/*", "*/faults/*", "*/daemon/*")
             ),
+            # -- whole-program analyses (lint --program) --------------
+            # Fault-injection shims replay captured payloads with
+            # deliberately wrong keys; they are not protocol senders.
+            # The sim-plane value-added services (escrow, fair exchange,
+            # gossip overlay) register handlers through ``node.on`` with
+            # closure factories the summary extractor cannot resolve, so
+            # their slash-methods would all read as handler-less sends.
+            "wire-schema": RuleConfig(
+                exclude=(
+                    "*/faults/*",
+                    "*/net/escrow_service.py",
+                    "*/net/fx_service.py",
+                    "*/net/overlay.py",
+                )
+            ),
+            # Restore/replay rebuilds state with the journal detached by
+            # design; fault scenarios corrupt state on purpose.
+            "journal-first": RuleConfig(
+                exclude=(
+                    "*/core/persistence.py",
+                    "*/faults/*",
+                    "*/baselines/*",
+                )
+            ),
+            "async-safety": RuleConfig(),
+            "exception-wire": RuleConfig(),
         }
     )

@@ -1,0 +1,161 @@
+"""Exception-wire totality: every handler-raisable error must map.
+
+The daemon rebuilds typed protocol errors on the client from
+``_error`` frames via a registry of ``core.exceptions`` EcashError
+subclasses (``daemon/wire.py``). This rule computes, for every
+dispatch-registered handler, the set of typed exceptions that can
+escape it — a fixpoint over raise sites minus same-function guards,
+plus callee escapes minus call-site guards, subclass-aware — and flags:
+
+* **proof-carrying escapes**: ``PROOF_CARRYING`` errors must never
+  leave a handler, because the generic error frame drops their proof
+  and the client rebuilds a proofless ``RemoteProtocolError``; the
+  handler must catch them and encode the proof in the reply payload;
+* **unmappable protocol errors**: EcashError subclasses defined outside
+  ``core.exceptions`` have no registry entry to rebuild from;
+* **opaque escapes**: repo-defined non-EcashError exceptions escaping a
+  handler travel as anonymous internal-error frames — allowed only for
+  the configured opaque set (the store corruption family).
+
+Builtin exceptions are out of scope (the daemon's catch-all maps them
+to opaque frames deliberately), as are escapes through dynamic call
+sites (dispatch indirection would attribute every handler's errors to
+every other).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+from . import ProgramContext, ProgramRule, register
+
+_CATCH_ALL = ("Exception", "BaseException")
+
+
+@register
+class ExceptionWireRule(ProgramRule):
+    id = "exception-wire"
+    description = (
+        "every typed error a dispatch handler can raise must have a "
+        "daemon error-frame rebuild mapping (and proof-carrying errors "
+        "must never escape as generic frames)"
+    )
+
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        index = program.index
+        graph = program.graph
+        config = program.program
+
+        ancestor_cache: dict[str, tuple[str, ...]] = {}
+
+        def ancestors(name: str) -> tuple[str, ...]:
+            if name not in ancestor_cache:
+                ancestor_cache[name] = index.exception_ancestors(name)
+            return ancestor_cache[name]
+
+        def caught(exc: str, guards: tuple[str, ...]) -> bool:
+            if not guards:
+                return False
+            family = {exc, *ancestors(exc)}
+            return any(g in family or g in _CATCH_ALL for g in guards)
+
+        # -- escaping-exception fixpoint ------------------------------
+        escapes: dict[str, frozenset[str]] = {}
+        for fid in sorted(index.functions):
+            own = {
+                site.exception
+                for site in index.functions[fid].raises
+                if not caught(site.exception, site.guards)
+            }
+            escapes[fid] = frozenset(own)
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(index.functions):
+                current = set(escapes[fid])
+                before = len(current)
+                for resolved in graph.calls_of(fid):
+                    if resolved.site.dynamic:
+                        continue
+                    for callee in resolved.callees:
+                        for exc in escapes.get(callee, frozenset()):
+                            if not caught(exc, resolved.site.guards):
+                                current.add(exc)
+                if len(current) != before:
+                    escapes[fid] = frozenset(current)
+                    changed = True
+
+        proof_carrying = set(
+            program.str_constant_tuple(config.proof_carrying_const)
+        )
+
+        # -- classify per handler -------------------------------------
+        emitted: set[tuple[str, str]] = set()
+        for method in sorted(graph.dispatch):
+            for fid in graph.dispatch[method]:
+                module = index.function_module[fid]
+                if not program.rule_applies(self.id, module):
+                    continue
+                function = index.functions[fid]
+                for exc in sorted(escapes.get(fid, frozenset())):
+                    message = self._classify(program, method, exc)
+                    if message is None:
+                        continue
+                    key = (fid, exc)
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    yield program.finding(
+                        self.id, module, function.lineno, message
+                    )
+
+        # -- registry hygiene: proof-carrying names must be real ------
+        pc_module = config.proof_carrying_const[0]
+        if pc_module in index.modules:
+            for name in sorted(proof_carrying):
+                if name not in index.classes_by_name:
+                    yield program.finding(
+                        self.id,
+                        pc_module,
+                        1,
+                        f"PROOF_CARRYING names '{name}' but no such "
+                        "exception class exists",
+                    )
+
+    def _classify(
+        self, program: ProgramContext, method: str, exc: str
+    ) -> str | None:
+        """The finding message for one escaping exception, or None."""
+        index = program.index
+        config = program.program
+        proof_carrying = set(
+            program.str_constant_tuple(config.proof_carrying_const)
+        )
+        is_repo = exc in index.classes_by_name
+        family = {exc, *index.exception_ancestors(exc)}
+        is_protocol = config.error_base in family
+        defined_in = index.defining_module(exc)
+        if exc in proof_carrying:
+            return (
+                f"proof-carrying error '{exc}' can escape the handler for "
+                f"'{method}'; the daemon would rebuild it as a proofless "
+                "RemoteProtocolError — catch it and encode the proof in "
+                "the reply payload"
+            )
+        if is_protocol and defined_in != config.exception_module:
+            return (
+                f"typed protocol error '{exc}' escaping the handler for "
+                f"'{method}' is defined in '{defined_in}', not "
+                f"'{config.exception_module}'; the daemon error-frame "
+                "registry cannot rebuild it by name"
+            )
+        if is_repo and not is_protocol and exc not in config.opaque_exceptions:
+            return (
+                f"non-protocol exception '{exc}' can escape the handler "
+                f"for '{method}'; it travels as an opaque internal-error "
+                "frame the client cannot interpret — map it to a "
+                "core.exceptions type or add it to the opaque allowlist"
+            )
+        return None

@@ -1,0 +1,92 @@
+"""Journal-first durability: no unjournaled mutation of durable state.
+
+The PR 7 persistence layer promises that every mutation of broker and
+witness protocol state is journaled *before* the operation is
+acknowledged. This rule enforces the discipline structurally: a
+mutation of a configured journaled field (``Broker._tickets``,
+``WitnessService._spent``, ``Ledger.history``, ...) is compliant only
+when one of
+
+* the mutation happens inside a journal scope (``with
+  self._journal_scope():`` / ``with store.operation():``),
+* the mutating function also invokes one of the field's journal hooks
+  (``record_ticket``/``drop_ticket`` for ``_tickets``, ...), or
+* the function is a helper whose every resolved call site sits inside a
+  journal scope
+
+holds. The check is function-granular, not path-granular: a function
+that mutates on one branch and hooks on another passes — the per-file
+review still owns branch-level reasoning. Mutations through local
+aliases (``store = self._deposits; del store[k]``) are invisible to the
+summary extractor and therefore unchecked; restore/replay code runs
+with the journal deliberately detached and is path-excluded in the
+default configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+from . import ProgramContext, ProgramRule, register
+
+
+@register
+class JournalFirstRule(ProgramRule):
+    id = "journal-first"
+    description = (
+        "mutations of journaled Broker/WitnessService/Ledger state must "
+        "be reachable only inside a journal scope or alongside their "
+        "journal hook"
+    )
+
+    def check(self, program: ProgramContext) -> Iterator[Finding]:
+        index = program.index
+        journaled = program.program.journaled_fields
+        for fid in sorted(index.functions):
+            module = index.function_module[fid]
+            if not program.rule_applies(self.id, module):
+                continue
+            function = index.functions[fid]
+            for mutation in function.mutations:
+                parts = mutation.target.split(".")
+                if len(parts) != 2:
+                    continue
+                root, field_name = parts
+                owner: str | None = None
+                if root == "self" and function.class_name is not None:
+                    owner = function.class_name.rpartition(".")[2]
+                elif root in function.param_annotations:
+                    owner_id = index.annotation_class(
+                        module, function.param_annotations[root]
+                    )
+                    if owner_id is not None:
+                        owner = owner_id.rpartition(".")[2]
+                if owner is None:
+                    continue
+                hooks = journaled.get(owner, {}).get(field_name)
+                if hooks is None:
+                    continue
+                if mutation.in_journal_scope:
+                    continue
+                if any(
+                    call.target.rpartition(".")[2] in hooks
+                    for call in function.calls
+                ):
+                    continue
+                callers = program.callers().get(fid, ())
+                if callers and all(
+                    resolved.site.in_journal_scope for _, resolved in callers
+                ):
+                    continue
+                hook_list = "/".join(hooks)
+                yield program.finding(
+                    self.id,
+                    module,
+                    mutation.lineno,
+                    f"journaled field '{owner}.{field_name}' is mutated "
+                    f"({mutation.kind}) outside a journal scope and "
+                    f"'{function.qualname}' never invokes {hook_list}; a "
+                    "crash here silently loses durable state",
+                )

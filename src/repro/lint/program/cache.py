@@ -1,0 +1,72 @@
+"""Content-addressed module-summary cache for fast re-analysis.
+
+Summarising a module is pure in (module name, repo-relative path, source
+text), so summaries are cached under ``.lint_cache/summaries/`` keyed by
+a SHA-256 over exactly those three inputs plus the summary schema
+version. Invalidation is therefore automatic and total:
+
+* edit a file -> its digest changes -> cache miss, fresh summary;
+* move/rename a file -> the path and module name feed the digest -> miss;
+* bump :data:`~repro.lint.program.summary.SUMMARY_VERSION` (any change
+  to the extractor's output shape) -> every digest changes -> full miss.
+
+Stale entries are never read again and are cheap to keep; ``rm -rf
+.lint_cache`` is always safe. A corrupt or truncated cache file is
+treated as a miss, never an error — the cache can only speed things up,
+not change results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .summary import SUMMARY_VERSION, ModuleSummary
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one run, surfaced by ``lint --changed``."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+class SummaryCache:
+    """Disk cache mapping content digests to serialized ModuleSummary."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory) / "summaries"
+        self.stats = CacheStats()
+
+    @staticmethod
+    def digest(module: str, relpath: str, source: str) -> str:
+        """The cache key: schema version + identity + content hash."""
+        material = f"{SUMMARY_VERSION}\x1f{module}\x1f{relpath}\x1f{source}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    def load(self, digest: str) -> ModuleSummary | None:
+        """The cached summary for ``digest``, or None (counted as miss)."""
+        entry = self.directory / f"{digest}.json"
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+            summary = ModuleSummary.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def store(self, digest: str, summary: ModuleSummary) -> None:
+        """Persist ``summary`` under ``digest`` (best-effort)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self.directory / f"{digest}.json"
+        try:
+            entry.write_text(
+                json.dumps(summary.to_dict(), sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # a read-only tree degrades to cacheless, not to failure

@@ -36,7 +36,7 @@ from typing import Any, Callable, Generator, Mapping, Protocol
 from repro.core.broker import Broker
 from repro.core.client import Client, StoredCoin
 from repro.core.coin import BareCoin
-from repro.core.exceptions import DoubleSpendError
+from repro.core.exceptions import DoubleSpendError, RenewalRefusedError
 from repro.core.info import CoinInfo
 from repro.core.merchant import Merchant, PaymentRequest
 from repro.core.transcripts import (
@@ -153,16 +153,21 @@ def broker_dispatch(broker: Broker, clock: Clock) -> dict[str, Handler]:
     def renew_complete(payload: dict[str, Any]) -> dict[str, Any]:
         flat = flatten(payload)
         old = BareCoin.from_wire(strip_prefix(flat, "old."))
-        response = broker.complete_renewal(
-            as_int(payload["ticket"]),
-            as_int(payload["sig_e"]),
-            old,
-            as_int(payload["proof_ts"]),
-            as_int(payload["proof_salt"]),
-            as_int(payload["r1"]),
-            as_int(payload["r2"]),
-            clock(),
-        )
+        try:
+            response = broker.complete_renewal(
+                as_int(payload["ticket"]),
+                as_int(payload["sig_e"]),
+                old,
+                as_int(payload["proof_ts"]),
+                as_int(payload["proof_salt"]),
+                as_int(payload["r1"]),
+                as_int(payload["r2"]),
+                clock(),
+            )
+        except RenewalRefusedError as refusal:
+            # In-band like the storefront's double-spend reply: the
+            # generic error frame would drop the extraction proof.
+            return {"status": "refused", "proof": refusal.proof.to_wire()}
         return {"rho": response.r, "commitment": response.c, "sig_s": response.s}
 
     def deposit(payload: dict[str, Any]) -> dict[str, Any]:
@@ -361,7 +366,9 @@ def payment_flow(
         proof = DoubleSpendProof.from_wire(strip_prefix(pay_reply, "proof."))
         raise DoubleSpendError(proof)
     client.mark_spent(stored)
-    return stored.denomination
+    # The settled amount comes from the storefront's receipt, not from
+    # the client's own view of the coin.
+    return as_int(pay_reply["amount"])
 
 
 def direct_spend_flow(
@@ -447,19 +454,24 @@ def renewal_flow(
     ticket = as_int(opened["ticket.id"])
     session = client.begin_withdrawal(new_info, challenge)
     timestamp, salt, r1_star, r2_star = client.renewal_proof(stored, clock())
-    answered = yield RemoteCall(
-        broker_id,
-        "renew/complete",
-        {
-            "ticket": ticket,
-            "sig_e": session.e,
-            "old": stored.coin.bare.to_wire(),
-            "proof_ts": timestamp,
-            "proof_salt": salt,
-            "r1": r1_star,
-            "r2": r2_star,
-        },
+    answered = flatten(
+        (yield RemoteCall(
+            broker_id,
+            "renew/complete",
+            {
+                "ticket": ticket,
+                "sig_e": session.e,
+                "old": stored.coin.bare.to_wire(),
+                "proof_ts": timestamp,
+                "proof_salt": salt,
+                "r1": r1_star,
+                "r2": r2_star,
+            },
+        ))
     )
+    if answered.get("status") == "refused":
+        proof = DoubleSpendProof.from_wire(strip_prefix(answered, "proof."))
+        raise RenewalRefusedError(proof)
     response = SignerResponse(
         r=as_int(answered["rho"]),
         c=as_int(answered["commitment"]),

@@ -9,7 +9,11 @@ def test_loopback_demo_matches_sim(tmp_path):
     outcomes = report["daemon"]["outcomes"]
     assert outcomes["withdrawn"] == 25
     assert outcomes["paid"] == 25
-    assert outcomes["deposited"] == {"outcome": "credited", "amount": 25}
+    assert outcomes["deposited"] == {
+        "count": 1,
+        "outcome": "credited",
+        "amount": 25,
+    }
     assert outcomes["double_spend_refused"] is True
 
     # The sim twin reached the same outcomes and the same books.

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
-from repro.lint.baseline import Baseline, diff_against_baseline
+import pytest
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    BaselineFile,
+    diff_against_baseline,
+)
 from repro.lint.engine import LintEngine
 from repro.lint.findings import Finding
 
@@ -18,17 +26,46 @@ def _finding(path: str = "src/mod.py", line: int = 3, snippet: str = "x = pow(a,
 
 
 def test_round_trip(tmp_path: Path) -> None:
-    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    stored = BaselineFile(
+        files=Baseline.from_findings([_finding(), _finding(line=9)]),
+        program=Baseline.from_findings(
+            [_finding(path="src/wire.py", snippet="out['x'] = 1")]
+        ),
+    )
     file = tmp_path / "baseline.json"
-    baseline.save(file)
-    loaded = Baseline.load(file)
-    assert loaded.counts == baseline.counts
-    assert loaded.context == baseline.context
+    stored.save(file)
+    loaded = BaselineFile.load(file)
+    assert loaded.files.counts == stored.files.counts
+    assert loaded.files.context == stored.files.context
+    assert loaded.program.counts == stored.program.counts
+    assert loaded.program.context == stored.program.context
+
+
+def test_round_trip_is_schema_v2(tmp_path: Path) -> None:
+    file = tmp_path / "baseline.json"
+    BaselineFile().save(file)
+    data = json.loads(file.read_text())
+    assert data["version"] == 2
+    assert data["findings"] == [] and data["program_findings"] == []
 
 
 def test_missing_file_loads_empty(tmp_path: Path) -> None:
-    baseline = Baseline.load(tmp_path / "absent.json")
-    assert not baseline.counts
+    stored = BaselineFile.load(tmp_path / "absent.json")
+    assert not stored.files.counts and not stored.program.counts
+
+
+def test_v1_file_is_rejected_with_regeneration_hint(tmp_path: Path) -> None:
+    file = tmp_path / "baseline.json"
+    file.write_text(json.dumps({"version": 1, "findings": []}))
+    with pytest.raises(BaselineError, match="write-baseline"):
+        BaselineFile.load(file)
+
+
+def test_corrupt_file_is_rejected(tmp_path: Path) -> None:
+    file = tmp_path / "baseline.json"
+    file.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        BaselineFile.load(file)
 
 
 def test_baselined_findings_are_suppressed() -> None:
@@ -71,10 +108,12 @@ def test_checked_in_baseline_matches_fresh_run_over_src() -> None:
     """
     engine = LintEngine(root=ROOT)
     findings = engine.lint([ROOT / "src"])
-    baseline = Baseline.load(ROOT / "LINT_baseline.json")
-    new, stale = diff_against_baseline(findings, baseline)
+    stored = BaselineFile.load(ROOT / "LINT_baseline.json")
+    new, stale = diff_against_baseline(findings, stored.files)
     assert new == [], f"non-baselined findings in src/: {[f.location() for f in new]}"
     assert stale == [], f"stale baseline entries: {stale}"
     # The grandfathered set is small and deliberate; a growing baseline
     # is a smell this assertion surfaces in review.
-    assert sum(baseline.counts.values()) == len(findings) == 4
+    assert sum(stored.files.counts.values()) == len(findings) == 4
+    # The program tier runs clean on the real tree: nothing grandfathered.
+    assert stored.program.counts == {}

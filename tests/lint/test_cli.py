@@ -90,3 +90,124 @@ def test_baseline_workflow(tmp_path, capsys, monkeypatch) -> None:
     file.write_text(CLEAN)
     assert main(["lint", str(file), "--baseline", str(baseline)]) == 1
     assert "stale baseline entry" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# program tier (--program / --changed / baseline v2)
+# ----------------------------------------------------------------------
+PROGRAM_FIXTURE = {
+    "pkg/registry.py": (
+        'SERVER_METHODS = ("do/add", "do/ghost")\n'
+        "\n"
+        "def build(server):\n"
+        "    def do_add(payload):\n"
+        '        return {"sum": int(payload["a"]) + int(payload["b"])}\n'
+        "\n"
+        '    return {"do/add": do_add}\n'
+    ),
+    "pkg/flows.py": (
+        "def add_flow(node, rpc):\n"
+        '    reply = rpc("do/add", {"a": 1, "b": 2, "junk": 3})\n'
+        '    return reply["sum"]\n'
+    ),
+}
+
+
+def _write_fixture(tmp_path: Path) -> None:
+    for relpath, text in PROGRAM_FIXTURE.items():
+        file = tmp_path / relpath
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(text)
+
+
+def test_list_rules_has_program_section(capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "program rules (--program):" in out
+    for rule_id in ("wire-schema", "journal-first", "async-safety", "exception-wire"):
+        assert rule_id in out
+
+
+def test_program_flag_reports_cross_module_findings(
+    tmp_path, capsys, monkeypatch
+) -> None:
+    monkeypatch.chdir(tmp_path)
+    _write_fixture(tmp_path)
+    assert main(["lint", "--program", "pkg"]) == 1
+    out = capsys.readouterr().out
+    assert "wire-schema" in out and "junk" in out and "do/ghost" in out
+
+
+def test_program_rule_filter_and_unknown_rule(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    _write_fixture(tmp_path)
+    assert main(["lint", "--program", "pkg", "--rule", "async-safety"]) == 0
+    assert main(["lint", "--program", "pkg", "--rule", "bogus"]) == 2
+
+
+def test_program_write_baseline_then_green(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    _write_fixture(tmp_path)
+    baseline = tmp_path / "LINT_baseline.json"
+    assert main(["lint", "pkg", "--write-baseline"]) == 0
+    assert json.loads(baseline.read_text())["version"] == 2
+    capsys.readouterr()
+    assert main(["lint", "--program", "pkg", "--baseline", str(baseline)]) == 0
+
+
+def test_v1_baseline_is_rejected_with_exit_2(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    file = _write(tmp_path, CLEAN)
+    baseline = tmp_path / "old.json"
+    baseline.write_text(json.dumps({"version": 1, "findings": []}))
+    assert main(["lint", str(file), "--baseline", str(baseline)]) == 2
+    err = capsys.readouterr().err
+    assert "schema v1" in err and "write-baseline" in err
+
+
+def _git(tmp_path: Path, *argv: str) -> None:
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@e.st", "-c", "user.name=t", *argv],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_narrows_per_file_tier_to_touched_files(
+    tmp_path, capsys, monkeypatch
+) -> None:
+    monkeypatch.chdir(tmp_path)
+    clean = _write(tmp_path, CLEAN)
+    other = tmp_path / "core" / "other.py"
+    other.write_text(CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    clean.write_text(DIRTY)
+
+    assert main(["lint", "--changed", "HEAD", "core"]) == 1
+    out = capsys.readouterr().out
+    assert "across 1 file(s)" in out  # other.py was not rescanned
+    assert main(["lint", "--changed", "no-such-ref", "core"]) == 2
+
+
+def test_changed_program_run_uses_summary_cache(
+    tmp_path, capsys, monkeypatch
+) -> None:
+    monkeypatch.chdir(tmp_path)
+    _write_fixture(tmp_path)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+
+    assert main(["lint", "--program", "--changed", "HEAD", "pkg"]) == 1
+    first = capsys.readouterr().err
+    assert "summary cache: 0 hit(s), 2 miss(es)" in first
+    assert (tmp_path / ".lint_cache" / "summaries").is_dir()
+
+    assert main(["lint", "--program", "--changed", "HEAD", "pkg"]) == 1
+    second = capsys.readouterr().err
+    assert "summary cache: 2 hit(s), 0 miss(es)" in second
